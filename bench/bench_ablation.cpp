@@ -1,0 +1,83 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//  * each LNS move class disabled in turn (which degrees of freedom carry
+//    the improvement?),
+//  * completion policy inside the search (clairvoyant vs LRU),
+//  * warm start (baseline) vs cold start (trivial all-on-p0 plan).
+// Reported as geomean cost ratios vs the full configuration over a
+// representative subset of the tiny dataset.
+#include "bench/bench_common.hpp"
+
+using namespace mbsp;
+using namespace mbsp::bench;
+
+namespace {
+
+struct Config {
+  const char* label;
+  unsigned move_mask = kAllMoves;
+  PolicyKind policy = PolicyKind::kClairvoyant;
+  bool cold_start = false;
+};
+
+const Config kConfigs[] = {
+    {"full"},
+    {"no proc moves", kAllMoves & ~(kMoveProc | kSwapProcs)},
+    {"no superstep moves",
+     kAllMoves & ~(kMoveSuperstep | kMergeSupersteps | kSplitSuperstep)},
+    {"no recompute moves", kAllMoves & ~(kAddRecompute | kRemoveOccurrence)},
+    {"lru completion", kAllMoves, PolicyKind::kLru},
+    {"cold start", kAllMoves, PolicyKind::kClairvoyant, true},
+};
+
+ComputePlan trivial_plan(const MbspInstance& inst) {
+  // Everything on processor 0 in one long superstep, topological order.
+  ComputePlan plan;
+  plan.num_procs = inst.arch.num_processors;
+  plan.seq.resize(plan.num_procs);
+  for (NodeId v : topological_order(inst.dag)) {
+    if (!inst.dag.is_source(v)) plan.seq[0].push_back({v, 0});
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::from_env();
+  auto dataset = tiny_dataset(config.seed);
+  const std::vector<int> subset{0, 3, 6, 9, 12};  // one per family
+  constexpr std::size_t kNumConfigs = std::size(kConfigs);
+
+  std::vector<std::array<double, kNumConfigs>> cost(subset.size());
+  for_each_instance(subset.size() * kNumConfigs, [&](std::size_t job) {
+    const std::size_t i = job / kNumConfigs;
+    const std::size_t c = job % kNumConfigs;
+    const Config& cfg = kConfigs[c];
+    const MbspInstance inst = make_instance(dataset[subset[i]], 4, 3.0, 1, 10);
+    const TwoStageResult base =
+        run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+    LnsOptions options;
+    options.budget_ms = config.budget_ms;
+    options.move_mask = cfg.move_mask;
+    options.completion_policy = cfg.policy;
+    const ComputePlan initial =
+        cfg.cold_start ? trivial_plan(inst) : base.plan;
+    const LnsResult res = improve_plan(inst, initial, options);
+    cost[i][c] = res.cost;
+  });
+
+  Table table({"configuration", "geomean vs full", "per-instance ratios"});
+  for (std::size_t c = 0; c < kNumConfigs; ++c) {
+    std::vector<double> ratios;
+    std::string detail;
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      ratios.push_back(cost[i][c] / cost[i][0]);
+      detail += fmt(ratios.back(), 2) + " ";
+    }
+    table.add_row({kConfigs[c].label, fmt(geometric_mean(ratios), 3), detail});
+  }
+  emit(table,
+       "LNS design ablation (>= 1.0 means the full configuration is better)",
+       config, "ablation");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#pragma once
+// Shared harness for the experiment benches. Each bench binary regenerates
+// one table or figure of the paper: it builds the dataset, runs the
+// baseline(s) and the holistic scheduler per instance (in parallel across
+// instances; each solve is single-threaded and deterministic), and prints
+// the paper's rows plus geometric-mean ratios.
+//
+// Environment knobs:
+//   MBSP_BENCH_BUDGET_MS  per-instance optimization budget (default 1500)
+//   MBSP_BENCH_SEED       dataset seed (default 2025)
+//   MBSP_BENCH_CSV        if set, tables are also written to <value>_<name>.csv
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "include/mbsp/mbsp.hpp"
+#include "src/util/env.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace mbsp::bench {
+
+struct BenchConfig {
+  double budget_ms = 1500;
+  std::uint64_t seed = 2025;
+  std::string csv_prefix;
+
+  static BenchConfig from_env() {
+    BenchConfig config;
+    config.budget_ms = env_double("MBSP_BENCH_BUDGET_MS", 1500);
+    config.seed = static_cast<std::uint64_t>(env_long("MBSP_BENCH_SEED", 2025));
+    config.csv_prefix = env_string("MBSP_BENCH_CSV", "");
+    return config;
+  }
+};
+
+inline MbspInstance make_instance(ComputeDag dag, int P, double r_factor,
+                                  double g = 1, double L = 10) {
+  const double r0 = min_memory_r0(dag);
+  return {std::move(dag), Architecture::make(P, r_factor * r0, g, L)};
+}
+
+/// Paper-style cost formatting (the datasets have integral costs).
+inline std::string cost_str(double cost) {
+  return fmt(cost, cost == static_cast<long long>(cost) ? 0 : 1);
+}
+
+inline void emit(const Table& table, const std::string& title,
+                 const BenchConfig& config, const std::string& name) {
+  std::fputs(table.to_text(title).c_str(), stdout);
+  std::fputs("\n", stdout);
+  if (!config.csv_prefix.empty()) {
+    table.write_csv(config.csv_prefix + "_" + name + ".csv");
+  }
+}
+
+/// Runs `fn(i)` for each instance index in parallel and waits.
+inline void for_each_instance(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  ThreadPool pool(std::min<std::size_t>(
+      count, std::max(1u, std::thread::hardware_concurrency())));
+  parallel_for(pool, count, fn);
+}
+
+/// Geometric-mean line in the paper's "0.77x factor" phrasing.
+inline void print_geomean(const std::vector<double>& ratios,
+                          const char* label) {
+  std::printf("%s: %.2fx geometric-mean cost ratio (ILP/baseline)\n", label,
+              geometric_mean(ratios));
+}
+
+}  // namespace mbsp::bench

@@ -1,0 +1,135 @@
+// Component micro-benchmarks (google-benchmark): throughput of the
+// validator, the two cost functions, the memory-completion engine, the
+// stage-1 schedulers, the simplex, and the exact pebbler. These are the
+// inner loops of the LNS, so their speed bounds the search's iteration
+// count per time budget.
+#include <benchmark/benchmark.h>
+
+#include "include/mbsp/mbsp.hpp"
+
+namespace mbsp {
+namespace {
+
+MbspInstance bench_instance(int index, int P, double r_factor) {
+  auto dataset = tiny_dataset(2025);
+  ComputeDag dag = std::move(dataset[index]);
+  const double r0 = min_memory_r0(dag);
+  return {std::move(dag), Architecture::make(P, r_factor * r0, 1, 10)};
+}
+
+void BM_Validate(benchmark::State& state) {
+  const MbspInstance inst = bench_instance(static_cast<int>(state.range(0)), 4, 3);
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate(inst, base.mbsp).ok);
+  }
+}
+BENCHMARK(BM_Validate)->Arg(0)->Arg(3)->Arg(9);
+
+void BM_SyncCost(benchmark::State& state) {
+  const MbspInstance inst = bench_instance(3, 4, 3);
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sync_cost(inst, base.mbsp));
+  }
+}
+BENCHMARK(BM_SyncCost);
+
+void BM_AsyncCost(benchmark::State& state) {
+  const MbspInstance inst = bench_instance(3, 4, 3);
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(async_cost(inst, base.mbsp));
+  }
+}
+BENCHMARK(BM_AsyncCost);
+
+void BM_CompleteMemory(benchmark::State& state) {
+  const MbspInstance inst = bench_instance(static_cast<int>(state.range(0)), 4, 3);
+  GreedyBspScheduler stage1;
+  const BspSchedule bsp = stage1.schedule(inst.dag, inst.arch);
+  const ComputePlan plan =
+      plan_from_bsp(inst.dag, bsp, inst.arch.num_processors);
+  const PolicyKind policy = state.range(1) == 0 ? PolicyKind::kClairvoyant
+                                                : PolicyKind::kLru;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(complete_memory(inst, plan, policy).num_ops());
+  }
+}
+BENCHMARK(BM_CompleteMemory)
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({9, 0})
+    ->Args({13, 0});
+
+void BM_GreedyBsp(benchmark::State& state) {
+  const MbspInstance inst = bench_instance(static_cast<int>(state.range(0)), 4, 3);
+  GreedyBspScheduler stage1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stage1.schedule(inst.dag, inst.arch).order.size());
+  }
+}
+BENCHMARK(BM_GreedyBsp)->Arg(0)->Arg(9);
+
+void BM_CilkSim(benchmark::State& state) {
+  const MbspInstance inst = bench_instance(9, 4, 3);
+  CilkScheduler cilk;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cilk.schedule(inst.dag, inst.arch).order.size());
+  }
+}
+BENCHMARK(BM_CilkSim);
+
+void BM_SimplexBipartitionLp(benchmark::State& state) {
+  Rng rng(4);
+  const ComputeDag dag = random_layered_dag(static_cast<int>(state.range(0)), 5, rng);
+  const int lo = dag.num_nodes() / 3;
+  const ilp::Model model =
+      build_bipartition_ilp(dag, lo, dag.num_nodes() - lo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_lp(model).objective);
+  }
+}
+BENCHMARK(BM_SimplexBipartitionLp)->Arg(30)->Arg(60);
+
+void BM_ExactPebblerChain(benchmark::State& state) {
+  ComputeDag dag("chain");
+  NodeId prev = dag.add_node(0, 1);
+  for (int i = 0; i < state.range(0); ++i) {
+    const NodeId v = dag.add_node(1, 1);
+    dag.add_edge(prev, v);
+    prev = v;
+  }
+  const MbspInstance inst{std::move(dag), Architecture::make(1, 3, 2, 0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_pebble(inst).cost);
+  }
+}
+BENCHMARK(BM_ExactPebblerChain)->Arg(8)->Arg(12);
+
+void BM_LnsIterations(benchmark::State& state) {
+  // Reports how many LNS iterations fit into a fixed 50 ms budget on a
+  // representative instance (iterations/sec is the quantity that matters).
+  const MbspInstance inst = bench_instance(3, 4, 3);
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  for (auto _ : state) {
+    LnsOptions options;
+    options.budget_ms = 50;
+    const LnsResult res = improve_plan(inst, base.plan, options);
+    state.counters["iters_per_s"] = benchmark::Counter(
+        static_cast<double>(res.iterations) * 20.0,
+        benchmark::Counter::kAvgIterations);
+    benchmark::DoNotOptimize(res.cost);
+  }
+}
+BENCHMARK(BM_LnsIterations)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mbsp
+
+BENCHMARK_MAIN();

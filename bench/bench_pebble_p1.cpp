@@ -1,0 +1,65 @@
+// Regenerates the P = 1 experiment of Section 7.2: single-processor
+// red-blue pebbling with compute costs. Baseline: DFS order + clairvoyant
+// eviction; our ILP/LNS tries to improve it. Paper reference: the DFS
+// baseline is strong — at r = 3*r0 the ILP improved only 2 of 15 instances
+// (exp family), at r = r0 none.
+#include "bench/bench_common.hpp"
+
+using namespace mbsp;
+using namespace mbsp::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::from_env();
+  auto dataset = tiny_dataset(config.seed);
+  const std::size_t count = dataset.size();
+
+  struct Row {
+    std::string name;
+    double base3 = 0, ilp3 = 0, base1 = 0, ilp1 = 0;
+  };
+  std::vector<Row> rows(count);
+
+  for_each_instance(count * 2, [&](std::size_t job) {
+    const std::size_t i = job / 2;
+    const double r_factor = job % 2 == 0 ? 3.0 : 1.0;
+    const MbspInstance inst =
+        make_instance(dataset[i], 1, r_factor, 1, 0);
+    const TwoStageResult base =
+        run_baseline(inst, BaselineKind::kDfsClairvoyant);
+    const double base_cost = sync_cost(inst, base.mbsp);
+    HolisticOptions options;
+    options.budget_ms = config.budget_ms;
+    const HolisticOutcome out = holistic_improve(inst, base.plan, options);
+    Row& row = rows[i];
+    row.name = inst.name();
+    if (job % 2 == 0) {
+      row.base3 = base_cost;
+      row.ilp3 = std::min(out.cost, base_cost);
+    } else {
+      row.base1 = base_cost;
+      row.ilp1 = std::min(out.cost, base_cost);
+    }
+  });
+
+  Table table({"Instance", "DFS+cv (r=3r0)", "ILP (r=3r0)", "DFS+cv (r=r0)",
+               "ILP (r=r0)"});
+  int improved3 = 0, improved1 = 0;
+  std::vector<double> r3, r1;
+  for (const Row& row : rows) {
+    table.add_row({row.name, cost_str(row.base3), cost_str(row.ilp3),
+                   cost_str(row.base1), cost_str(row.ilp1)});
+    improved3 += row.ilp3 < row.base3 - 1e-9;
+    improved1 += row.ilp1 < row.base1 - 1e-9;
+    r3.push_back(row.ilp3 / row.base3);
+    r1.push_back(row.ilp1 / row.base1);
+  }
+  emit(table, "Section 7.2 (P=1): red-blue pebbling with compute costs",
+       config, "pebble_p1");
+  std::printf("instances improved at r=3r0: %d / %zu (paper: 2 / 15)\n",
+              improved3, count);
+  std::printf("instances improved at r=r0:  %d / %zu (paper: 0 / 15)\n",
+              improved1, count);
+  print_geomean(r3, "r=3r0");
+  print_geomean(r1, "r=r0");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Table 2: baseline vs the divide-and-conquer ILP on the
+// larger ('small') dataset, with r = 5*r0, P = 4, L = 10. Paper reference:
+// wins on the coarse-grained and SpMV instances (0.60x-0.77x), losses on
+// the exp / kNN instances (~1.24x geomean increase).
+#include "bench/bench_common.hpp"
+
+using namespace mbsp;
+using namespace mbsp::bench;
+
+int main() {
+  const BenchConfig config = BenchConfig::from_env();
+  auto dataset = small_dataset(config.seed);
+  const std::size_t count = dataset.size();
+
+  struct Row {
+    std::string name;
+    double base = 0, ilp = 0;
+    std::size_t parts = 0;
+  };
+  std::vector<Row> rows(count);
+
+  for_each_instance(count, [&](std::size_t i) {
+    const MbspInstance inst = make_instance(dataset[i], 4, 5.0, 1, 10);
+    const TwoStageResult base =
+        run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+    const double base_cost = sync_cost(inst, base.mbsp);
+
+    DivideConquerOptions options;
+    options.lns.budget_ms = config.budget_ms / 4;  // per part
+    const DivideConquerResult res = divide_conquer_schedule(inst, options);
+    validate_or_die(inst, res.schedule);
+    rows[i] = {inst.name(), base_cost, res.cost, res.num_parts};
+  });
+
+  Table table({"Instance", "Base", "D&C ILP", "ratio", "parts"});
+  std::vector<double> ratios, win_ratios, loss_ratios;
+  for (const Row& row : rows) {
+    const double ratio = row.ilp / row.base;
+    ratios.push_back(ratio);
+    (ratio <= 1.0 ? win_ratios : loss_ratios).push_back(ratio);
+    table.add_row({row.name, cost_str(row.base), cost_str(row.ilp),
+                   fmt(ratio, 2), std::to_string(row.parts)});
+  }
+  emit(table,
+       "Table 2: larger dataset, baseline / divide-and-conquer ILP "
+       "(P=4, r=5r0, L=10)",
+       config, "table2");
+  print_geomean(ratios, "all instances");
+  if (!win_ratios.empty()) print_geomean(win_ratios, "winning instances");
+  if (!loss_ratios.empty()) print_geomean(loss_ratios, "losing instances");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Regenerates Table 4: baseline / ILP cost under alternative parameters:
+// r = 5*r0, r = r0, P = 8, L = 0, and the asynchronous cost model.
+// Paper reference geomeans: 0.76x (r=5r0), 0.97x (r=r0), 0.82x (P=8),
+// 0.85x (L=0), 0.91x (async).
+#include "bench/bench_common.hpp"
+
+using namespace mbsp;
+using namespace mbsp::bench;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  int P;
+  double r_factor, L;
+  CostModel cost;
+};
+
+constexpr Variant kVariants[] = {
+    {"r=5r0", 4, 5.0, 10, CostModel::kSynchronous},
+    {"r=r0", 4, 1.0, 10, CostModel::kSynchronous},
+    {"P=8", 8, 3.0, 10, CostModel::kSynchronous},
+    {"L=0", 4, 3.0, 0, CostModel::kSynchronous},
+    {"async", 4, 3.0, 0, CostModel::kAsynchronous},
+};
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::from_env();
+  auto dataset = tiny_dataset(config.seed);
+  const std::size_t count = dataset.size();
+  constexpr std::size_t kNumVariants = std::size(kVariants);
+
+  std::vector<std::array<std::pair<double, double>, kNumVariants>> rows(count);
+  for_each_instance(count * kNumVariants, [&](std::size_t job) {
+    const std::size_t i = job / kNumVariants;
+    const std::size_t k = job % kNumVariants;
+    const Variant& variant = kVariants[k];
+    const MbspInstance inst =
+        make_instance(dataset[i], variant.P, variant.r_factor, 1, variant.L);
+    HolisticOptions options;
+    options.budget_ms = config.budget_ms;
+    options.cost = variant.cost;
+    const HolisticOutcome out = holistic_schedule(inst, options);
+    validate_or_die(inst, out.schedule);
+    rows[i][k] = {out.baseline_cost, out.cost};
+  });
+
+  Table table({"Instance", "r=5r0", "r=r0", "P=8", "L=0", "async"});
+  std::array<std::vector<double>, kNumVariants> ratios;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::string> cells{dataset[i].name()};
+    for (std::size_t k = 0; k < kNumVariants; ++k) {
+      const auto [base, ilp] = rows[i][k];
+      cells.push_back(cost_str(base) + " / " + cost_str(ilp));
+      ratios[k].push_back(ilp / base);
+    }
+    table.add_row(std::move(cells));
+  }
+  emit(table, "Table 4: baseline / our ILP under alternative parameters",
+       config, "table4");
+  for (std::size_t k = 0; k < kNumVariants; ++k) {
+    print_geomean(ratios[k], kVariants[k].label);
+  }
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Regenerates the theory section's constructions as measurements:
+//  * Theorem 4.1  — the zipper gadget's two-stage vs holistic cost ratio
+//                   grows linearly in d (the proof's Theta(n) separation);
+//  * Lemma 5.3    — the async-optimal schedule is ~P/2 worse synchronously;
+//  * Lemma 5.4    — the sync-optimal schedule is ~4/3 worse asynchronously;
+//  * Lemma 5.1    — memory management is partition-hard: the YES instance
+//                   meets the 2*alpha I/O bound, the NO instance cannot;
+//  * Lemma 6.1    — the optimum trades one load for a chain recomputation
+//                   once g > d, requiring d-1 extra (unmergeable) steps.
+#include "bench/bench_common.hpp"
+
+using namespace mbsp;
+using namespace mbsp::bench;
+
+namespace {
+
+void theorem41(const BenchConfig& config) {
+  Table table({"d", "m", "two-stage", "holistic", "ratio", "d/4"});
+  for (int d : {2, 4, 6, 8, 12, 16}) {
+    const int m = 2 * d;
+    const ZipperGadget z = zipper_gadget(d, m);
+    ComputeDag dag = z.dag;
+    const MbspInstance inst{std::move(dag),
+                            Architecture::make(2, z.d + 2, 1, 0)};
+    // Stage 1's BSP optimum: one chain per processor (proof, Figure 2 left).
+    ComputePlan chain_split;
+    chain_split.num_procs = 2;
+    chain_split.seq.resize(2);
+    for (int i = 0; i < m; ++i) {
+      chain_split.seq[0].push_back({z.v[i], 0});
+      chain_split.seq[1].push_back({z.u[i], 0});
+    }
+    const MbspSchedule two_stage =
+        complete_memory(inst, chain_split, PolicyKind::kClairvoyant);
+    validate_or_die(inst, two_stage);
+    // Holistic optimum: children of H1 on p0, of H2 on p1 (Figure 2 right).
+    ComputePlan holistic;
+    holistic.num_procs = 2;
+    holistic.seq.resize(2);
+    for (int i = 0; i < m; ++i) {
+      if (i % 2 == 0) {
+        holistic.seq[0].push_back({z.u[i], i});
+        holistic.seq[1].push_back({z.v[i], i});
+      } else {
+        holistic.seq[0].push_back({z.v[i], i});
+        holistic.seq[1].push_back({z.u[i], i});
+      }
+    }
+    const MbspSchedule opt =
+        complete_memory(inst, holistic, PolicyKind::kClairvoyant);
+    validate_or_die(inst, opt);
+    const double c_two = sync_cost(inst, two_stage);
+    const double c_opt = sync_cost(inst, opt);
+    table.add_row({std::to_string(d), std::to_string(m), cost_str(c_two),
+                   cost_str(c_opt), fmt(c_two / c_opt, 2), fmt(d / 4.0, 2)});
+  }
+  emit(table, "Theorem 4.1: two-stage suboptimality on the zipper gadget",
+       config, "theory_thm41");
+}
+
+void lemma53(const BenchConfig& config) {
+  Table table({"P", "Z", "sync(async-opt)", "sync(sync-opt)", "ratio",
+               "P/2"});
+  for (int P : {4, 8, 12}) {
+    const double Z = 200;
+    const PairChainsGadget gadget = lemma53_gadget(P, Z);
+    ComputeDag dag = gadget.dag;
+    const MbspInstance inst{std::move(dag),
+                            Architecture::make(P, 1e9, 1e-9, 0)};
+    const int pairs = gadget.pairs;
+    // Async-optimal: pair i runs its stages in supersteps 1..pairs.
+    ComputePlan async_opt;
+    async_opt.num_procs = P;
+    async_opt.seq.resize(P);
+    for (int i = 0; i < pairs; ++i) {
+      for (int j = 0; j < pairs; ++j) {
+        async_opt.seq[2 * i].push_back({gadget.u[i][j], j + 1});
+        async_opt.seq[2 * i + 1].push_back({gadget.v[i][j], j + 1});
+      }
+    }
+    // Sync-optimal: pair i shifted so every heavy stage (j == i) lands in
+    // the same superstep `pairs`.
+    ComputePlan sync_opt = async_opt;
+    for (int i = 0; i < pairs; ++i) {
+      for (int j = 0; j < pairs; ++j) {
+        sync_opt.seq[2 * i][j].superstep = pairs + j - i + 1;
+        sync_opt.seq[2 * i + 1][j].superstep = pairs + j - i + 1;
+      }
+    }
+    const MbspSchedule sched_a =
+        complete_memory(inst, async_opt, PolicyKind::kClairvoyant);
+    const MbspSchedule sched_s =
+        complete_memory(inst, sync_opt, PolicyKind::kClairvoyant);
+    validate_or_die(inst, sched_a);
+    validate_or_die(inst, sched_s);
+    const double a_sync = sync_cost(inst, sched_a);
+    const double s_sync = sync_cost(inst, sched_s);
+    table.add_row({std::to_string(P), fmt(Z, 0), cost_str(a_sync),
+                   cost_str(s_sync), fmt(a_sync / s_sync, 2),
+                   fmt(P / 2.0, 1)});
+  }
+  emit(table, "Lemma 5.3: async-optimal schedules evaluated synchronously",
+       config, "theory_lem53");
+}
+
+void lemma54(const BenchConfig& config) {
+  Table table({"Z", "async(sync-opt)", "async(async-opt)", "ratio", "4/3"});
+  for (double Z : {10.0, 100.0, 1000.0}) {
+    const SyncGapGadget g = lemma54_gadget(Z);
+    ComputeDag dag = g.dag;
+    const MbspInstance inst{std::move(dag),
+                            Architecture::make(5, 1e9, 1e-9, 0)};
+    // Sync-optimal: w in superstep 1, w1 in superstep 2 on the same
+    // processor, w2..w4 in superstep 3 (cost 4Z - 2 in both models for the
+    // processor that runs w then w1).
+    ComputePlan sync_opt;
+    sync_opt.num_procs = 5;
+    sync_opt.seq.resize(5);
+    sync_opt.seq[0] = {{g.u1, 1}, {g.u3, 2}};
+    sync_opt.seq[1] = {{g.u2, 1}, {g.u4, 2}};
+    sync_opt.seq[2] = {{g.w, 1}, {g.w1, 2}, {g.w2, 3}};
+    sync_opt.seq[3] = {{g.w3, 3}};
+    sync_opt.seq[4] = {{g.w4, 3}};
+    // Async-optimal: w and w1 in superstep 1 on different processors.
+    ComputePlan async_opt;
+    async_opt.num_procs = 5;
+    async_opt.seq.resize(5);
+    async_opt.seq[0] = {{g.u1, 1}, {g.u3, 2}};
+    async_opt.seq[1] = {{g.u2, 1}, {g.u4, 2}};
+    async_opt.seq[2] = {{g.w1, 1}, {g.w2, 2}};
+    async_opt.seq[3] = {{g.w, 1}, {g.w3, 2}};
+    async_opt.seq[4] = {{g.w4, 2}};
+    const MbspSchedule s_sync =
+        complete_memory(inst, sync_opt, PolicyKind::kClairvoyant);
+    const MbspSchedule s_async =
+        complete_memory(inst, async_opt, PolicyKind::kClairvoyant);
+    validate_or_die(inst, s_sync);
+    validate_or_die(inst, s_async);
+    const double a_of_sync = async_cost(inst, s_sync);
+    const double a_of_async = async_cost(inst, s_async);
+    table.add_row({fmt(Z, 0), cost_str(a_of_sync), cost_str(a_of_async),
+                   fmt(a_of_sync / a_of_async, 3), "1.333"});
+  }
+  emit(table, "Lemma 5.4: sync-optimal schedules evaluated asynchronously",
+       config, "theory_lem54");
+}
+
+void lemma51(const BenchConfig& config) {
+  Table table({"instance", "alpha", "optimal I/O", "2*alpha",
+               "bound attained"});
+  // YES: {2,2,2,2} partitions into 4+4; NO: {1,1,1,2} (sum 5, odd): the
+  // optimal I/O meets 2*alpha exactly iff a perfect split exists.
+  for (const auto& [label, weights] :
+       {std::pair<const char*, std::vector<double>>{"YES {2,2,2,2}",
+                                                    {2, 2, 2, 2}},
+        std::pair<const char*, std::vector<double>>{"NO  {1,1,1,2}",
+                                                    {1, 1, 1, 2}}}) {
+    const PartitionGadget gadget = lemma51_gadget(weights);
+    ComputeDag dag = gadget.dag;
+    const MbspInstance inst{
+        std::move(dag),
+        Architecture::make(1, gadget.alpha + 1e-4, 1, 0)};
+    const ExactPebbleResult res = exact_pebble(inst);
+    if (!res.solved) {
+      table.add_row({label, fmt(gadget.alpha, 0), "unsolved", "-", "-"});
+      continue;
+    }
+    // Subtract the compute cost (3 unit computes) to isolate I/O.
+    const double io = res.cost - 3.0;
+    const double bound = 2 * gadget.alpha;
+    table.add_row({label, fmt(gadget.alpha, 0), fmt(io, 4), fmt(bound, 0),
+                   io <= bound + 1e-6 ? "yes" : "no (partition infeasible)"});
+  }
+  emit(table,
+       "Lemma 5.1: memory management encodes number partitioning (P=1)",
+       config, "theory_lem51");
+}
+
+void lemma61(const BenchConfig& config) {
+  Table table({"g", "optimal cost", "ops in schedule", "recomputed nodes"});
+  const RecomputeGadget gadget = lemma61_gadget(3, 3);
+  for (double g : {1.0, 3.0, 6.0, 12.0}) {
+    ComputeDag dag = gadget.dag;
+    const MbspInstance inst{std::move(dag), Architecture::make(1, 4, g, 0)};
+    const ExactPebbleResult res = exact_pebble(inst);
+    if (!res.solved) {
+      table.add_row({fmt(g, 0), "unsolved", "-", "-"});
+      continue;
+    }
+    std::size_t recomputed = 0;
+    for (NodeId v = 0; v < inst.dag.num_nodes(); ++v) {
+      recomputed += res.schedule.compute_count(v) > 1;
+    }
+    table.add_row({fmt(g, 0), cost_str(res.cost),
+                   std::to_string(res.schedule.num_ops()),
+                   std::to_string(recomputed)});
+  }
+  emit(table,
+       "Lemma 6.1: once g > d the optimum recomputes a chain, taking more "
+       "steps at lower cost",
+       config, "theory_lem61");
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::from_env();
+  theorem41(config);
+  lemma53(config);
+  lemma54(config);
+  lemma51(config);
+  lemma61(config);
+  return 0;
+}

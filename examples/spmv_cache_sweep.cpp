@@ -1,0 +1,55 @@
+// Domain example: scheduling a sparse matrix-vector product (the workload
+// family where the paper's holistic method wins the most) across cache
+// sizes and eviction policies.
+//
+// Prints, for r in {r0, 2r0, 3r0, 5r0}:
+//   * the two-stage cost with clairvoyant and with LRU eviction,
+//   * the holistic scheduler's cost,
+// showing how the memory bound shifts the compute/I-O balance and how much
+// of the gap is due to the policy vs the assignment.
+
+#include <cstdio>
+
+#include "include/mbsp/mbsp.hpp"
+#include "src/util/table.hpp"
+
+int main() {
+  using namespace mbsp;
+
+  Rng rng(7);
+  ComputeDag dag = spmv_dag(/*n=*/8, /*avg_nnz=*/4, rng, "spmv_demo");
+  assign_random_memory_weights(dag, rng);
+  const double r0 = min_memory_r0(dag);
+  std::printf("SpMV DAG: %d nodes, %zu edges, r0 = %.0f\n\n", dag.num_nodes(),
+              dag.num_edges(), r0);
+
+  Table table({"r", "two-stage (clairvoyant)", "two-stage (LRU)",
+               "holistic", "holistic I/O volume"});
+  for (double factor : {1.0, 2.0, 3.0, 5.0}) {
+    ComputeDag copy = dag;
+    const MbspInstance inst{std::move(copy),
+                            Architecture::make(4, factor * r0, 1, 10)};
+
+    GreedyBspScheduler stage1;
+    const TwoStageResult cv =
+        two_stage_schedule(inst, stage1, PolicyKind::kClairvoyant);
+    const TwoStageResult lru =
+        two_stage_schedule(inst, stage1, PolicyKind::kLru);
+    HolisticOptions options;
+    options.budget_ms = 800;
+    const HolisticOutcome holistic = holistic_schedule(inst, options);
+    validate_or_die(inst, holistic.schedule);
+
+    table.add_row({std::to_string(factor) + "*r0",
+                   fmt(sync_cost(inst, cv.mbsp), 0),
+                   fmt(sync_cost(inst, lru.mbsp), 0), fmt(holistic.cost, 0),
+                   fmt(io_volume(inst, holistic.schedule), 0)});
+  }
+  std::fputs(table.to_text("SpMV scheduling across cache sizes (P=4, L=10)")
+                 .c_str(),
+             stdout);
+  std::printf("\nLarger caches cut I/O until the compute term dominates; the\n"
+              "holistic scheduler also re-assigns rows to processors, which\n"
+              "the two-stage pipeline cannot do once stage 1 has committed.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "src/bsp/bsp_schedule.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/topology.hpp"
+
+namespace mbsp {
+
+int BspSchedule::num_supersteps() const {
+  int count = 0;
+  for (int s : superstep) count = std::max(count, s + 1);
+  return count;
+}
+
+BspValidation validate_bsp(const ComputeDag& dag, int num_processors,
+                           const BspSchedule& sched) {
+  const NodeId n = dag.num_nodes();
+  auto fail = [](std::string msg) { return BspValidation{false, std::move(msg)}; };
+  if (static_cast<NodeId>(sched.proc.size()) != n ||
+      static_cast<NodeId>(sched.superstep.size()) != n) {
+    return fail("assignment vectors have wrong size");
+  }
+  std::size_t scheduled = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (dag.is_source(v)) continue;
+    ++scheduled;
+    if (sched.proc[v] < 0 || sched.proc[v] >= num_processors) {
+      return fail("node " + std::to_string(v) + " has no valid processor");
+    }
+    if (sched.superstep[v] < 0) {
+      return fail("node " + std::to_string(v) + " has no valid superstep");
+    }
+    for (NodeId u : dag.parents(v)) {
+      if (dag.is_source(u)) continue;
+      if (sched.proc[u] == sched.proc[v]) {
+        if (sched.superstep[u] > sched.superstep[v]) {
+          return fail("same-processor edge " + std::to_string(u) + "->" +
+                      std::to_string(v) + " goes backwards in supersteps");
+        }
+      } else if (sched.superstep[u] >= sched.superstep[v]) {
+        return fail("cross-processor edge " + std::to_string(u) + "->" +
+                    std::to_string(v) + " does not advance a superstep");
+      }
+    }
+  }
+  // Order: exactly the non-source nodes, once each, topological per
+  // processor and nondecreasing in superstep.
+  if (sched.order.size() != scheduled) {
+    return fail("order must contain every non-source node exactly once");
+  }
+  std::vector<int> pos(n, -1);
+  for (std::size_t i = 0; i < sched.order.size(); ++i) {
+    const NodeId v = sched.order[i];
+    if (v < 0 || v >= n || dag.is_source(v) || pos[v] != -1) {
+      return fail("order contains an invalid or repeated node");
+    }
+    pos[v] = static_cast<int>(i);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (dag.is_source(v)) continue;
+    for (NodeId u : dag.parents(v)) {
+      if (dag.is_source(u)) continue;
+      if (sched.proc[u] == sched.proc[v] && pos[u] > pos[v]) {
+        return fail("order is not topological on processor " +
+                    std::to_string(sched.proc[v]));
+      }
+    }
+  }
+  std::vector<int> last_step(num_processors, -1);
+  for (NodeId v : sched.order) {
+    int& last = last_step[sched.proc[v]];
+    if (sched.superstep[v] < last) {
+      return fail("order decreases in supersteps on processor " +
+                  std::to_string(sched.proc[v]));
+    }
+    last = sched.superstep[v];
+  }
+  return {};
+}
+
+double bsp_cost(const ComputeDag& dag, const Architecture& arch,
+                const BspSchedule& sched) {
+  const int S = sched.num_supersteps();
+  const int P = arch.num_processors;
+  if (S == 0) return 0;
+  std::vector<std::vector<double>> work(S, std::vector<double>(P, 0.0));
+  std::vector<std::vector<double>> sent(S, std::vector<double>(P, 0.0));
+  std::vector<std::vector<double>> recv(S, std::vector<double>(P, 0.0));
+
+  // (value, consumer processor) pairs already counted.
+  std::set<std::pair<NodeId, int>> delivered;
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (dag.is_source(v)) continue;
+    work[sched.superstep[v]][sched.proc[v]] += dag.omega(v);
+    for (NodeId u : dag.parents(v)) {
+      const int pv = sched.proc[v];
+      if (dag.is_source(u)) {
+        if (delivered.emplace(u, pv).second) {
+          // Loaded from slow memory before the consumer's superstep; counted
+          // as received in the consumer's first-use superstep.
+          recv[sched.superstep[v]][pv] += dag.mu(u);
+        }
+        continue;
+      }
+      if (sched.proc[u] != pv && delivered.emplace(u, pv).second) {
+        sent[sched.superstep[u]][sched.proc[u]] += dag.mu(u);
+        recv[sched.superstep[u]][pv] += dag.mu(u);
+      }
+    }
+  }
+  double total = 0;
+  for (int s = 0; s < S; ++s) {
+    double max_work = 0, max_h = 0;
+    for (int p = 0; p < P; ++p) {
+      max_work = std::max(max_work, work[s][p]);
+      max_h = std::max(max_h, sent[s][p] + recv[s][p]);
+    }
+    total += max_work + arch.g * max_h + arch.L;
+  }
+  return total;
+}
+
+}  // namespace mbsp

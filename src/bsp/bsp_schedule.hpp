@@ -1,0 +1,53 @@
+#pragma once
+// Memory-oblivious BSP schedules: stage 1 of the two-stage approach
+// (Section 4). A BSP schedule assigns every non-source node a processor
+// and a superstep; source nodes are data, loaded on demand by stage 2.
+//
+// Validity: for every edge (u, v) with u non-source, superstep(u) <
+// superstep(v) if the processors differ, superstep(u) <= superstep(v)
+// otherwise. `order` fixes the intra-superstep execution order that the
+// two-stage converter will follow (it must be topological per processor).
+
+#include <string>
+#include <vector>
+
+#include "src/model/instance.hpp"
+
+namespace mbsp {
+
+struct BspSchedule {
+  std::vector<int> proc;       ///< node -> processor (-1 for sources)
+  std::vector<int> superstep;  ///< node -> superstep (-1 for sources)
+  /// Global execution order over non-source nodes; per processor it must be
+  /// topological and nondecreasing in superstep.
+  std::vector<NodeId> order;
+
+  int num_supersteps() const;
+};
+
+struct BspValidation {
+  bool ok = true;
+  std::string error;
+  explicit operator bool() const { return ok; }
+};
+
+BspValidation validate_bsp(const ComputeDag& dag, int num_processors,
+                           const BspSchedule& sched);
+
+/// BSP cost in an h-relation model: per superstep, max_p work +
+/// g * max_p (sent_p + received_p) + L. A non-source value crossing
+/// processors is sent once per (value, consumer processor); source values
+/// are received once per (value, consuming processor).
+double bsp_cost(const ComputeDag& dag, const Architecture& arch,
+                const BspSchedule& sched);
+
+/// Base interface so benches can swap stage-1 schedulers uniformly.
+class BspScheduler {
+ public:
+  virtual ~BspScheduler() = default;
+  virtual BspSchedule schedule(const ComputeDag& dag,
+                               const Architecture& arch) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace mbsp

@@ -1,0 +1,119 @@
+#include "src/bsp/cilk_scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "src/graph/topology.hpp"
+
+namespace mbsp {
+
+BspSchedule CilkScheduler::schedule(const ComputeDag& dag,
+                                    const Architecture& arch) {
+  const NodeId n = dag.num_nodes();
+  const int P = arch.num_processors;
+  Rng rng(seed_);
+
+  BspSchedule out;
+  out.proc.assign(n, -1);
+  out.superstep.assign(n, -1);
+
+  std::vector<int> waiting(n, 0);
+  std::vector<std::deque<NodeId>> deque_of(P);
+  {
+    std::vector<NodeId> initial;
+    for (NodeId v = 0; v < n; ++v) {
+      if (dag.is_source(v)) continue;
+      for (NodeId u : dag.parents(v)) {
+        if (!dag.is_source(u)) ++waiting[v];
+      }
+      if (waiting[v] == 0) initial.push_back(v);
+    }
+    // Initial ready tasks are dealt round-robin, as if spawned by a root.
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      deque_of[i % P].push_back(initial[i]);
+    }
+  }
+
+  // Event-driven simulation: worker p is busy with `running[p]` until
+  // `free_at[p]`; idle workers pop locally (back) or steal (front).
+  std::vector<double> free_at(P, 0.0);
+  std::vector<NodeId> running(P, kInvalidNode);
+  std::size_t remaining = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!dag.is_source(v)) ++remaining;
+  }
+
+  double clock = 0.0;
+  std::size_t done = 0;
+  while (done < remaining) {
+    // Dispatch work to every idle processor.
+    bool dispatched_any = false;
+    for (int p = 0; p < P; ++p) {
+      if (running[p] != kInvalidNode || free_at[p] > clock) continue;
+      NodeId task = kInvalidNode;
+      if (!deque_of[p].empty()) {
+        task = deque_of[p].back();
+        deque_of[p].pop_back();
+      } else {
+        // Steal attempts: random victims, oldest task first.
+        for (int attempt = 0; attempt < 2 * P && task == kInvalidNode;
+             ++attempt) {
+          const int victim = static_cast<int>(rng.index(P));
+          if (victim != p && !deque_of[victim].empty()) {
+            task = deque_of[victim].front();
+            deque_of[victim].pop_front();
+          }
+        }
+      }
+      if (task != kInvalidNode) {
+        running[p] = task;
+        free_at[p] = clock + std::max(dag.omega(task), 1e-9);
+        out.proc[task] = p;
+        out.order.push_back(task);
+        dispatched_any = true;
+      }
+    }
+    (void)dispatched_any;
+    // Advance to the next completion.
+    double next = std::numeric_limits<double>::infinity();
+    for (int p = 0; p < P; ++p) {
+      if (running[p] != kInvalidNode) next = std::min(next, free_at[p]);
+    }
+    clock = next;
+    for (int p = 0; p < P; ++p) {
+      if (running[p] == kInvalidNode || free_at[p] > clock) continue;
+      const NodeId finished = running[p];
+      running[p] = kInvalidNode;
+      ++done;
+      for (NodeId c : dag.children(finished)) {
+        if (--waiting[c] == 0) deque_of[p].push_back(c);
+      }
+    }
+  }
+
+  // Lift to supersteps: the minimum level consistent with cross-processor
+  // edges needing a superstep boundary and the per-processor execution
+  // order being nondecreasing.
+  std::vector<int> last_step(P, 0);
+  std::vector<int> pos(n, -1);
+  for (std::size_t i = 0; i < out.order.size(); ++i) {
+    pos[out.order[i]] = static_cast<int>(i);
+  }
+  for (NodeId v : out.order) {
+    int step = last_step[out.proc[v]];
+    for (NodeId u : dag.parents(v)) {
+      if (dag.is_source(u)) continue;
+      if (out.proc[u] == out.proc[v]) {
+        step = std::max(step, out.superstep[u]);
+      } else {
+        step = std::max(step, out.superstep[u] + 1);
+      }
+    }
+    out.superstep[v] = step;
+    last_step[out.proc[v]] = step;
+  }
+  return out;
+}
+
+}  // namespace mbsp

@@ -1,0 +1,27 @@
+#pragma once
+// Work-stealing scheduler in the style of Cilk (Blumofe & Leiserson):
+// an event-driven simulation of P workers with per-worker deques. A
+// finished node pushes its newly-ready children onto the local deque
+// (LIFO); idle workers steal the oldest task from a random victim.
+// The resulting processor assignment and execution order are then lifted
+// to a BSP schedule with the minimum number of supersteps consistent with
+// cross-processor dependencies. This is the paper's "practical" stage-1
+// baseline (combined with LRU in stage 2).
+
+#include "src/bsp/bsp_schedule.hpp"
+#include "src/util/rng.hpp"
+
+namespace mbsp {
+
+class CilkScheduler : public BspScheduler {
+ public:
+  explicit CilkScheduler(std::uint64_t seed = 1) : seed_(seed) {}
+
+  BspSchedule schedule(const ComputeDag& dag, const Architecture& arch) override;
+  std::string name() const override { return "cilk"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace mbsp

@@ -1,0 +1,53 @@
+#include "src/bsp/dfs_scheduler.hpp"
+
+#include <vector>
+
+namespace mbsp {
+
+BspSchedule DfsScheduler::schedule(const ComputeDag& dag,
+                                   const Architecture& arch) {
+  (void)arch;  // always runs on processor 0
+  const NodeId n = dag.num_nodes();
+  BspSchedule out;
+  out.proc.assign(n, -1);
+  out.superstep.assign(n, -1);
+
+  // Iterative DFS from each sink: a node is emitted once all its parents
+  // have been emitted (post-order over the reversed graph), which yields a
+  // topological order that dives along dependency chains. Unemitted
+  // parents are re-pushed even when already on the stack (duplicates pop
+  // harmlessly); suppressing them can livelock when a pending parent sits
+  // below the current node.
+  std::vector<char> emitted(n, 0);
+  std::vector<NodeId> stack;
+  auto visit = [&](NodeId root) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      if (emitted[v] || dag.is_source(v)) {
+        stack.pop_back();
+        continue;
+      }
+      bool parents_done = true;
+      for (NodeId u : dag.parents(v)) {
+        if (!dag.is_source(u) && !emitted[u]) {
+          parents_done = false;
+          stack.push_back(u);
+        }
+      }
+      if (parents_done) {
+        stack.pop_back();
+        emitted[v] = 1;
+        out.order.push_back(v);
+        out.proc[v] = 0;
+        out.superstep[v] = 0;
+      }
+    }
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    if (dag.is_sink(v) && !dag.is_source(v)) visit(v);
+  }
+  return out;
+}
+
+}  // namespace mbsp

@@ -1,0 +1,18 @@
+#pragma once
+// Single-processor depth-first scheduler. With P = 1 the MBSP problem is
+// the red-blue pebble game with compute costs; the paper uses a DFS
+// ordering + clairvoyant eviction as the (surprisingly strong) baseline.
+// The DFS emits a node as soon as possible after its last parent, which
+// gives good temporal locality for the cache stage.
+
+#include "src/bsp/bsp_schedule.hpp"
+
+namespace mbsp {
+
+class DfsScheduler : public BspScheduler {
+ public:
+  BspSchedule schedule(const ComputeDag& dag, const Architecture& arch) override;
+  std::string name() const override { return "dfs"; }
+};
+
+}  // namespace mbsp

@@ -1,0 +1,35 @@
+#pragma once
+// BSPg-style greedy list scheduler (after Papp et al. [36]): grows
+// supersteps one at a time; inside a superstep, ready nodes are assigned to
+// processors greedily, balancing work against communication by preferring
+// the processor that already holds the node's parents. A node whose parent
+// was computed in the *current* superstep on a *different* processor must
+// wait for the next superstep, which is what ends supersteps naturally.
+
+#include "src/bsp/bsp_schedule.hpp"
+
+namespace mbsp {
+
+class GreedyBspScheduler : public BspScheduler {
+ public:
+  struct Params {
+    /// Weight of parent locality (mu of local parents) in the assignment
+    /// score, relative to one unit of processor work.
+    double locality_weight = 2.0;
+    /// A processor may exceed the least-loaded processor's work by at most
+    /// this factor of the average node weight before it stops receiving
+    /// nodes in the current superstep.
+    double imbalance_slack = 4.0;
+  };
+
+  GreedyBspScheduler() = default;
+  explicit GreedyBspScheduler(Params params) : params_(params) {}
+
+  BspSchedule schedule(const ComputeDag& dag, const Architecture& arch) override;
+  std::string name() const override { return "bspg"; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace mbsp

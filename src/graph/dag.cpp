@@ -1,0 +1,73 @@
+#include "src/graph/dag.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace mbsp {
+
+NodeId ComputeDag::add_node(double omega, double mu) {
+  succ_.emplace_back();
+  pred_.emplace_back();
+  omega_.push_back(omega);
+  mu_.push_back(mu);
+  return static_cast<NodeId>(succ_.size() - 1);
+}
+
+void ComputeDag::add_edge(NodeId u, NodeId v) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes() && u != v);
+  if (std::find(succ_[u].begin(), succ_[u].end(), v) != succ_[u].end()) return;
+  succ_[u].push_back(v);
+  pred_[v].push_back(u);
+  ++num_edges_;
+}
+
+std::vector<NodeId> ComputeDag::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (is_source(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> ComputeDag::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (is_sink(v)) out.push_back(v);
+  }
+  return out;
+}
+
+double ComputeDag::total_omega() const {
+  double sum = 0;
+  for (double w : omega_) sum += w;
+  return sum;
+}
+
+double ComputeDag::total_mu() const {
+  double sum = 0;
+  for (double m : mu_) sum += m;
+  return sum;
+}
+
+std::string ComputeDag::to_dot() const {
+  std::ostringstream out;
+  out << "digraph \"" << name_ << "\" {\n";
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    out << "  n" << v << " [label=\"" << v << "\\nw=" << omega_[v]
+        << " m=" << mu_[v] << "\"];\n";
+  }
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : succ_[u]) out << "  n" << u << " -> n" << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void assign_random_memory_weights(ComputeDag& dag, Rng& rng, int lo, int hi) {
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    dag.set_mu(v, static_cast<double>(rng.uniform_int(lo, hi)));
+  }
+}
+
+}  // namespace mbsp

@@ -1,0 +1,71 @@
+#pragma once
+// Computational DAG with per-node compute weight (omega) and memory weight
+// (mu), as defined in Section 3 of the paper. Nodes represent operations;
+// an edge (u, v) means v consumes the output of u.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace mbsp {
+
+using NodeId = std::int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+/// Directed acyclic computational graph. Nodes are dense 0..n-1 ids.
+/// Acyclicity is the caller's responsibility at edge insertion; it is
+/// verified by `is_acyclic()` (tests do this for every generator).
+class ComputeDag {
+ public:
+  ComputeDag() = default;
+  explicit ComputeDag(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a node with compute weight `omega` and memory weight `mu`.
+  NodeId add_node(double omega = 1.0, double mu = 1.0);
+
+  /// Adds edge u -> v. Duplicate edges are ignored (idempotent).
+  void add_edge(NodeId u, NodeId v);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(succ_.size()); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  const std::vector<NodeId>& children(NodeId v) const { return succ_[v]; }
+  const std::vector<NodeId>& parents(NodeId v) const { return pred_[v]; }
+
+  double omega(NodeId v) const { return omega_[v]; }
+  double mu(NodeId v) const { return mu_[v]; }
+  void set_omega(NodeId v, double w) { omega_[v] = w; }
+  void set_mu(NodeId v, double m) { mu_[v] = m; }
+
+  bool is_source(NodeId v) const { return pred_[v].empty(); }
+  bool is_sink(NodeId v) const { return succ_[v].empty(); }
+
+  std::vector<NodeId> sources() const;
+  std::vector<NodeId> sinks() const;
+
+  double total_omega() const;
+  double total_mu() const;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Graphviz dot representation (node label: id, omega, mu).
+  std::string to_dot() const;
+
+ private:
+  std::string name_;
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::vector<double> omega_;
+  std::vector<double> mu_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Overwrites every node's memory weight with a uniform draw from
+/// {lo, ..., hi}; this is how the paper adds mu to the [36] dataset.
+void assign_random_memory_weights(ComputeDag& dag, Rng& rng, int lo = 1,
+                                  int hi = 5);
+
+}  // namespace mbsp

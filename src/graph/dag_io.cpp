@@ -1,0 +1,116 @@
+#include "src/graph/dag_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/graph/topology.hpp"
+
+namespace mbsp {
+
+namespace {
+
+std::string format_weight(double w) {
+  char buf[64];
+  // %.17g round-trips IEEE doubles; trim to plain form where possible.
+  std::snprintf(buf, sizeof(buf), "%.17g", w);
+  return buf;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::string dag_to_text(const ComputeDag& dag) {
+  std::ostringstream out;
+  out << "mbsp-dag v1\n";
+  out << "name " << dag.name() << '\n';
+  out << "nodes " << dag.num_nodes() << '\n';
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    out << format_weight(dag.omega(v)) << ' ' << format_weight(dag.mu(v))
+        << '\n';
+  }
+  out << "edges " << dag.num_edges() << '\n';
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    for (NodeId v : dag.children(u)) out << u << ' ' << v << '\n';
+  }
+  return out.str();
+}
+
+std::optional<ComputeDag> dag_from_text(const std::string& text,
+                                        std::string* error) {
+  std::istringstream in(text);
+  std::string token, version;
+  if (!(in >> token >> version) || token != "mbsp-dag" || version != "v1") {
+    fail(error, "missing 'mbsp-dag v1' header");
+    return std::nullopt;
+  }
+  if (!(in >> token) || token != "name") {
+    fail(error, "expected 'name'");
+    return std::nullopt;
+  }
+  in >> std::ws;
+  std::string name;
+  std::getline(in, name);
+  long long n = 0;
+  if (!(in >> token >> n) || token != "nodes" || n < 0) {
+    fail(error, "expected 'nodes <count>'");
+    return std::nullopt;
+  }
+  ComputeDag dag(name);
+  for (long long i = 0; i < n; ++i) {
+    double omega = 0, mu = 0;
+    if (!(in >> omega >> mu)) {
+      fail(error, "bad node weight line " + std::to_string(i));
+      return std::nullopt;
+    }
+    dag.add_node(omega, mu);
+  }
+  long long m = 0;
+  if (!(in >> token >> m) || token != "edges" || m < 0) {
+    fail(error, "expected 'edges <count>'");
+    return std::nullopt;
+  }
+  for (long long e = 0; e < m; ++e) {
+    long long u = 0, v = 0;
+    if (!(in >> u >> v) || u < 0 || v < 0 || u >= n || v >= n || u == v) {
+      fail(error, "bad edge line " + std::to_string(e));
+      return std::nullopt;
+    }
+    dag.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  if (static_cast<long long>(dag.num_edges()) != m) {
+    fail(error, "duplicate edges in input");
+    return std::nullopt;
+  }
+  if (!is_acyclic(dag)) {
+    fail(error, "edge set contains a cycle");
+    return std::nullopt;
+  }
+  return dag;
+}
+
+bool write_dag_file(const ComputeDag& dag, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << dag_to_text(dag);
+  return static_cast<bool>(out);
+}
+
+std::optional<ComputeDag> read_dag_file(const std::string& path,
+                                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return dag_from_text(buffer.str(), error);
+}
+
+}  // namespace mbsp

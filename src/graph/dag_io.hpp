@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text serialization for computational DAGs, so instances can be
+// exported, archived next to experiment results, and reloaded exactly.
+//
+// Format ("mbsp-dag v1"), whitespace-separated:
+//
+//   mbsp-dag v1
+//   name <string without newline>
+//   nodes <n>
+//   <omega> <mu>          # one line per node, id = line index
+//   edges <m>
+//   <u> <v>               # one line per edge
+//
+// Weights are printed with enough digits to round-trip doubles.
+
+#include <optional>
+#include <string>
+
+#include "src/graph/dag.hpp"
+
+namespace mbsp {
+
+std::string dag_to_text(const ComputeDag& dag);
+
+/// Parses the v1 format; returns std::nullopt (and fills *error if given)
+/// on malformed input, bad ids, or a cyclic edge set.
+std::optional<ComputeDag> dag_from_text(const std::string& text,
+                                        std::string* error = nullptr);
+
+bool write_dag_file(const ComputeDag& dag, const std::string& path);
+std::optional<ComputeDag> read_dag_file(const std::string& path,
+                                        std::string* error = nullptr);
+
+}  // namespace mbsp

@@ -1,0 +1,150 @@
+#include "src/graph/gadgets.hpp"
+
+#include <cassert>
+
+namespace mbsp {
+
+ZipperGadget zipper_gadget(int d, int m) {
+  assert(d >= 1 && m >= 1);
+  ZipperGadget out;
+  out.d = d;
+  out.m = m;
+  out.dag.set_name("zipper_d" + std::to_string(d) + "_m" + std::to_string(m));
+  for (int i = 0; i < d; ++i) out.h1.push_back(out.dag.add_node(1, 1));
+  for (int i = 0; i < d; ++i) out.h2.push_back(out.dag.add_node(1, 1));
+  for (int i = 1; i <= m; ++i) {
+    const NodeId vi = out.dag.add_node(1, 1);
+    const NodeId ui = out.dag.add_node(1, 1);
+    if (i >= 2) {
+      out.dag.add_edge(out.v.back(), vi);
+      out.dag.add_edge(out.u.back(), ui);
+    }
+    // Odd i: u_i from H1, v_i from H2; even i: swapped.
+    const auto& to_u = (i % 2 == 1) ? out.h1 : out.h2;
+    const auto& to_v = (i % 2 == 1) ? out.h2 : out.h1;
+    for (NodeId h : to_u) out.dag.add_edge(h, ui);
+    for (NodeId h : to_v) out.dag.add_edge(h, vi);
+    out.v.push_back(vi);
+    out.u.push_back(ui);
+  }
+  return out;
+}
+
+PartitionGadget lemma51_gadget(const std::vector<double>& weights) {
+  PartitionGadget out;
+  out.dag.set_name("lemma51_partition");
+  for (double a : weights) {
+    out.items.push_back(out.dag.add_node(0, a));
+    out.alpha += a;
+  }
+  out.v_prime = out.dag.add_node(0, out.alpha / 2);
+  // Negligibly small outputs for the compute nodes, as in the proof.
+  constexpr double kTinyMu = 1e-6;
+  out.w1 = out.dag.add_node(1, kTinyMu);
+  for (NodeId v : out.items) out.dag.add_edge(v, out.w1);
+  // w2 depends on w1 so the three computations are forced into the order
+  // w1 (items in cache), w2 (v' in cache), w3 (items again).
+  out.w2 = out.dag.add_node(1, kTinyMu);
+  out.dag.add_edge(out.v_prime, out.w2);
+  out.dag.add_edge(out.w1, out.w2);
+  // w3 depends on w2 so the three computations are forced into this order.
+  out.w3 = out.dag.add_node(1, kTinyMu);
+  out.dag.add_edge(out.w2, out.w3);
+  for (NodeId v : out.items) out.dag.add_edge(v, out.w3);
+  return out;
+}
+
+PairChainsGadget lemma53_gadget(int num_processors, double heavy_weight) {
+  assert(num_processors >= 2 && num_processors % 2 == 0);
+  PairChainsGadget out;
+  out.pairs = num_processors / 2;
+  out.heavy = heavy_weight;
+  out.dag.set_name("lemma53_pairs_P" + std::to_string(num_processors));
+  out.source = out.dag.add_node(0, 1);
+  out.u.resize(out.pairs);
+  out.v.resize(out.pairs);
+  for (int i = 0; i < out.pairs; ++i) {
+    for (int j = 0; j < out.pairs; ++j) {
+      const double w = (i == j) ? heavy_weight : 1.0;
+      const NodeId uij = out.dag.add_node(w, 1);
+      const NodeId vij = out.dag.add_node(w, 1);
+      if (j == 0) {
+        out.dag.add_edge(out.source, uij);
+        out.dag.add_edge(out.source, vij);
+      } else {
+        // Both stage-(j-1) nodes feed both stage-j nodes of the pair.
+        out.dag.add_edge(out.u[i][j - 1], uij);
+        out.dag.add_edge(out.v[i][j - 1], uij);
+        out.dag.add_edge(out.u[i][j - 1], vij);
+        out.dag.add_edge(out.v[i][j - 1], vij);
+      }
+      out.u[i].push_back(uij);
+      out.v[i].push_back(vij);
+    }
+  }
+  return out;
+}
+
+SyncGapGadget lemma54_gadget(double z) {
+  SyncGapGadget out;
+  out.z = z;
+  out.dag.set_name("lemma54_syncgap");
+  out.s = out.dag.add_node(0, 1);
+  out.u1 = out.dag.add_node(z - 1, 1);
+  out.u2 = out.dag.add_node(z - 1, 1);
+  out.u3 = out.dag.add_node(2 * z, 1);
+  out.u4 = out.dag.add_node(2 * z, 1);
+  out.w1 = out.dag.add_node(2 * z, 1);
+  out.w2 = out.dag.add_node(z - 1, 1);
+  out.w3 = out.dag.add_node(z - 1, 1);
+  out.w4 = out.dag.add_node(z - 1, 1);
+  out.w = out.dag.add_node(z - 1, 1);
+  out.dag.add_edge(out.s, out.u1);
+  out.dag.add_edge(out.s, out.u2);
+  out.dag.add_edge(out.s, out.w1);
+  out.dag.add_edge(out.s, out.w);
+  out.dag.add_edge(out.u1, out.u3);
+  out.dag.add_edge(out.u1, out.u4);
+  out.dag.add_edge(out.u2, out.u3);
+  out.dag.add_edge(out.u2, out.u4);
+  out.dag.add_edge(out.w1, out.w2);
+  out.dag.add_edge(out.w1, out.w3);
+  out.dag.add_edge(out.w1, out.w4);
+  return out;
+}
+
+RecomputeGadget lemma61_gadget(int d, int m) {
+  assert(d >= 2 && m >= 1);
+  RecomputeGadget out;
+  out.d = d;
+  out.m = m;
+  out.dag.set_name("lemma61_d" + std::to_string(d) + "_m" + std::to_string(m));
+  out.w = out.dag.add_node(0, 1);
+  for (int i = 0; i < d; ++i) {
+    const NodeId ui = out.dag.add_node(1, 1);
+    const NodeId upi = out.dag.add_node(1, 1);
+    out.dag.add_edge(out.w, ui);
+    out.dag.add_edge(out.w, upi);
+    if (i > 0) {
+      out.dag.add_edge(out.u.back(), ui);
+      out.dag.add_edge(out.u_prime.back(), upi);
+    }
+    out.u.push_back(ui);
+    out.u_prime.push_back(upi);
+  }
+  for (int i = 0; i <= m; ++i) {
+    const NodeId vi = out.dag.add_node(1, 1);
+    out.dag.add_edge(out.w, vi);
+    if (i == 0) {
+      out.dag.add_edge(out.u.back(), vi);
+      out.dag.add_edge(out.u_prime.back(), vi);
+    } else {
+      out.dag.add_edge(out.v.back(), vi);
+      out.dag.add_edge((i % 2 == 1) ? out.u.back() : out.u_prime.back(), vi);
+    }
+    out.v.push_back(vi);
+  }
+  return out;
+}
+
+}  // namespace mbsp

@@ -1,0 +1,75 @@
+#pragma once
+// Executable versions of the paper's proof constructions. Each gadget
+// returns the DAG plus the landmark node ids needed by tests/benches to
+// build the schedules the proofs describe.
+
+#include <vector>
+
+#include "src/graph/dag.hpp"
+
+namespace mbsp {
+
+/// Theorem 4.1 construction ("zipper"): two groups H1, H2 of `d` source
+/// nodes and two chains v_1..v_m, u_1..u_m. For odd i, u_i has edges from
+/// all of H1 and v_i from all of H2; for even i the roles swap. Chain edges
+/// v_i -> v_{i+1}, u_i -> u_{i+1}. Uniform weights omega = mu = 1.
+/// Intended parameters: P = 2, r = d + 2, L = 0.
+struct ZipperGadget {
+  ComputeDag dag;
+  std::vector<NodeId> h1, h2;  // source groups
+  std::vector<NodeId> v, u;    // the two chains, index 0 is v_1 / u_1
+  int d = 0, m = 0;
+};
+ZipperGadget zipper_gadget(int d, int m);
+
+/// Lemma 5.1 construction (weak NP-hardness of memory management, P = 1):
+/// sources v_1..v_m with memory weights a_1..a_m, plus v' with weight
+/// alpha/2 (alpha = sum a_i); w1 and w3 consume all v_i, w2 consumes v'.
+/// Cache r = alpha. The optimal I/O cost is 2*alpha iff a subset of the
+/// a_i sums to exactly alpha/2.
+struct PartitionGadget {
+  ComputeDag dag;
+  std::vector<NodeId> items;  // v_1..v_m
+  NodeId v_prime = kInvalidNode;
+  NodeId w1 = kInvalidNode, w2 = kInvalidNode, w3 = kInvalidNode;
+  double alpha = 0;
+};
+PartitionGadget lemma51_gadget(const std::vector<double>& weights);
+
+/// Lemma 5.3 construction: P/2 processor pairs; pair i has a chain of
+/// P/2 stages of node pairs (u_{i,j}, v_{i,j}); stage j == i has compute
+/// weight Z, all other stages weight 1. r effectively unlimited, g ~ 0.
+/// Async-optimal scheduling is a P/2 - eps factor worse synchronously.
+struct PairChainsGadget {
+  ComputeDag dag;
+  NodeId source = kInvalidNode;
+  // u[i][j] / v[i][j]: pair i in [P/2], stage j in [P/2].
+  std::vector<std::vector<NodeId>> u, v;
+  int pairs = 0;
+  double heavy = 0;
+};
+PairChainsGadget lemma53_gadget(int num_processors, double heavy_weight);
+
+/// Lemma 5.4 construction (sync optimum is 4/3 - eps worse async):
+/// u1,u2 (omega Z-1) -> u3,u4 (omega 2Z); w1 (omega 2Z) -> w2,w3,w4
+/// (omega Z-1); isolated w (omega Z-1); artificial source s. P = 5.
+struct SyncGapGadget {
+  ComputeDag dag;
+  NodeId s, u1, u2, u3, u4, w1, w2, w3, w4, w;
+  double z = 0;
+};
+SyncGapGadget lemma54_gadget(double z);
+
+/// Lemma 6.1 construction: chains (u_1..u_d) and (u'_1..u'_d) feeding an
+/// alternating chain v_0..v_m, plus a source w with an edge to every other
+/// node; r = 4. With g >= d, recomputing a u-chain beats one load, but
+/// needs d-1 extra (unmergeable) steps.
+struct RecomputeGadget {
+  ComputeDag dag;
+  NodeId w = kInvalidNode;
+  std::vector<NodeId> u, u_prime, v;  // v[0] is v_0
+  int d = 0, m = 0;
+};
+RecomputeGadget lemma61_gadget(int d, int m);
+
+}  // namespace mbsp

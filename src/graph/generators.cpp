@@ -1,0 +1,417 @@
+#include "src/graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mbsp {
+
+namespace {
+// Compute weights by operation kind, loosely following the granularity of
+// the [36] dataset (coarse ops are an order of magnitude heavier).
+constexpr double kMul = 1, kAdd = 1, kScalar = 1, kDist = 2, kSelect = 2;
+constexpr double kCoarseMatvec = 8, kCoarseDot = 3, kCoarseAxpy = 2;
+}  // namespace
+
+std::vector<std::vector<int>> random_sparse_pattern(int n, int avg_nnz,
+                                                    Rng& rng) {
+  std::vector<std::vector<int>> pattern(n);
+  for (int i = 0; i < n; ++i) {
+    auto& row = pattern[i];
+    row.push_back(i);  // diagonal keeps iterated products connected
+    const int extras =
+        std::max(0, avg_nnz - 1 + static_cast<int>(rng.uniform_int(-1, 1)));
+    for (int k = 0; k < extras && static_cast<int>(row.size()) < n; ++k) {
+      int col = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      while (std::find(row.begin(), row.end(), col) != row.end()) {
+        col = (col + 1) % n;
+      }
+      row.push_back(col);
+    }
+    std::sort(row.begin(), row.end());
+  }
+  return pattern;
+}
+
+NodeId add_reduction_tree(ComputeDag& dag, std::vector<NodeId> inputs,
+                          double omega_add, double mu_add) {
+  assert(!inputs.empty());
+  while (inputs.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((inputs.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < inputs.size(); i += 2) {
+      const NodeId sum = dag.add_node(omega_add, mu_add);
+      dag.add_edge(inputs[i], sum);
+      dag.add_edge(inputs[i + 1], sum);
+      next.push_back(sum);
+    }
+    if (inputs.size() % 2 == 1) next.push_back(inputs.back());
+    inputs = std::move(next);
+  }
+  return inputs.front();
+}
+
+std::vector<NodeId> add_spmv(ComputeDag& dag,
+                             const std::vector<std::vector<int>>& pattern,
+                             const std::vector<NodeId>& x) {
+  std::vector<NodeId> y;
+  y.reserve(pattern.size());
+  for (const auto& row : pattern) {
+    std::vector<NodeId> terms;
+    terms.reserve(row.size());
+    for (int col : row) {
+      const NodeId mul = dag.add_node(kMul, 1);
+      dag.add_edge(x[col], mul);
+      terms.push_back(mul);
+    }
+    y.push_back(add_reduction_tree(dag, std::move(terms), kAdd, 1));
+  }
+  return y;
+}
+
+ComputeDag spmv_dag(int n, int avg_nnz, Rng& rng, std::string name) {
+  ComputeDag dag(std::move(name));
+  const auto pattern = random_sparse_pattern(n, avg_nnz, rng);
+  std::vector<NodeId> x;
+  for (int i = 0; i < n; ++i) x.push_back(dag.add_node(0, 1));
+  add_spmv(dag, pattern, x);
+  return dag;
+}
+
+ComputeDag iterated_spmv_dag(int n, int iterations, int avg_nnz, Rng& rng,
+                             std::string name) {
+  ComputeDag dag(std::move(name));
+  const auto pattern = random_sparse_pattern(n, avg_nnz, rng);
+  std::vector<NodeId> x;
+  for (int i = 0; i < n; ++i) x.push_back(dag.add_node(0, 1));
+  for (int k = 0; k < iterations; ++k) x = add_spmv(dag, pattern, x);
+  return dag;
+}
+
+ComputeDag cg_dag(int n, int iterations, int avg_nnz, Rng& rng,
+                  std::string name) {
+  ComputeDag dag(std::move(name));
+  const auto pattern = random_sparse_pattern(n, avg_nnz, rng);
+  // Sources: the current solution x, residual r and direction p.
+  std::vector<NodeId> x, r, p;
+  for (int i = 0; i < n; ++i) x.push_back(dag.add_node(0, 1));
+  for (int i = 0; i < n; ++i) r.push_back(dag.add_node(0, 1));
+  for (int i = 0; i < n; ++i) p.push_back(dag.add_node(0, 1));
+  // rho = r . r
+  auto dot = [&](const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+    std::vector<NodeId> terms;
+    for (int i = 0; i < n; ++i) {
+      const NodeId mul = dag.add_node(kMul, 1);
+      dag.add_edge(a[i], mul);
+      if (b[i] != a[i]) dag.add_edge(b[i], mul);
+      terms.push_back(mul);
+    }
+    return add_reduction_tree(dag, std::move(terms), kAdd, 1);
+  };
+  NodeId rho = dot(r, r);
+  for (int k = 0; k < iterations; ++k) {
+    const auto q = add_spmv(dag, pattern, p);  // q = A p
+    const NodeId pq = dot(p, q);
+    const NodeId alpha = dag.add_node(kScalar, 1);  // alpha = rho / (p.q)
+    dag.add_edge(rho, alpha);
+    dag.add_edge(pq, alpha);
+    std::vector<NodeId> x_next, r_next;
+    for (int i = 0; i < n; ++i) {
+      const NodeId xi = dag.add_node(kAdd, 1);  // x += alpha p
+      dag.add_edge(x[i], xi);
+      dag.add_edge(p[i], xi);
+      dag.add_edge(alpha, xi);
+      x_next.push_back(xi);
+      const NodeId ri = dag.add_node(kAdd, 1);  // r -= alpha q
+      dag.add_edge(r[i], ri);
+      dag.add_edge(q[i], ri);
+      dag.add_edge(alpha, ri);
+      r_next.push_back(ri);
+    }
+    const NodeId rho_next = dot(r_next, r_next);
+    const NodeId beta = dag.add_node(kScalar, 1);  // beta = rho' / rho
+    dag.add_edge(rho_next, beta);
+    dag.add_edge(rho, beta);
+    std::vector<NodeId> p_next;
+    for (int i = 0; i < n; ++i) {
+      const NodeId pi = dag.add_node(kAdd, 1);  // p = r + beta p
+      dag.add_edge(r_next[i], pi);
+      dag.add_edge(p[i], pi);
+      dag.add_edge(beta, pi);
+      p_next.push_back(pi);
+    }
+    x = std::move(x_next);
+    r = std::move(r_next);
+    p = std::move(p_next);
+    rho = rho_next;
+  }
+  return dag;
+}
+
+ComputeDag knn_dag(int refs, int queries, int dims, Rng& rng,
+                   std::string name) {
+  (void)rng;  // structure is deterministic; kept for interface symmetry
+  ComputeDag dag(std::move(name));
+  std::vector<NodeId> ref_nodes, query_nodes;
+  for (int i = 0; i < refs; ++i) ref_nodes.push_back(dag.add_node(0, 1));
+  for (int q = 0; q < queries; ++q) query_nodes.push_back(dag.add_node(0, 1));
+  for (int q = 0; q < queries; ++q) {
+    std::vector<NodeId> dists;
+    for (int i = 0; i < refs; ++i) {
+      std::vector<NodeId> coords;
+      for (int d = 0; d < dims; ++d) {
+        const NodeId term = dag.add_node(kDist, 1);  // (x_d - y_d)^2
+        dag.add_edge(ref_nodes[i], term);
+        dag.add_edge(query_nodes[q], term);
+        coords.push_back(term);
+      }
+      dists.push_back(add_reduction_tree(dag, std::move(coords), kAdd, 1));
+    }
+    const NodeId nearest = add_reduction_tree(dag, std::move(dists), kAdd, 1);
+    const NodeId select = dag.add_node(kSelect, 1);
+    dag.add_edge(nearest, select);
+  }
+  return dag;
+}
+
+ComputeDag bicgstab_dag(int iterations) {
+  ComputeDag dag("bicgstab");
+  const NodeId b = dag.add_node(0, 1);
+  const NodeId x0 = dag.add_node(0, 1);
+  NodeId r = dag.add_node(kCoarseAxpy, 1);  // r0 = b - A x0
+  dag.add_edge(b, r);
+  dag.add_edge(x0, r);
+  const NodeId r_hat = dag.add_node(kScalar, 1);  // shadow residual
+  dag.add_edge(r, r_hat);
+  NodeId p = dag.add_node(kCoarseAxpy, 1);
+  dag.add_edge(r, p);
+  NodeId rho = dag.add_node(kCoarseDot, 1);  // rho = (r_hat, r)
+  dag.add_edge(r_hat, rho);
+  dag.add_edge(r, rho);
+  NodeId x = x0;
+  for (int k = 0; k < iterations; ++k) {
+    const NodeId v = dag.add_node(kCoarseMatvec, 1);  // v = A p
+    dag.add_edge(p, v);
+    const NodeId rhv = dag.add_node(kCoarseDot, 1);  // (r_hat, v)
+    dag.add_edge(r_hat, rhv);
+    dag.add_edge(v, rhv);
+    const NodeId alpha = dag.add_node(kScalar, 1);
+    dag.add_edge(rho, alpha);
+    dag.add_edge(rhv, alpha);
+    const NodeId s = dag.add_node(kCoarseAxpy, 1);  // s = r - alpha v
+    dag.add_edge(r, s);
+    dag.add_edge(alpha, s);
+    dag.add_edge(v, s);
+    const NodeId t = dag.add_node(kCoarseMatvec, 1);  // t = A s
+    dag.add_edge(s, t);
+    const NodeId ts = dag.add_node(kCoarseDot, 1);
+    dag.add_edge(t, ts);
+    dag.add_edge(s, ts);
+    const NodeId tt = dag.add_node(kCoarseDot, 1);
+    dag.add_edge(t, tt);
+    const NodeId omega = dag.add_node(kScalar, 1);  // omega = (t,s)/(t,t)
+    dag.add_edge(ts, omega);
+    dag.add_edge(tt, omega);
+    const NodeId x_next = dag.add_node(kCoarseAxpy, 1);
+    dag.add_edge(x, x_next);
+    dag.add_edge(alpha, x_next);
+    dag.add_edge(p, x_next);
+    dag.add_edge(omega, x_next);
+    dag.add_edge(s, x_next);
+    const NodeId r_next = dag.add_node(kCoarseAxpy, 1);  // r = s - omega t
+    dag.add_edge(s, r_next);
+    dag.add_edge(omega, r_next);
+    dag.add_edge(t, r_next);
+    const NodeId rho_next = dag.add_node(kCoarseDot, 1);
+    dag.add_edge(r_hat, rho_next);
+    dag.add_edge(r_next, rho_next);
+    const NodeId beta = dag.add_node(kScalar, 1);
+    dag.add_edge(rho_next, beta);
+    dag.add_edge(rho, beta);
+    dag.add_edge(alpha, beta);
+    dag.add_edge(omega, beta);
+    const NodeId p_next = dag.add_node(kCoarseAxpy, 1);
+    dag.add_edge(r_next, p_next);
+    dag.add_edge(beta, p_next);
+    dag.add_edge(p, p_next);
+    dag.add_edge(omega, p_next);
+    dag.add_edge(v, p_next);
+    x = x_next;
+    r = r_next;
+    p = p_next;
+    rho = rho_next;
+  }
+  return dag;
+}
+
+ComputeDag kmeans_dag(int blocks, int clusters, int iterations) {
+  ComputeDag dag("k-means");
+  std::vector<NodeId> data, centroids;
+  for (int b = 0; b < blocks; ++b) data.push_back(dag.add_node(0, 1));
+  for (int c = 0; c < clusters; ++c) centroids.push_back(dag.add_node(0, 1));
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<NodeId> partials;
+    for (int b = 0; b < blocks; ++b) {
+      const NodeId assign = dag.add_node(6, 1);  // assign block to clusters
+      dag.add_edge(data[b], assign);
+      for (NodeId c : centroids) dag.add_edge(c, assign);
+      const NodeId partial = dag.add_node(3, 1);  // per-block partial sums
+      dag.add_edge(assign, partial);
+      partials.push_back(partial);
+    }
+    std::vector<NodeId> next_centroids;
+    for (int c = 0; c < clusters; ++c) {
+      const NodeId update = dag.add_node(2, 1);
+      for (NodeId partial : partials) dag.add_edge(partial, update);
+      next_centroids.push_back(update);
+    }
+    centroids = std::move(next_centroids);
+  }
+  return dag;
+}
+
+ComputeDag pregel_dag(int blocks, int supersteps, Rng& rng, std::string name) {
+  ComputeDag dag(std::move(name));
+  // Random block adjacency, reused every superstep (it is the graph's
+  // partition structure, which does not change between supersteps).
+  std::vector<std::vector<int>> neighbours(blocks);
+  for (int b = 0; b < blocks; ++b) {
+    neighbours[b].push_back((b + 1) % blocks);
+    const int extra = 1 + static_cast<int>(rng.index(2));
+    for (int e = 0; e < extra; ++e) {
+      const int nb = static_cast<int>(rng.index(blocks));
+      if (nb != b) neighbours[b].push_back(nb);
+    }
+  }
+  std::vector<NodeId> state;
+  for (int b = 0; b < blocks; ++b) state.push_back(dag.add_node(0, 1));
+  for (int s = 0; s < supersteps; ++s) {
+    std::vector<NodeId> computed, gathered;
+    for (int b = 0; b < blocks; ++b) {
+      const NodeId vp = dag.add_node(4, 1);  // vertex program over block b
+      dag.add_edge(state[b], vp);
+      computed.push_back(vp);
+    }
+    for (int b = 0; b < blocks; ++b) {
+      const NodeId gather = dag.add_node(2, 1);  // aggregate inbox of b
+      dag.add_edge(computed[b], gather);
+      for (int nb : neighbours[b]) dag.add_edge(computed[nb], gather);
+      gathered.push_back(gather);
+    }
+    state = std::move(gathered);
+  }
+  return dag;
+}
+
+ComputeDag pagerank_dag(int blocks, int iterations, Rng& rng) {
+  auto dag = pregel_dag(blocks, iterations, rng, "simple_pagerank");
+  return dag;
+}
+
+ComputeDag snni_dag(int blocks, int layers, Rng& rng) {
+  ComputeDag dag("snni_graphchall.");
+  std::vector<NodeId> activation;
+  for (int b = 0; b < blocks; ++b) activation.push_back(dag.add_node(0, 1));
+  for (int layer = 0; layer < layers; ++layer) {
+    std::vector<NodeId> next;
+    for (int b = 0; b < blocks; ++b) {
+      const NodeId matmul = dag.add_node(8, 1);  // block-sparse product
+      dag.add_edge(activation[b], matmul);
+      const int fan_in = 2 + static_cast<int>(rng.index(2));
+      for (int e = 0; e < fan_in; ++e) {
+        const int src = static_cast<int>(rng.index(blocks));
+        if (src != b) dag.add_edge(activation[src], matmul);
+      }
+      const NodeId relu = dag.add_node(2, 1);  // bias + ReLU
+      dag.add_edge(matmul, relu);
+      next.push_back(relu);
+    }
+    activation = std::move(next);
+  }
+  return dag;
+}
+
+ComputeDag random_layered_dag(int nodes, int width, Rng& rng) {
+  ComputeDag dag("random_layered");
+  std::vector<std::vector<NodeId>> layers;
+  int made = 0;
+  while (made < nodes) {
+    const int in_layer =
+        std::min(nodes - made,
+                 std::max(1, width + static_cast<int>(rng.uniform_int(-1, 1))));
+    std::vector<NodeId> layer;
+    for (int i = 0; i < in_layer; ++i) {
+      const NodeId v =
+          dag.add_node(static_cast<double>(rng.uniform_int(1, 4)), 1);
+      if (!layers.empty()) {
+        const int fan_in = 1 + static_cast<int>(rng.index(3));
+        for (int e = 0; e < fan_in; ++e) {
+          // Parent from one of the previous (up to two) layers.
+          const auto& src_layer =
+              layers[layers.size() - 1 -
+                     (layers.size() > 1 ? rng.index(2) : 0)];
+          dag.add_edge(src_layer[rng.index(src_layer.size())], v);
+        }
+      }
+      layer.push_back(v);
+    }
+    made += in_layer;
+    layers.push_back(std::move(layer));
+  }
+  return dag;
+}
+
+namespace {
+/// Each instance draws from its own stream so that tuning one generator's
+/// parameters cannot shift the structure of the others.
+Rng instance_rng(std::uint64_t seed, std::uint64_t index) {
+  return Rng(seed * 0x9E3779B97F4A7C15ull + (index + 1) * 0xD1B54A32D192ED03ull);
+}
+}  // namespace
+
+std::vector<ComputeDag> tiny_dataset(std::uint64_t seed) {
+  std::vector<ComputeDag> out;
+  auto rng = [&](std::uint64_t i) { return instance_rng(seed, i); };
+  Rng r2 = rng(2), r3 = rng(3), r4 = rng(4), r5 = rng(5), r6 = rng(6),
+      r7 = rng(7), r8 = rng(8), r9 = rng(9), r10 = rng(10), r11 = rng(11),
+      r12 = rng(12), r13 = rng(13), r14 = rng(14);
+  out.push_back(bicgstab_dag(3));
+  out.push_back(kmeans_dag(4, 4, 3));
+  out.push_back(pregel_dag(5, 4, r2, "pregel"));
+  out.push_back(spmv_dag(6, 5, r3, "spmv_N6"));
+  out.push_back(spmv_dag(7, 5, r4, "spmv_N7"));
+  out.push_back(spmv_dag(10, 3, r5, "spmv_N10"));
+  out.push_back(cg_dag(2, 2, 2, r6, "CG_N2_K2"));
+  out.push_back(cg_dag(3, 1, 2, r7, "CG_N3_K1"));
+  out.push_back(cg_dag(4, 1, 2, r8, "CG_N4_K1"));
+  out.push_back(iterated_spmv_dag(4, 2, 3, r9, "exp_N4_K2"));
+  out.push_back(iterated_spmv_dag(5, 3, 3, r10, "exp_N5_K3"));
+  out.push_back(iterated_spmv_dag(6, 4, 2, r11, "exp_N6_K4"));
+  out.push_back(knn_dag(4, 3, 2, r12, "kNN_N4_K3"));
+  out.push_back(knn_dag(5, 3, 2, r13, "kNN_N5_K3"));
+  out.push_back(knn_dag(6, 4, 1, r14, "kNN_N6_K4"));
+  Rng weights = instance_rng(seed, 99);
+  for (auto& dag : out) assign_random_memory_weights(dag, weights);
+  return out;
+}
+
+std::vector<ComputeDag> small_dataset(std::uint64_t seed) {
+  std::vector<ComputeDag> out;
+  auto rng = [&](std::uint64_t i) { return instance_rng(seed, 100 + i); };
+  Rng r0 = rng(0), r1 = rng(1), r2 = rng(2), r3 = rng(3), r4 = rng(4),
+      r5 = rng(5), r6 = rng(6), r7 = rng(7), r8 = rng(8), r9 = rng(9);
+  out.push_back(pagerank_dag(16, 8, r0));
+  out.push_back(snni_dag(16, 9, r1));
+  out.push_back(spmv_dag(25, 6, r2, "spmv_N25"));
+  out.push_back(spmv_dag(35, 6, r3, "spmv_N35"));
+  out.push_back(cg_dag(5, 4, 3, r4, "CG_N5_K4"));
+  out.push_back(cg_dag(7, 2, 6, r5, "CG_N7_K2"));
+  out.push_back(iterated_spmv_dag(10, 8, 3, r6, "exp_N10_K8"));
+  out.push_back(iterated_spmv_dag(15, 4, 3, r7, "exp_N15_K4"));
+  out.push_back(knn_dag(10, 8, 2, r8, "kNN_N10_K8"));
+  out.push_back(knn_dag(15, 4, 3, r9, "kNN_N15_K4"));
+  Rng weights = instance_rng(seed, 199);
+  for (auto& dag : out) assign_random_memory_weights(dag, weights);
+  return out;
+}
+
+}  // namespace mbsp

@@ -1,0 +1,91 @@
+#pragma once
+// Instance generators reproducing the structure of the computational-DAG
+// benchmark of Papp et al. [36] used in the paper's experiments:
+//
+//  * fine-grained DAGs: SpMV (y = Ax over a random sparse matrix), iterated
+//    SpMV ("exp", x_{k+1} = A x_k), conjugate gradient (CG), and k-NN;
+//  * coarse-grained task graphs: BiCGSTAB, k-means, Pregel (tiny dataset),
+//    simple_pagerank and snni_graphchallenge (small dataset).
+//
+// The original dataset files are not redistributable here, so these
+// generators rebuild each family at the same node counts (tiny: 40-80,
+// small: 264-464). Compute weights reflect operation kinds; memory weights
+// are assigned afterwards as uniform {1..5} draws, as in the paper.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/dag.hpp"
+
+namespace mbsp {
+
+/// Random sparse pattern: `n` rows, each with ~avg_nnz distinct columns
+/// in [0, n) including the diagonal (so iterated products stay connected).
+std::vector<std::vector<int>> random_sparse_pattern(int n, int avg_nnz,
+                                                    Rng& rng);
+
+/// Binary reduction tree over `inputs`; returns the root node. A single
+/// input is returned unchanged. New nodes get weight (omega_add, mu_add).
+NodeId add_reduction_tree(ComputeDag& dag, std::vector<NodeId> inputs,
+                          double omega_add, double mu_add);
+
+/// Appends one SpMV y = A x to `dag`: one multiply node per nonzero plus a
+/// reduction tree per row. Returns the n row results.
+std::vector<NodeId> add_spmv(ComputeDag& dag,
+                             const std::vector<std::vector<int>>& pattern,
+                             const std::vector<NodeId>& x);
+
+/// Fine-grained SpMV DAG: n sources (the input vector), one SpMV.
+ComputeDag spmv_dag(int n, int avg_nnz, Rng& rng, std::string name);
+
+/// Iterated SpMV ("exp" instances): `iterations` successive products with
+/// the same matrix pattern.
+ComputeDag iterated_spmv_dag(int n, int iterations, int avg_nnz, Rng& rng,
+                             std::string name);
+
+/// Fine-grained conjugate gradient: per iteration one SpMV, two dot
+/// products (reduction trees), two axpys and the direction update.
+ComputeDag cg_dag(int n, int iterations, int avg_nnz, Rng& rng,
+                  std::string name);
+
+/// Fine-grained k-nearest-neighbours: per (query, reference) pair `dims`
+/// coordinate terms + a distance reduction, then a per-query min-reduction
+/// and selection node.
+ComputeDag knn_dag(int refs, int queries, int dims, Rng& rng,
+                   std::string name);
+
+/// Coarse-grained BiCGSTAB task graph (`iterations` solver iterations).
+ComputeDag bicgstab_dag(int iterations = 3);
+
+/// Coarse-grained k-means over `blocks` data blocks, `clusters` centroids.
+ComputeDag kmeans_dag(int blocks = 4, int clusters = 4, int iterations = 3);
+
+/// Coarse-grained Pregel-style vertex-block computation with random block
+/// connectivity re-used across supersteps.
+ComputeDag pregel_dag(int blocks, int supersteps, Rng& rng,
+                      std::string name = "pregel");
+
+/// Coarse-grained block PageRank (Pregel-like, denser connectivity).
+ComputeDag pagerank_dag(int blocks, int iterations, Rng& rng);
+
+/// Coarse-grained sparse-NN inference (GraphChallenge SNNI style): layered
+/// block-sparse matrix products with bias+ReLU nodes.
+ComputeDag snni_dag(int blocks, int layers, Rng& rng);
+
+/// Random layered DAG for property tests: `nodes` nodes in layers of
+/// ~`width`, each non-first-layer node drawing 1..3 parents from the
+/// previous few layers. Always acyclic.
+ComputeDag random_layered_dag(int nodes, int width, Rng& rng);
+
+/// The 15 tiny instances (40-80 nodes) in the paper's Table 1 order:
+/// bicgstab, k-means, pregel, spmv_N6/7/10, CG_N2_K2/N3_K1/N4_K1,
+/// exp_N4_K2/N5_K3/N6_K4, kNN_N4_K3/N5_K3/N6_K4. Memory weights already
+/// randomized from `seed`.
+std::vector<ComputeDag> tiny_dataset(std::uint64_t seed);
+
+/// The 10 small instances (264-464 nodes) of Table 2: simple_pagerank,
+/// snni_graphchallenge, spmv_N25/N35, CG_N5_K4/N7_K2, exp_N10_K8/N15_K4,
+/// kNN_N10_K8/N15_K4.
+std::vector<ComputeDag> small_dataset(std::uint64_t seed);
+
+}  // namespace mbsp

@@ -1,0 +1,172 @@
+#include "src/holistic/divide_conquer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "src/bsp/greedy_scheduler.hpp"
+#include "src/graph/topology.hpp"
+#include "src/model/cost.hpp"
+#include "src/twostage/two_stage.hpp"
+
+namespace mbsp {
+
+namespace {
+
+/// A part as a scheduling subproblem: the part's nodes plus its external
+/// inputs (parents outside the part), which become sources of the sub-DAG.
+struct SubProblem {
+  std::vector<NodeId> globals;   // sub node id -> global node id
+  ComputeDag dag;
+  std::vector<int> procs;        // global processor ids assigned
+};
+
+SubProblem make_subproblem(const ComputeDag& dag,
+                           const std::vector<NodeId>& part_nodes) {
+  SubProblem sub;
+  std::vector<char> in_part(dag.num_nodes(), 0);
+  for (NodeId v : part_nodes) in_part[v] = 1;
+  // External inputs first (sources of the sub-DAG), then the part's nodes.
+  std::vector<char> added(dag.num_nodes(), 0);
+  for (NodeId v : part_nodes) {
+    for (NodeId u : dag.parents(v)) {
+      if (!in_part[u] && !added[u]) {
+        added[u] = 1;
+        sub.globals.push_back(u);
+      }
+    }
+  }
+  const std::size_t num_external = sub.globals.size();
+  for (NodeId v : part_nodes) sub.globals.push_back(v);
+  std::vector<NodeId> local(dag.num_nodes(), kInvalidNode);
+  sub.dag.set_name(dag.name() + "#part");
+  for (std::size_t i = 0; i < sub.globals.size(); ++i) {
+    const NodeId v = sub.globals[i];
+    // External inputs keep their memory weight but are not computed.
+    const double omega = i < num_external ? 0.0 : dag.omega(v);
+    local[v] = sub.dag.add_node(omega, dag.mu(v));
+  }
+  for (NodeId v : part_nodes) {
+    for (NodeId u : dag.parents(v)) {
+      sub.dag.add_edge(local[u], local[v]);
+    }
+  }
+  return sub;
+}
+
+}  // namespace
+
+DivideConquerResult divide_conquer_schedule(
+    const MbspInstance& inst, const DivideConquerOptions& options) {
+  const ComputeDag& dag = inst.dag;
+  const int P = inst.arch.num_processors;
+  DivideConquerResult result;
+
+  const auto parts =
+      recursive_acyclic_partition(dag, options.max_part_size,
+                                  options.partition);
+  result.num_parts = parts.size();
+
+  // Wave packing: a part is ready when all its quotient predecessors have
+  // been scheduled; each wave takes up to P mutually independent ready
+  // parts and splits the processors proportionally to total work.
+  std::vector<int> part_of(dag.num_nodes(), -1);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (NodeId v : parts[i]) part_of[v] = static_cast<int>(i);
+  }
+  const ComputeDag quotient =
+      quotient_graph(dag, part_of, static_cast<int>(parts.size()));
+  std::vector<int> waiting(parts.size(), 0);
+  for (NodeId q = 0; q < quotient.num_nodes(); ++q) {
+    waiting[q] = static_cast<int>(quotient.parents(q).size());
+  }
+  std::vector<int> ready;
+  for (NodeId q = 0; q < quotient.num_nodes(); ++q) {
+    if (waiting[q] == 0) ready.push_back(static_cast<int>(q));
+  }
+
+  ComputePlan global_plan;
+  global_plan.num_procs = P;
+  global_plan.seq.resize(P);
+  int superstep_offset = 0;
+
+  while (!ready.empty()) {
+    // Largest-work-first wave of at most P parts.
+    std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+      return quotient.omega(a) > quotient.omega(b);
+    });
+    const int wave_size = std::min<int>(P, static_cast<int>(ready.size()));
+    std::vector<int> wave(ready.begin(), ready.begin() + wave_size);
+    ready.erase(ready.begin(), ready.begin() + wave_size);
+
+    // Proportional processor allocation (>= 1 each).
+    double wave_work = 0;
+    for (int q : wave) wave_work += quotient.omega(q);
+    std::vector<int> alloc(wave.size(), 1);
+    int left = P - static_cast<int>(wave.size());
+    for (std::size_t i = 0; i < wave.size() && left > 0; ++i) {
+      const int extra = std::min<int>(
+          left, static_cast<int>(quotient.omega(wave[i]) / wave_work *
+                                 (P - static_cast<double>(wave.size()))));
+      alloc[i] += extra;
+      left -= extra;
+    }
+    for (std::size_t i = 0; left > 0; i = (i + 1) % wave.size()) {
+      ++alloc[i];
+      --left;
+    }
+
+    int next_proc = 0;
+    int wave_supersteps = 0;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const int q = wave[i];
+      SubProblem sub = make_subproblem(dag, parts[q]);
+      for (int k = 0; k < alloc[i]; ++k) sub.procs.push_back(next_proc++);
+
+      MbspInstance sub_inst{sub.dag,
+                            Architecture{static_cast<int>(sub.procs.size()),
+                                         inst.arch.fast_memory, inst.arch.g,
+                                         inst.arch.L}};
+      // Warm start: greedy two-stage on the subproblem, then LNS.
+      GreedyBspScheduler greedy;
+      const BspSchedule bsp = greedy.schedule(sub_inst.dag, sub_inst.arch);
+      const ComputePlan initial =
+          plan_from_bsp(sub_inst.dag, bsp, sub_inst.arch.num_processors);
+      LnsOptions lns = options.lns;
+      lns.seed += static_cast<std::uint64_t>(q) * 1000003;
+      const LnsResult improved = improve_plan(sub_inst, initial, lns);
+
+      // Splice into the global plan.
+      for (int lp = 0; lp < sub_inst.arch.num_processors; ++lp) {
+        const int gp = sub.procs[lp];
+        for (const PlannedCompute& pc : improved.plan.seq[lp]) {
+          global_plan.seq[gp].push_back(
+              {sub.globals[pc.node], superstep_offset + pc.superstep});
+        }
+      }
+      wave_supersteps =
+          std::max(wave_supersteps, improved.plan.num_supersteps());
+    }
+    superstep_offset += std::max(1, wave_supersteps);
+
+    for (int q : wave) {
+      for (NodeId c : quotient.children(q)) {
+        if (--waiting[c] == 0) ready.push_back(static_cast<int>(c));
+      }
+    }
+  }
+
+  normalize_supersteps(global_plan);
+  const PlanValidation ok = validate_plan(dag, global_plan);
+  assert(ok.ok);
+  (void)ok;
+  result.plan = std::move(global_plan);
+  result.schedule =
+      complete_memory(inst, result.plan, options.lns.completion_policy);
+  result.cost = options.lns.cost == CostModel::kSynchronous
+                    ? sync_cost(inst, result.schedule)
+                    : async_cost(inst, result.schedule);
+  return result;
+}
+
+}  // namespace mbsp

@@ -1,0 +1,38 @@
+#pragma once
+// Divide-and-conquer MBSP scheduling (Section 6.3) for DAGs too large for
+// one holistic search:
+//   1. recursively acyclic-bipartition the DAG into parts of <= 60 nodes
+//      (ILP-based bipartitioning with greedy fallback);
+//   2. build a high-level plan on the quotient graph: parts are packed
+//      into "waves" of mutually independent ready parts, and each wave
+//      splits the processors between its parts proportionally to work
+//      (the adjusted-BSPg allocation of the paper);
+//   3. each part becomes a sub-instance (external inputs appear as source
+//      nodes whose values sit in slow memory) solved by the LNS scheduler;
+//   4. sub-plans are concatenated into one global ComputePlan and memory
+//      is completed globally — which also performs the paper's
+//      "streamlining" step (values kept in cache across part boundaries
+//      when possible, dead values dropped, superstep merging).
+
+#include "src/holistic/lns.hpp"
+#include "src/holistic/partition.hpp"
+
+namespace mbsp {
+
+struct DivideConquerOptions {
+  int max_part_size = 60;
+  LnsOptions lns;          ///< budget here is *per part*
+  BipartitionOptions partition;
+};
+
+struct DivideConquerResult {
+  ComputePlan plan;
+  MbspSchedule schedule;
+  double cost = 0;
+  std::size_t num_parts = 0;
+};
+
+DivideConquerResult divide_conquer_schedule(const MbspInstance& inst,
+                                            const DivideConquerOptions& options);
+
+}  // namespace mbsp

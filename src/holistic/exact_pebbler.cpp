@@ -1,0 +1,167 @@
+#include "src/holistic/exact_pebbler.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+
+#include "src/util/timer.hpp"
+
+namespace mbsp {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+struct StateKey {
+  Mask red;
+  Mask blue;
+  bool operator==(const StateKey&) const = default;
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& s) const {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(s.red) << 32) |
+                                      s.blue);
+  }
+};
+
+struct Edge {
+  // Operation leading into a state (for path reconstruction).
+  enum class Kind : std::uint8_t { kNone, kCompute, kLoad, kSave, kDelete };
+  Kind kind = Kind::kNone;
+  NodeId node = kInvalidNode;
+  StateKey from{0, 0};
+};
+
+}  // namespace
+
+ExactPebbleResult exact_pebble(const MbspInstance& inst,
+                               const ExactPebbleOptions& options) {
+  const ComputeDag& dag = inst.dag;
+  const NodeId n = dag.num_nodes();
+  assert(inst.arch.num_processors == 1);
+  assert(n <= 30 && "exact pebbler is for small instances");
+  const double g = inst.arch.g;
+  const double r = inst.arch.fast_memory;
+
+  Mask sources = 0, sinks = 0;
+  std::vector<Mask> parent_mask(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dag.is_source(v)) sources |= Mask{1} << v;
+    if (dag.is_sink(v)) sinks |= Mask{1} << v;
+    for (NodeId u : dag.parents(v)) parent_mask[v] |= Mask{1} << u;
+  }
+  auto red_weight = [&](Mask red) {
+    double total = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (red & (Mask{1} << v)) total += dag.mu(v);
+    }
+    return total;
+  };
+
+  struct QueueEntry {
+    double dist;
+    StateKey key;
+    bool operator>(const QueueEntry& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  std::unordered_map<StateKey, double, StateKeyHash> dist;
+  std::unordered_map<StateKey, Edge, StateKeyHash> pred;
+
+  const StateKey start{0, sources};
+  dist[start] = 0;
+  pq.push({0, start});
+
+  ExactPebbleResult result;
+  Deadline deadline(options.budget_ms);
+  std::optional<StateKey> goal;
+
+  auto relax = [&](const StateKey& from, StateKey to, double cost,
+                   Edge::Kind kind, NodeId node) {
+    const double candidate = dist[from] + cost;
+    auto it = dist.find(to);
+    if (it == dist.end() || candidate < it->second) {
+      dist[to] = candidate;
+      pred[to] = {kind, node, from};
+      pq.push({candidate, to});
+    }
+  };
+
+  while (!pq.empty()) {
+    const auto [d, key] = pq.top();
+    pq.pop();
+    if (d > dist[key]) continue;  // stale entry
+    ++result.states_explored;
+    if (result.states_explored > options.max_states || deadline.expired()) {
+      return result;  // unsolved
+    }
+    if ((key.blue & sinks) == sinks) {
+      goal = key;
+      break;
+    }
+    const double weight = red_weight(key.red);
+    for (NodeId v = 0; v < n; ++v) {
+      const Mask bit = Mask{1} << v;
+      // LOAD
+      if ((key.blue & bit) && !(key.red & bit) &&
+          weight + dag.mu(v) <= r + 1e-9) {
+        relax(key, {key.red | bit, key.blue}, g * dag.mu(v), Edge::Kind::kLoad,
+              v);
+      }
+      // SAVE
+      if ((key.red & bit) && !(key.blue & bit)) {
+        relax(key, {key.red, key.blue | bit}, g * dag.mu(v), Edge::Kind::kSave,
+              v);
+      }
+      // COMPUTE
+      if (!dag.is_source(v) && !(key.red & bit) &&
+          (key.red & parent_mask[v]) == parent_mask[v] &&
+          weight + dag.mu(v) <= r + 1e-9) {
+        relax(key, {key.red | bit, key.blue}, dag.omega(v),
+              Edge::Kind::kCompute, v);
+      }
+      // DELETE (free)
+      if (key.red & bit) {
+        relax(key, {key.red & ~bit, key.blue}, 0, Edge::Kind::kDelete, v);
+      }
+    }
+  }
+
+  if (!goal) return result;
+  result.solved = true;
+  result.cost = dist[*goal];
+
+  // Reconstruct the operation sequence, then emit one superstep per op
+  // (with P = 1 and L = 0 the grouping does not affect either cost).
+  std::vector<Edge> ops;
+  StateKey cursor = *goal;
+  while (!(cursor == start)) {
+    const Edge edge = pred[cursor];
+    ops.push_back(edge);
+    cursor = edge.from;
+  }
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    Superstep& step = result.schedule.append(1);
+    ProcStep& ps = step.proc[0];
+    switch (it->kind) {
+      case Edge::Kind::kCompute:
+        ps.compute_phase.push_back(PhaseOp::compute(it->node));
+        break;
+      case Edge::Kind::kDelete:
+        ps.compute_phase.push_back(PhaseOp::erase(it->node));
+        break;
+      case Edge::Kind::kLoad:
+        ps.loads.push_back(it->node);
+        break;
+      case Edge::Kind::kSave:
+        ps.saves.push_back(it->node);
+        break;
+      case Edge::Kind::kNone:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace mbsp

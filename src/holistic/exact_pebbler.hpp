@@ -1,0 +1,33 @@
+#pragma once
+// Exact single-processor MBSP solver: Dijkstra over pebbling configurations
+// (R, B) — the red-blue pebble game with compute costs and weighted nodes.
+// With P = 1 and L = 0 the synchronous and asynchronous costs coincide and
+// equal the plain sum of operation costs, so shortest path = optimum.
+// Recomputation is handled naturally (COMPUTE edges stay available).
+//
+// Intended for small instances (n <= ~20, tight r): the test oracle for the
+// ILP formulation and the engine behind the Lemma 6.1 experiment.
+
+#include <optional>
+
+#include "src/model/schedule.hpp"
+
+namespace mbsp {
+
+struct ExactPebbleOptions {
+  std::size_t max_states = 4'000'000;
+  double budget_ms = 30000;
+};
+
+struct ExactPebbleResult {
+  bool solved = false;       ///< optimum proven (false: limits hit)
+  double cost = 0;           ///< optimal total cost when solved
+  MbspSchedule schedule;     ///< an optimal schedule (one op per superstep)
+  std::size_t states_explored = 0;
+};
+
+/// Requires inst.arch.num_processors == 1 and n <= 30.
+ExactPebbleResult exact_pebble(const MbspInstance& inst,
+                               const ExactPebbleOptions& options = {});
+
+}  // namespace mbsp

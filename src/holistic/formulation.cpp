@@ -1,0 +1,861 @@
+#include "src/holistic/formulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "src/graph/topology.hpp"
+
+namespace mbsp {
+
+using ilp::LinExpr;
+using ilp::Sense;
+using ilp::VarId;
+using ilp::VarType;
+
+namespace {
+std::string tag(const char* base, int p, NodeId v, int t) {
+  return std::string(base) + "_" + std::to_string(p) + "_" + std::to_string(v) +
+         "_" + std::to_string(t);
+}
+}  // namespace
+
+IlpFormulation::IlpFormulation(const MbspInstance& inst,
+                               FormulationOptions options)
+    : inst_(inst), options_(options), model_("mbsp_" + inst.name()),
+      P_(inst.arch.num_processors), T_(options.num_steps),
+      n_(inst.dag.num_nodes()) {
+  build();
+}
+
+VarId IlpFormulation::compute_var(int p, NodeId v, int t) const {
+  return compute_[(static_cast<std::size_t>(p) * n_ + v) * T_ + t];
+}
+VarId IlpFormulation::save_var(int p, NodeId v, int t) const {
+  return save_[(static_cast<std::size_t>(p) * n_ + v) * T_ + t];
+}
+VarId IlpFormulation::load_var(int p, NodeId v, int t) const {
+  return load_[(static_cast<std::size_t>(p) * n_ + v) * T_ + t];
+}
+VarId IlpFormulation::hasred_var(int p, NodeId v, int t) const {
+  // hasred is defined for t in [0, T] (state *before* step t; T = final).
+  return hasred_[(static_cast<std::size_t>(p) * n_ + v) * (T_ + 1) + t];
+}
+VarId IlpFormulation::hasblue_var(NodeId v, int t) const {
+  return hasblue_[static_cast<std::size_t>(v) * (T_ + 1) + t];
+}
+
+void IlpFormulation::build() {
+  const ComputeDag& dag = inst_.dag;
+  assert(!(options_.merge_steps && options_.cost == CostModel::kSynchronous) &&
+         "step merging is supported for the asynchronous model");
+  topo_pos_ = order_positions(topological_order(dag), n_);
+  big_m_ = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    big_m_ += dag.omega(v) + inst_.arch.g * dag.mu(v);
+  }
+  big_m_ *= P_;
+
+  compute_.assign(static_cast<std::size_t>(P_) * n_ * T_, kInvalidVar);
+  save_.assign(static_cast<std::size_t>(P_) * n_ * T_, kInvalidVar);
+  load_.assign(static_cast<std::size_t>(P_) * n_ * T_, kInvalidVar);
+  hasred_.assign(static_cast<std::size_t>(P_) * n_ * (T_ + 1), kInvalidVar);
+  hasblue_.assign(static_cast<std::size_t>(n_) * (T_ + 1), kInvalidVar);
+
+  // Variable creation. Pre-determined variables are elided entirely, as
+  // the paper recommends (C.1.3): no compute for sources, no reds at t=0,
+  // hasblue for sources is constant 1 (we fold it into constraints), and
+  // non-source hasblue at t=0 is constant 0.
+  for (int p = 0; p < P_; ++p) {
+    for (NodeId v = 0; v < n_; ++v) {
+      for (int t = 0; t < T_; ++t) {
+        if (!dag.is_source(v)) {
+          compute_[(static_cast<std::size_t>(p) * n_ + v) * T_ + t] =
+              model_.add_binary(tag("comp", p, v, t));
+        }
+        save_[(static_cast<std::size_t>(p) * n_ + v) * T_ + t] =
+            model_.add_binary(tag("save", p, v, t));
+        load_[(static_cast<std::size_t>(p) * n_ + v) * T_ + t] =
+            model_.add_binary(tag("load", p, v, t));
+      }
+      for (int t = 1; t <= T_; ++t) {  // hasred at t=0 is constant 0
+        hasred_[(static_cast<std::size_t>(p) * n_ + v) * (T_ + 1) + t] =
+            model_.add_binary(tag("red", p, v, t));
+      }
+    }
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    if (dag.is_source(v)) continue;  // constant 1 at all times
+    for (int t = 1; t <= T_; ++t) {
+      hasblue_[static_cast<std::size_t>(v) * (T_ + 1) + t] =
+          model_.add_binary(std::string("blue_") + std::to_string(v) + "_" +
+                            std::to_string(t));
+    }
+  }
+
+  auto blue_is_constant_one = [&](NodeId v) { return dag.is_source(v); };
+
+  for (int p = 0; p < P_; ++p) {
+    for (NodeId v = 0; v < n_; ++v) {
+      for (int t = 0; t < T_; ++t) {
+        // (1) load only with a blue pebble present.
+        if (!blue_is_constant_one(v)) {
+          LinExpr c1;
+          c1.add(load_var(p, v, t), 1.0);
+          if (t >= 1) c1.add(hasblue_var(v, t), -1.0);
+          // at t=0 non-source blue is 0: load[p][v][0] <= 0
+          model_.add_constraint(std::move(c1), Sense::kLe, 0.0);
+        }
+        // (2) save only with this processor's red pebble.
+        {
+          LinExpr c2;
+          c2.add(save_var(p, v, t), 1.0);
+          if (t >= 1) c2.add(hasred_var(p, v, t), -1.0);
+          model_.add_constraint(std::move(c2), Sense::kLe, 0.0);
+        }
+        // (3) compute only with all parents red — or, with step merging,
+        // computed by this processor within the same (merged) step.
+        if (!dag.is_source(v)) {
+          for (NodeId u : dag.parents(v)) {
+            LinExpr c3;
+            c3.add(compute_var(p, v, t), 1.0);
+            if (t >= 1) c3.add(hasred_var(p, u, t), -1.0);
+            if (options_.merge_steps && !dag.is_source(u)) {
+              c3.add(compute_var(p, u, t), -1.0);
+            }
+            model_.add_constraint(std::move(c3), Sense::kLe, 0.0);
+          }
+        }
+      }
+      // (4) red pebbles appear only from compute or load.
+      for (int t = 1; t <= T_; ++t) {
+        LinExpr c4;
+        c4.add(hasred_var(p, v, t), 1.0);
+        if (t - 1 >= 1) c4.add(hasred_var(p, v, t - 1), -1.0);
+        if (!dag.is_source(v)) c4.add(compute_var(p, v, t - 1), -1.0);
+        c4.add(load_var(p, v, t - 1), -1.0);
+        model_.add_constraint(std::move(c4), Sense::kLe, 0.0);
+      }
+    }
+  }
+  // (5) blue pebbles appear only from saves.
+  for (NodeId v = 0; v < n_; ++v) {
+    if (blue_is_constant_one(v)) continue;
+    for (int t = 1; t <= T_; ++t) {
+      LinExpr c5;
+      c5.add(hasblue_var(v, t), 1.0);
+      if (t - 1 >= 1) c5.add(hasblue_var(v, t - 1), -1.0);
+      for (int p = 0; p < P_; ++p) c5.add(save_var(p, v, t - 1), -1.0);
+      model_.add_constraint(std::move(c5), Sense::kLe, 0.0);
+    }
+  }
+  // (6) one operation per processor per step — or, with step merging, one
+  // *kind* of step per processor (compstep / commstep, Appendix C.1.1).
+  if (!options_.merge_steps) {
+    for (int p = 0; p < P_; ++p) {
+      for (int t = 0; t < T_; ++t) {
+        LinExpr c6;
+        for (NodeId v = 0; v < n_; ++v) {
+          if (!dag.is_source(v)) c6.add(compute_var(p, v, t), 1.0);
+          c6.add(save_var(p, v, t), 1.0);
+          c6.add(load_var(p, v, t), 1.0);
+        }
+        model_.add_constraint(std::move(c6), Sense::kLe, 1.0);
+      }
+    }
+  } else {
+    for (int p = 0; p < P_; ++p) {
+      for (int t = 0; t < T_; ++t) {
+        const ilp::VarId comp_step = model_.add_binary(tag("cstep", p, 0, t));
+        const ilp::VarId comm_step = model_.add_binary(tag("mstep", p, 0, t));
+        LinExpr comp_force, comm_force, one_kind;
+        for (NodeId v = 0; v < n_; ++v) {
+          if (!dag.is_source(v)) comp_force.add(compute_var(p, v, t), 1.0);
+          comm_force.add(save_var(p, v, t), 1.0);
+          comm_force.add(load_var(p, v, t), 1.0);
+        }
+        comp_force.add(comp_step, -static_cast<double>(n_));
+        comm_force.add(comm_step, -2.0 * n_);
+        model_.add_constraint(std::move(comp_force), Sense::kLe, 0.0);
+        model_.add_constraint(std::move(comm_force), Sense::kLe, 0.0);
+        one_kind.add(comp_step, 1.0);
+        one_kind.add(comm_step, 1.0);
+        model_.add_constraint(std::move(one_kind), Sense::kLe, 1.0);
+      }
+    }
+  }
+  // (7) memory bound on every state.
+  for (int p = 0; p < P_; ++p) {
+    for (int t = 1; t <= T_; ++t) {
+      LinExpr c7;
+      for (NodeId v = 0; v < n_; ++v) {
+        c7.add(hasred_var(p, v, t), dag.mu(v));
+      }
+      model_.add_constraint(std::move(c7), Sense::kLe,
+                            inst_.arch.fast_memory);
+    }
+  }
+  // (7') strengthened transient bound at COMPUTE (see header). With step
+  // merging, all of a merged step's inputs and outputs must fit in cache
+  // simultaneously (Section 6.2), giving one aggregated row per (p, t).
+  if (!options_.merge_steps) {
+    for (int p = 0; p < P_; ++p) {
+      for (NodeId v = 0; v < n_; ++v) {
+        if (dag.is_source(v)) continue;
+        for (int t = 1; t < T_; ++t) {
+          LinExpr c7s;
+          for (NodeId w = 0; w < n_; ++w) {
+            double coeff = dag.mu(w);
+            if (w == v) coeff -= dag.mu(v);  // avoid double count when red
+            if (coeff != 0.0) c7s.add(hasred_var(p, w, t), coeff);
+          }
+          c7s.add(compute_var(p, v, t), dag.mu(v));
+          model_.add_constraint(std::move(c7s), Sense::kLe,
+                                inst_.arch.fast_memory);
+        }
+      }
+    }
+  } else {
+    for (int p = 0; p < P_; ++p) {
+      for (int t = 1; t < T_; ++t) {
+        LinExpr c7m;
+        for (NodeId w = 0; w < n_; ++w) {
+          c7m.add(hasred_var(p, w, t), dag.mu(w));
+          if (!dag.is_source(w)) c7m.add(compute_var(p, w, t), dag.mu(w));
+        }
+        // Conservative: a recompute of an already-red value double-counts;
+        // such computes are pointless and simply become infeasible here.
+        model_.add_constraint(std::move(c7m), Sense::kLe,
+                              inst_.arch.fast_memory);
+      }
+    }
+  }
+  // (10) terminal state: sinks end blue.
+  for (NodeId v = 0; v < n_; ++v) {
+    if (!dag.is_sink(v) || blue_is_constant_one(v)) continue;
+    LinExpr c10;
+    c10.add(hasblue_var(v, T_), 1.0);
+    model_.add_constraint(std::move(c10), Sense::kGe, 1.0);
+  }
+  // Optional: prohibit recomputation (each node computed at most once).
+  if (!options_.allow_recompute) {
+    for (NodeId v = 0; v < n_; ++v) {
+      if (dag.is_source(v)) continue;
+      LinExpr once;
+      for (int p = 0; p < P_; ++p) {
+        for (int t = 0; t < T_; ++t) once.add(compute_var(p, v, t), 1.0);
+      }
+      model_.add_constraint(std::move(once), Sense::kLe, 1.0);
+    }
+  }
+  // Every non-source node must be computed at least once (implied by (10)
+  // + (5) + (2), but stating it tightens the LP relaxation considerably).
+  for (NodeId v = 0; v < n_; ++v) {
+    if (dag.is_source(v)) continue;
+    LinExpr at_least;
+    for (int p = 0; p < P_; ++p) {
+      for (int t = 0; t < T_; ++t) at_least.add(compute_var(p, v, t), 1.0);
+    }
+    model_.add_constraint(std::move(at_least), Sense::kGe, 1.0);
+  }
+
+  if (options_.cost == CostModel::kSynchronous) {
+    build_sync_cost();
+  } else {
+    build_async_cost();
+  }
+}
+
+void IlpFormulation::build_async_cost() {
+  const ComputeDag& dag = inst_.dag;
+  const double g = inst_.arch.g;
+  // finishtime[p][t], getsblue[v], makespan.
+  std::vector<VarId>& finish = finish_;
+  finish.resize(static_cast<std::size_t>(P_) * T_);
+  for (int p = 0; p < P_; ++p) {
+    for (int t = 0; t < T_; ++t) {
+      finish[static_cast<std::size_t>(p) * T_ + t] = model_.add_continuous(
+          0, ilp::kInf, tag("fin", p, 0, t));
+    }
+  }
+  std::vector<VarId>& gets_blue = getsblue_;
+  gets_blue.resize(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    gets_blue[v] = model_.add_continuous(0, ilp::kInf,
+                                         "getsblue_" + std::to_string(v));
+    if (dag.is_source(v)) model_.set_bounds(gets_blue[v], 0, 0);
+  }
+  const VarId makespan = model_.add_continuous(0, ilp::kInf, "makespan");
+  makespan_ = makespan;
+
+  for (int p = 0; p < P_; ++p) {
+    for (int t = 0; t < T_; ++t) {
+      const VarId ft = finish[static_cast<std::size_t>(p) * T_ + t];
+      LinExpr step;  // finish_t - finish_{t-1} - step cost >= 0
+      step.add(ft, 1.0);
+      if (t >= 1) step.add(finish[static_cast<std::size_t>(p) * T_ + t - 1], -1.0);
+      for (NodeId v = 0; v < n_; ++v) {
+        if (!dag.is_source(v)) step.add(compute_var(p, v, t), -dag.omega(v));
+        step.add(save_var(p, v, t), -g * dag.mu(v));
+        step.add(load_var(p, v, t), -g * dag.mu(v));
+      }
+      model_.add_constraint(std::move(step), Sense::kGe, 0.0);
+      for (NodeId v = 0; v < n_; ++v) {
+        // getsblue_v >= finish_{p,t} - M (1 - save_{p,v,t})
+        LinExpr gb;
+        gb.add(gets_blue[v], 1.0);
+        gb.add(ft, -1.0);
+        gb.add(save_var(p, v, t), -big_m_);
+        model_.add_constraint(std::move(gb), Sense::kGe, -big_m_);
+        // finish_{p,t} >= getsblue_v + g mu(v) - M (1 - load_{p,v,t})
+        LinExpr ld;
+        ld.add(ft, 1.0);
+        ld.add(gets_blue[v], -1.0);
+        ld.add(load_var(p, v, t), -(big_m_ + g * dag.mu(v)));
+        model_.add_constraint(std::move(ld), Sense::kGe, -big_m_);
+      }
+    }
+    LinExpr cap;
+    cap.add(makespan, 1.0);
+    cap.add(finish[static_cast<std::size_t>(p) * T_ + T_ - 1], -1.0);
+    model_.add_constraint(std::move(cap), Sense::kGe, 0.0);
+  }
+  model_.set_objective_coeff(makespan, 1.0);
+}
+
+void IlpFormulation::build_sync_cost() {
+  const ComputeDag& dag = inst_.dag;
+  const double g = inst_.arch.g;
+  compphase_.resize(T_);
+  savephase_.resize(T_);
+  loadphase_.resize(T_);
+  for (int t = 0; t < T_; ++t) {
+    compphase_[t] = model_.add_binary("compphase_" + std::to_string(t));
+    savephase_[t] = model_.add_binary("savephase_" + std::to_string(t));
+    loadphase_[t] = model_.add_binary("loadphase_" + std::to_string(t));
+    // Phase typing: any op of a kind at t forces the phase bit; at most one
+    // phase kind per step.
+    LinExpr comp_force, save_force, load_force;
+    for (int p = 0; p < P_; ++p) {
+      for (NodeId v = 0; v < n_; ++v) {
+        if (!dag.is_source(v)) comp_force.add(compute_var(p, v, t), 1.0);
+        save_force.add(save_var(p, v, t), 1.0);
+        load_force.add(load_var(p, v, t), 1.0);
+      }
+    }
+    comp_force.add(compphase_[t], -static_cast<double>(P_));
+    save_force.add(savephase_[t], -static_cast<double>(P_));
+    load_force.add(loadphase_[t], -static_cast<double>(P_));
+    model_.add_constraint(std::move(comp_force), Sense::kLe, 0.0);
+    model_.add_constraint(std::move(save_force), Sense::kLe, 0.0);
+    model_.add_constraint(std::move(load_force), Sense::kLe, 0.0);
+    LinExpr one_phase;
+    one_phase.add(compphase_[t], 1.0);
+    one_phase.add(savephase_[t], 1.0);
+    one_phase.add(loadphase_[t], 1.0);
+    model_.add_constraint(std::move(one_phase), Sense::kLe, 1.0);
+  }
+
+  // For each phase kind X: Xbegins_t marks the first step of a phase run,
+  // Xends_t the last; Xuntil[p][t] accumulates processor p's phase cost and
+  // resets at Xbegins; Xinduced_t >= Xuntil[p][t] at run ends.
+  auto build_phase_cost = [&](const std::vector<VarId>& phase,
+                              const char* base, PhaseAux& aux,
+                              auto cost_coeff) {
+    std::vector<VarId> begins(T_), ends(T_), induced(T_);
+    aux.until.assign(static_cast<std::size_t>(P_) * T_, kInvalidVar);
+    for (int t = 0; t < T_; ++t) {
+      begins[t] = model_.add_binary(std::string(base) + "beg_" + std::to_string(t));
+      ends[t] = model_.add_binary(std::string(base) + "end_" + std::to_string(t));
+      induced[t] = model_.add_continuous(0, ilp::kInf,
+                                         std::string(base) + "ind_" +
+                                             std::to_string(t));
+      // begins_t >= phase_t - phase_{t-1}; ends_t >= phase_t - phase_{t+1}.
+      LinExpr b;
+      b.add(begins[t], 1.0);
+      b.add(phase[t], -1.0);
+      if (t >= 1) b.add(phase[t - 1], 1.0);
+      model_.add_constraint(std::move(b), Sense::kGe, 0.0);
+      // Tight from above too: a spurious begins would let the solver reset
+      // the cost accumulator mid-phase and dodge the phase cost entirely.
+      LinExpr b_hi;
+      b_hi.add(begins[t], 1.0);
+      b_hi.add(phase[t], -1.0);
+      model_.add_constraint(std::move(b_hi), Sense::kLe, 0.0);
+      if (t >= 1) {
+        LinExpr b_prev;
+        b_prev.add(begins[t], 1.0);
+        b_prev.add(phase[t - 1], 1.0);
+        model_.add_constraint(std::move(b_prev), Sense::kLe, 1.0);
+      }
+      LinExpr e;
+      e.add(ends[t], 1.0);
+      e.add(phase[t], -1.0);
+      if (t + 1 < T_) e.add(phase[t + 1], 1.0);
+      model_.add_constraint(std::move(e), Sense::kGe, 0.0);
+    }
+    for (int p = 0; p < P_; ++p) {
+      std::vector<VarId> until(T_);
+      for (int t = 0; t < T_; ++t) {
+        until[t] = model_.add_continuous(0, ilp::kInf,
+                                         tag((std::string(base) + "unt").c_str(),
+                                             p, 0, t));
+        aux.until[static_cast<std::size_t>(p) * T_ + t] = until[t];
+        LinExpr acc2;  // until_t >= until_{t-1} + cost_t - M begins_t
+        acc2.add(until[t], 1.0);
+        if (t >= 1) acc2.add(until[t - 1], -1.0);
+        for (NodeId v = 0; v < n_; ++v) {
+          const auto [var, coeff] = cost_coeff(p, v, t);
+          if (var != kInvalidVar && coeff != 0.0) acc2.add(var, -coeff);
+        }
+        acc2.add(begins[t], big_m_);
+        model_.add_constraint(std::move(acc2), Sense::kGe, 0.0);
+        // The reset must not wipe the begin step's own cost:
+        // until_t >= cost_t unconditionally.
+        LinExpr own;
+        own.add(until[t], 1.0);
+        for (NodeId v = 0; v < n_; ++v) {
+          const auto [var, coeff] = cost_coeff(p, v, t);
+          if (var != kInvalidVar && coeff != 0.0) own.add(var, -coeff);
+        }
+        model_.add_constraint(std::move(own), Sense::kGe, 0.0);
+        // induced_t >= until_t - M (1 - ends_t)
+        LinExpr ind;
+        ind.add(induced[t], 1.0);
+        ind.add(until[t], -1.0);
+        ind.add(ends[t], -big_m_);
+        model_.add_constraint(std::move(ind), Sense::kGe, -big_m_);
+      }
+    }
+    for (int t = 0; t < T_; ++t) model_.set_objective_coeff(induced[t], 1.0);
+    aux.begins = begins;
+    aux.ends = std::move(ends);
+    aux.induced = std::move(induced);
+    return begins;
+  };
+
+  const auto comp_begins = build_phase_cost(
+      compphase_, "comp", comp_aux_, [&](int p, NodeId v, int t) {
+        return std::pair<VarId, double>(
+            dag.is_source(v) ? kInvalidVar : compute_var(p, v, t),
+            dag.omega(v));
+      });
+  build_phase_cost(savephase_, "save", save_aux_, [&](int p, NodeId v, int t) {
+    return std::pair<VarId, double>(save_var(p, v, t), g * dag.mu(v));
+  });
+  build_phase_cost(loadphase_, "load", load_aux_, [&](int p, NodeId v, int t) {
+    return std::pair<VarId, double>(load_var(p, v, t), g * dag.mu(v));
+  });
+
+  // Synchronization cost: L per superstep, counted as 1 (every non-empty
+  // schedule has a first superstep) plus the transitions that open a new
+  // one: a compute-phase begin that is not the schedule's first phase run,
+  // and a save phase directly following a load phase (I/O-only superstep).
+  // extract_schedule() groups phases with exactly these rules.
+  if (inst_.arch.L > 0) {
+    const VarId first_ss = model_.add_var(1, 1, ilp::VarType::kBinary,
+                                          "first_superstep");
+    first_ss_ = first_ss;
+    model_.set_objective_coeff(first_ss, inst_.arch.L);
+    ssbeg_.assign(T_, kInvalidVar);
+    ioss_.assign(T_, kInvalidVar);
+    // started_t = some phase occurred at a step <= t (lower bounds only;
+    // minimization keeps it honest because it can only *force* costs).
+    std::vector<VarId>& started = started_;
+    started.resize(T_);
+    for (int t = 0; t < T_; ++t) {
+      started[t] = model_.add_binary("started_" + std::to_string(t));
+      for (const VarId phase :
+           {compphase_[t], savephase_[t], loadphase_[t]}) {
+        LinExpr s;
+        s.add(started[t], 1.0);
+        s.add(phase, -1.0);
+        model_.add_constraint(std::move(s), Sense::kGe, 0.0);
+      }
+      if (t >= 1) {
+        LinExpr chainc;
+        chainc.add(started[t], 1.0);
+        chainc.add(started[t - 1], -1.0);
+        model_.add_constraint(std::move(chainc), Sense::kGe, 0.0);
+      }
+    }
+    for (int t = 1; t < T_; ++t) {
+      // Compute begin after the schedule has started: a new superstep.
+      const VarId tb = model_.add_binary("ssbeg_" + std::to_string(t));
+      ssbeg_[t] = tb;
+      model_.set_objective_coeff(tb, inst_.arch.L);
+      LinExpr trans;
+      trans.add(tb, 1.0);
+      trans.add(comp_begins[t], -1.0);
+      trans.add(started[t - 1], -1.0);
+      model_.add_constraint(std::move(trans), Sense::kGe, -1.0);
+      // Save phase directly after a load phase: an I/O-only superstep.
+      const VarId io_ss = model_.add_binary("ioss_" + std::to_string(t));
+      ioss_[t] = io_ss;
+      model_.set_objective_coeff(io_ss, inst_.arch.L);
+      LinExpr io;
+      io.add(io_ss, 1.0);
+      io.add(savephase_[t], -1.0);
+      io.add(loadphase_[t - 1], -1.0);
+      model_.add_constraint(std::move(io), Sense::kGe, -1.0);
+    }
+  }
+}
+
+int IlpFormulation::steps_required(const MbspSchedule& sched) {
+  int total = 0;
+  for (const Superstep& step : sched.steps) {
+    std::size_t comp = 0, saves = 0, loads = 0;
+    for (const ProcStep& ps : step.proc) {
+      std::size_t computes = 0;
+      for (const PhaseOp& op : ps.compute_phase) {
+        computes += op.kind == OpKind::kCompute;
+      }
+      comp = std::max(comp, computes);
+      saves = std::max(saves, ps.saves.size());
+      loads = std::max(loads, ps.loads.size());
+    }
+    total += static_cast<int>(comp + saves + loads);
+  }
+  return total;
+}
+
+std::vector<double> IlpFormulation::encode_schedule(
+    const MbspSchedule& sched) const {
+  const ComputeDag& dag = inst_.dag;
+  const double g = inst_.arch.g;
+  if (options_.merge_steps) return {};  // see header
+  if (steps_required(sched) > T_) return {};
+  std::vector<double> x(static_cast<std::size_t>(model_.num_vars()), 0.0);
+  auto set_var = [&](VarId var, double value) {
+    if (var != kInvalidVar) x[var] = value;
+  };
+
+  // Walk the schedule, laying supersteps out as [compute|save|load] blocks
+  // of global steps. Red pebbles are tracked as [open_from, ...) intervals
+  // closed either by a DELETE (implicit ILP transition) or at T.
+  std::vector<std::vector<int>> red_open(
+      P_, std::vector<int>(n_, -1));        // first t with red, -1 = closed
+  std::vector<int> cursor(P_, -1);          // step of p's last explicit op
+  std::vector<int> blue_from(n_, -1);       // first t with blue (non-source)
+
+  auto close_red = [&](int p, NodeId v, int boundary) {
+    // hasred[p][v][t] = 1 for t in [open, boundary); boundary <= open means
+    // the pebble never materialized (allowed: rule (4) is an upper bound).
+    const int open = red_open[p][v];
+    if (open < 0) return;
+    for (int t = open; t < std::min(boundary, T_ + 1); ++t) {
+      set_var(hasred_var(p, v, t), 1.0);
+    }
+    red_open[p][v] = -1;
+  };
+
+  int base = 0;
+  for (const Superstep& step : sched.steps) {
+    std::size_t comp = 0, saves = 0, loads = 0;
+    for (const ProcStep& ps : step.proc) {
+      std::size_t computes = 0;
+      for (const PhaseOp& op : ps.compute_phase) {
+        computes += op.kind == OpKind::kCompute;
+      }
+      comp = std::max(comp, computes);
+      saves = std::max(saves, ps.saves.size());
+      loads = std::max(loads, ps.loads.size());
+    }
+    const int save_base = base + static_cast<int>(comp);
+    const int load_base = save_base + static_cast<int>(saves);
+    for (int p = 0; p < P_; ++p) {
+      const ProcStep& ps = step.proc[p];
+      int k = 0;
+      for (const PhaseOp& op : ps.compute_phase) {
+        if (op.kind == OpKind::kCompute) {
+          const int t = base + k++;
+          set_var(compute_var(p, op.node, t), 1.0);
+          cursor[p] = t;
+          if (red_open[p][op.node] < 0) red_open[p][op.node] = t + 1;
+        } else {
+          close_red(p, op.node, cursor[p] + 1);
+        }
+      }
+      for (std::size_t j = 0; j < ps.saves.size(); ++j) {
+        const int t = save_base + static_cast<int>(j);
+        set_var(save_var(p, ps.saves[j], t), 1.0);
+        cursor[p] = t;
+        if (blue_from[ps.saves[j]] < 0) blue_from[ps.saves[j]] = t + 1;
+      }
+      for (NodeId v : ps.deletes) close_red(p, v, cursor[p] + 1);
+      for (std::size_t j = 0; j < ps.loads.size(); ++j) {
+        const int t = load_base + static_cast<int>(j);
+        set_var(load_var(p, ps.loads[j], t), 1.0);
+        cursor[p] = t;
+        if (red_open[p][ps.loads[j]] < 0) red_open[p][ps.loads[j]] = t + 1;
+      }
+    }
+    base = load_base + static_cast<int>(loads);
+  }
+  for (int p = 0; p < P_; ++p) {
+    for (NodeId v = 0; v < n_; ++v) close_red(p, v, T_ + 1);
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    if (dag.is_source(v) || blue_from[v] < 0) continue;
+    for (int t = blue_from[v]; t <= T_; ++t) set_var(hasblue_var(v, t), 1.0);
+  }
+
+  // Step costs per (p, t), shared by both objective encodings.
+  auto step_cost = [&](int kind, int p, int t) {  // 0 comp, 1 save, 2 load
+    double cost = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+      switch (kind) {
+        case 0: {
+          const VarId cv = compute_var(p, v, t);
+          if (cv != kInvalidVar && x[cv] > 0.5) cost += dag.omega(v);
+          break;
+        }
+        case 1:
+          if (x[save_var(p, v, t)] > 0.5) cost += g * dag.mu(v);
+          break;
+        case 2:
+          if (x[load_var(p, v, t)] > 0.5) cost += g * dag.mu(v);
+          break;
+      }
+    }
+    return cost;
+  };
+
+  if (options_.cost == CostModel::kAsynchronous) {
+    // gamma recursion over the laid-out steps.
+    std::vector<double> now(P_, 0.0);
+    std::vector<double> gb(n_, 0.0);
+    for (int t = 0; t < T_; ++t) {
+      for (int p = 0; p < P_; ++p) {
+        now[p] += step_cost(0, p, t) + step_cost(1, p, t);
+        for (NodeId v = 0; v < n_; ++v) {
+          if (x[save_var(p, v, t)] > 0.5) gb[v] = std::max(gb[v], now[p]);
+        }
+        for (NodeId v = 0; v < n_; ++v) {
+          if (x[load_var(p, v, t)] > 0.5) {
+            now[p] = std::max(now[p], gb[v]) + g * dag.mu(v);
+          }
+        }
+        set_var(finish_[static_cast<std::size_t>(p) * T_ + t], now[p]);
+      }
+    }
+    double makespan = 0;
+    for (int p = 0; p < P_; ++p) makespan = std::max(makespan, now[p]);
+    for (NodeId v = 0; v < n_; ++v) {
+      if (!dag.is_source(v)) set_var(getsblue_[v], gb[v]);
+    }
+    set_var(makespan_, makespan);
+    return x;
+  }
+
+  // Synchronous auxiliaries: phase bits from the ops actually present.
+  auto any_op = [&](int kind, int t) {
+    for (int p = 0; p < P_; ++p) {
+      if (step_cost(kind, p, t) > 0) return true;
+      // zero-cost ops still type the phase (e.g. mu = 0 values)
+      for (NodeId v = 0; v < n_; ++v) {
+        if (kind == 0) {
+          const VarId cv = compute_var(p, v, t);
+          if (cv != kInvalidVar && x[cv] > 0.5) return true;
+        } else if (kind == 1 && x[save_var(p, v, t)] > 0.5) {
+          return true;
+        } else if (kind == 2 && x[load_var(p, v, t)] > 0.5) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  const std::vector<VarId>* phase_vars[3] = {&compphase_, &savephase_,
+                                             &loadphase_};
+  const PhaseAux* aux[3] = {&comp_aux_, &save_aux_, &load_aux_};
+  for (int kind = 0; kind < 3; ++kind) {
+    std::vector<char> in_phase(T_, 0);
+    for (int t = 0; t < T_; ++t) in_phase[t] = any_op(kind, t);
+    for (int t = 0; t < T_; ++t) {
+      if (!in_phase[t]) continue;
+      set_var((*phase_vars[kind])[t], 1.0);
+      const bool begin = t == 0 || !in_phase[t - 1];
+      const bool end = t + 1 == T_ || !in_phase[t + 1];
+      if (begin) set_var(aux[kind]->begins[t], 1.0);
+      if (end) set_var(aux[kind]->ends[t], 1.0);
+    }
+    // until accumulators (carry outside runs, reset at begins) + induced.
+    for (int p = 0; p < P_; ++p) {
+      double acc = 0;
+      for (int t = 0; t < T_; ++t) {
+        if (in_phase[t]) {
+          if (x[aux[kind]->begins[t]] > 0.5) acc = 0;
+          acc += step_cost(kind, p, t);
+        }
+        set_var(aux[kind]->until[static_cast<std::size_t>(p) * T_ + t], acc);
+      }
+    }
+    for (int t = 0; t < T_; ++t) {
+      if (!in_phase[t] || x[aux[kind]->ends[t]] < 0.5) continue;
+      double max_until = 0;
+      for (int p = 0; p < P_; ++p) {
+        max_until = std::max(
+            max_until,
+            x[aux[kind]->until[static_cast<std::size_t>(p) * T_ + t]]);
+      }
+      set_var(aux[kind]->induced[t], max_until);
+    }
+  }
+  if (inst_.arch.L > 0) {
+    set_var(first_ss_, 1.0);
+    bool seen = false;
+    for (int t = 0; t < T_; ++t) {
+      seen = seen || x[compphase_[t]] > 0.5 || x[savephase_[t]] > 0.5 ||
+             x[loadphase_[t]] > 0.5;
+      set_var(started_[t], seen ? 1.0 : 0.0);
+      if (t >= 1) {
+        if (x[comp_aux_.begins[t]] > 0.5 && x[started_[t - 1]] > 0.5) {
+          set_var(ssbeg_[t], 1.0);
+        }
+        if (x[savephase_[t]] > 0.5 && x[loadphase_[t - 1]] > 0.5) {
+          set_var(ioss_[t], 1.0);
+        }
+      }
+    }
+  }
+  return x;
+}
+
+MbspSchedule IlpFormulation::extract_schedule(
+    const std::vector<double>& x) const {
+  const ComputeDag& dag = inst_.dag;
+  auto on = [&](VarId var) { return var != kInvalidVar && x[var] > 0.5; };
+  auto red_at = [&](int p, NodeId v, int t) {
+    return t >= 1 && on(hasred_var(p, v, t));
+  };
+
+  MbspSchedule out;
+  // Phase kind of each step: 0 compute, 1 save, 2 load, -1 idle. In the
+  // async model phases are untyped, so every step becomes its own
+  // superstep (the async cost ignores superstep structure anyway).
+  auto step_kind = [&](int t) {
+    int kind = -1;
+    for (int p = 0; p < P_; ++p) {
+      for (NodeId v = 0; v < n_; ++v) {
+        if (!dag.is_source(v) && on(compute_var(p, v, t))) kind = std::max(kind, 0);
+        if (on(save_var(p, v, t))) kind = std::max(kind, 1);
+        if (on(load_var(p, v, t))) kind = std::max(kind, 2);
+      }
+    }
+    return kind;
+  };
+
+  const bool sync = options_.cost == CostModel::kSynchronous;
+  int prev_kind = -1;
+  Superstep* current = nullptr;
+  // Deletes that must run after a LOAD of the same superstep; deferred to
+  // the compute phase of the next superstep (a free op, valid anytime).
+  std::vector<std::vector<NodeId>> deferred(P_);
+
+  auto open_superstep = [&] {
+    current = &out.append(inst_.arch.num_processors);
+    prev_kind = -1;
+    for (int p = 0; p < P_; ++p) {
+      for (NodeId v : deferred[p]) {
+        current->proc[p].compute_phase.push_back(PhaseOp::erase(v));
+      }
+      deferred[p].clear();
+    }
+  };
+
+  for (int t = 0; t < T_; ++t) {
+    const int kind = step_kind(t);
+    // Ops and state diffs of this step, per processor.
+    bool anything = kind != -1;
+    for (int p = 0; p < P_ && !anything; ++p) {
+      for (NodeId v = 0; v < n_ && !anything; ++v) {
+        if (red_at(p, v, t) && !red_at(p, v, t + 1)) anything = true;
+      }
+    }
+    if (!anything) continue;
+
+    bool new_superstep = current == nullptr || !sync ||
+                         (kind == 0 && prev_kind != -1 && prev_kind != 0) ||
+                         (kind == 1 && prev_kind == 2);
+    // A delete whose node was loaded earlier in the current superstep
+    // cannot precede that load; close the superstep instead.
+    if (!new_superstep && current != nullptr) {
+      for (int p = 0; p < P_ && !new_superstep; ++p) {
+        for (NodeId v = 0; v < n_ && !new_superstep; ++v) {
+          const bool dies = red_at(p, v, t) && !red_at(p, v, t + 1) &&
+                            !on(load_var(p, v, t));
+          if (!dies) continue;
+          const auto& loads = current->proc[p].loads;
+          if (std::find(loads.begin(), loads.end(), v) != loads.end()) {
+            new_superstep = true;
+          }
+        }
+      }
+    }
+    if (new_superstep) open_superstep();
+
+    for (int p = 0; p < P_; ++p) {
+      ProcStep& ps = current->proc[p];
+      // Pass 1: computes. The ILP checks parent reds *at* step t and
+      // applies deletions at the t -> t+1 transition, so within a step the
+      // computes must precede every delete; with step merging several
+      // computes can share a step and are emitted in topological order
+      // (within-step dependencies run parents-first).
+      {
+        std::vector<NodeId> computed;
+        for (NodeId v = 0; v < n_; ++v) {
+          if (!dag.is_source(v) && on(compute_var(p, v, t))) {
+            computed.push_back(v);
+          }
+        }
+        if (computed.size() > 1) {
+          std::sort(computed.begin(), computed.end(),
+                    [&](NodeId a, NodeId b) {
+                      return topo_pos_[a] < topo_pos_[b];
+                    });
+        }
+        // All computes first: a value consumed within a merged step may
+        // have its red pebble dropped at the step transition, and the
+        // erase must not precede its consumers.
+        for (NodeId v : computed) {
+          ps.compute_phase.push_back(PhaseOp::compute(v));
+        }
+        for (NodeId v : computed) {
+          if (!red_at(p, v, t + 1)) {
+            ps.compute_phase.push_back(PhaseOp::erase(v));
+          }
+        }
+      }
+      // Pass 2: saves, loads, and the remaining deletes.
+      for (NodeId v = 0; v < n_; ++v) {
+        const bool computed = !dag.is_source(v) && on(compute_var(p, v, t));
+        const bool loaded = on(load_var(p, v, t));
+        const bool red_next = red_at(p, v, t + 1);
+        if (on(save_var(p, v, t))) ps.saves.push_back(v);
+        if (loaded) {
+          ps.loads.push_back(v);
+          // A load whose red pebble vanishes immediately: defer the delete.
+          if (!red_next && !red_at(p, v, t)) deferred[p].push_back(v);
+        }
+        // Plain delete: red at t, gone at t+1, not already handled above.
+        if (red_at(p, v, t) && !red_next && !computed) {
+          if (kind == 0) {
+            ps.compute_phase.push_back(PhaseOp::erase(v));
+          } else if (loaded) {
+            // Redundant load of a red value then delete: defer.
+            deferred[p].push_back(v);
+          } else {
+            ps.deletes.push_back(v);
+          }
+        }
+      }
+    }
+    prev_kind = kind == -1 ? prev_kind : kind;
+  }
+  out.drop_empty_supersteps();
+  return out;
+}
+
+}  // namespace mbsp

@@ -1,0 +1,106 @@
+#pragma once
+// The full ILP representation of MBSP scheduling (Section 6.1, Appendix C):
+// binary variables compute/save/load (p, v, t) and hasred (p, v, t),
+// hasblue (v, t), the fundamental constraints of Figure 3, and either the
+// asynchronous makespan objective (finishtime / getsblue / makespan) or the
+// synchronous superstep objective (phase typing + compuntil / compinduced
+// accumulators). Recomputation can be prohibited with one extra constraint
+// family, as in the paper's ablation.
+//
+// One deliberate strengthening over the paper's Figure 3: a COMPUTE places
+// the output's red pebble while the parents are still red, so we add
+//   sum_w mu(w) hasred[p,w,t] + mu(v) (compute[p,v,t] - hasred[p,v,t]) <= r
+// which the time-discretized constraint (7) alone does not imply; without
+// it, extracted schedules could transiently exceed the memory bound.
+//
+// These exact models are solvable by the in-house branch-and-bound only at
+// small sizes (tiny DAGs, small T); the LNS scheduler covers the rest —
+// see DESIGN.md.
+
+#include <vector>
+
+#include "src/ilp/model.hpp"
+#include "src/model/schedule.hpp"
+#include "src/model/validate.hpp"
+
+namespace mbsp {
+
+enum class CostModel { kSynchronous, kAsynchronous };
+
+struct FormulationOptions {
+  int num_steps = 8;  ///< T, the number of discrete time steps
+  CostModel cost = CostModel::kSynchronous;
+  bool allow_recompute = true;
+  /// Section 6.2 step merging: a step may hold several COMPUTEs on one
+  /// processor (all inputs and outputs fitting in cache simultaneously,
+  /// local dependencies allowed within the step) or several save/load
+  /// operations. Drastically reduces the T needed. Supported for the
+  /// asynchronous cost model; encode_schedule() does not support it.
+  bool merge_steps = false;
+};
+
+/// Builds the ILP and remembers the variable layout for extraction.
+class IlpFormulation {
+ public:
+  IlpFormulation(const MbspInstance& inst, FormulationOptions options);
+
+  const ilp::Model& model() const { return model_; }
+  ilp::Model& mutable_model() { return model_; }
+  const FormulationOptions& options() const { return options_; }
+
+  /// Variable accessors (kInvalidVar when the variable was elided, e.g.
+  /// compute of a source node).
+  static constexpr ilp::VarId kInvalidVar = -1;
+  ilp::VarId compute_var(int p, NodeId v, int t) const;
+  ilp::VarId save_var(int p, NodeId v, int t) const;
+  ilp::VarId load_var(int p, NodeId v, int t) const;
+  ilp::VarId hasred_var(int p, NodeId v, int t) const;
+  ilp::VarId hasblue_var(NodeId v, int t) const;
+
+  /// Turns an integral ILP solution into a valid MBSP schedule (supersteps
+  /// grouped from phase runs in the synchronous model, one superstep per
+  /// time step in the asynchronous model).
+  MbspSchedule extract_schedule(const std::vector<double>& x) const;
+
+  /// Number of ILP time steps needed to encode `sched` (compute / save /
+  /// load blocks per superstep; deletes are implicit transitions).
+  static int steps_required(const MbspSchedule& sched);
+
+  /// Encodes a valid MBSP schedule as a variable assignment — the paper's
+  /// warm start ("we initialize the solvers with our baseline"). Returns
+  /// an empty vector if the schedule does not fit in T steps. The encoding
+  /// satisfies every constraint and its objective equals the schedule's
+  /// sync/async cost (tests assert this on the full dataset).
+  std::vector<double> encode_schedule(const MbspSchedule& sched) const;
+
+ private:
+  void build();
+  void build_sync_cost();
+  void build_async_cost();
+
+  /// Auxiliary variables of one phase kind in the synchronous objective.
+  struct PhaseAux {
+    std::vector<ilp::VarId> begins, ends, induced;  // per t
+    std::vector<ilp::VarId> until;                  // [p * T + t]
+  };
+
+  const MbspInstance& inst_;
+  FormulationOptions options_;
+  ilp::Model model_;
+  int P_ = 0, T_ = 0;
+  NodeId n_ = 0;
+  double big_m_ = 0;
+  // Layout tables indexed [((p * n) + v) * T + t] etc.
+  std::vector<ilp::VarId> compute_, save_, load_, hasred_;
+  std::vector<ilp::VarId> hasblue_;
+  std::vector<ilp::VarId> compphase_, savephase_, loadphase_;  // per t (sync)
+  PhaseAux comp_aux_, save_aux_, load_aux_;                    // sync
+  ilp::VarId first_ss_ = -1;                                   // sync, L > 0
+  std::vector<ilp::VarId> started_, ssbeg_, ioss_;             // sync, L > 0
+  std::vector<ilp::VarId> finish_;                             // async [p*T+t]
+  std::vector<ilp::VarId> getsblue_;                           // async per v
+  ilp::VarId makespan_ = -1;                                   // async
+  std::vector<int> topo_pos_;  // topological position per node
+};
+
+}  // namespace mbsp

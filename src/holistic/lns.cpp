@@ -1,0 +1,244 @@
+#include "src/holistic/lns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "src/model/cost.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/timer.hpp"
+
+namespace mbsp {
+
+namespace {
+
+struct OccRef {
+  int proc = 0;
+  std::size_t index = 0;
+};
+
+/// Uniformly random occurrence reference, or nullopt if the plan is empty.
+std::optional<OccRef> random_occurrence(const ComputePlan& plan, Rng& rng) {
+  const std::size_t total = plan.total_computes();
+  if (total == 0) return std::nullopt;
+  std::size_t pick = rng.index(total);
+  for (int p = 0; p < plan.num_procs; ++p) {
+    if (pick < plan.seq[p].size()) return OccRef{p, pick};
+    pick -= plan.seq[p].size();
+  }
+  return std::nullopt;
+}
+
+/// Insertion index range within proc q for an occurrence of superstep s.
+std::pair<std::size_t, std::size_t> superstep_range(
+    const std::vector<PlannedCompute>& seq, int s) {
+  const auto lo = std::lower_bound(
+      seq.begin(), seq.end(), s,
+      [](const PlannedCompute& pc, int step) { return pc.superstep < step; });
+  const auto hi = std::upper_bound(
+      seq.begin(), seq.end(), s,
+      [](int step, const PlannedCompute& pc) { return step < pc.superstep; });
+  return {static_cast<std::size_t>(lo - seq.begin()),
+          static_cast<std::size_t>(hi - seq.begin())};
+}
+
+bool move_to_other_proc(ComputePlan& plan, Rng& rng) {
+  if (plan.num_procs < 2) return false;
+  const auto ref = random_occurrence(plan, rng);
+  if (!ref) return false;
+  const PlannedCompute pc = plan.seq[ref->proc][ref->index];
+  int q = static_cast<int>(rng.index(plan.num_procs - 1));
+  if (q >= ref->proc) ++q;
+  plan.seq[ref->proc].erase(plan.seq[ref->proc].begin() +
+                            static_cast<std::ptrdiff_t>(ref->index));
+  const auto [lo, hi] = superstep_range(plan.seq[q], pc.superstep);
+  const std::size_t at = lo + rng.index(hi - lo + 1);
+  plan.seq[q].insert(plan.seq[q].begin() + static_cast<std::ptrdiff_t>(at), pc);
+  return true;
+}
+
+bool move_superstep(ComputePlan& plan, Rng& rng) {
+  const auto ref = random_occurrence(plan, rng);
+  if (!ref) return false;
+  auto& seq = plan.seq[ref->proc];
+  PlannedCompute pc = seq[ref->index];
+  const int delta = rng.chance(0.5) ? 1 : -1;
+  const int target = pc.superstep + delta;
+  if (target < 0) return false;
+  seq.erase(seq.begin() + static_cast<std::ptrdiff_t>(ref->index));
+  pc.superstep = target;
+  const auto [lo, hi] = superstep_range(seq, target);
+  // Moving later: insert at the front of the target block keeps local
+  // topological order plausible; moving earlier: at the back.
+  const std::size_t at = delta > 0 ? lo : hi;
+  seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(at), pc);
+  return true;
+}
+
+bool swap_between_procs(ComputePlan& plan, Rng& rng) {
+  if (plan.num_procs < 2) return false;
+  const auto a = random_occurrence(plan, rng);
+  const auto b = random_occurrence(plan, rng);
+  if (!a || !b || a->proc == b->proc) return false;
+  PlannedCompute& pa = plan.seq[a->proc][a->index];
+  PlannedCompute& pb = plan.seq[b->proc][b->index];
+  if (pa.superstep != pb.superstep) return false;
+  std::swap(pa.node, pb.node);
+  return true;
+}
+
+bool merge_supersteps(ComputePlan& plan, Rng& rng) {
+  const int k = plan.num_supersteps();
+  if (k < 2) return false;
+  const int s = static_cast<int>(rng.index(static_cast<std::size_t>(k - 1)));
+  for (auto& seq : plan.seq) {
+    for (PlannedCompute& pc : seq) {
+      if (pc.superstep > s) --pc.superstep;
+    }
+  }
+  return true;
+}
+
+bool split_superstep(ComputePlan& plan, Rng& rng) {
+  const int k = plan.num_supersteps();
+  if (k == 0) return false;
+  const int s = static_cast<int>(rng.index(static_cast<std::size_t>(k)));
+  bool any = false;
+  for (auto& seq : plan.seq) {
+    const auto [lo, hi] = superstep_range(seq, s);
+    // Random split point inside the block (may keep everything in s).
+    const std::size_t cut = lo + rng.index(hi - lo + 1);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (seq[i].superstep > s || (seq[i].superstep == s && i >= cut)) {
+        ++seq[i].superstep;
+        any = true;
+      }
+    }
+  }
+  return any;
+}
+
+bool add_recompute(const ComputeDag& dag, ComputePlan& plan, Rng& rng) {
+  // Pick a random occurrence with a non-source parent not computed locally
+  // beforehand; insert a recomputation of that parent right before it.
+  const auto ref = random_occurrence(plan, rng);
+  if (!ref) return false;
+  auto& seq = plan.seq[ref->proc];
+  const PlannedCompute pc = seq[ref->index];
+  std::vector<NodeId> candidates;
+  for (NodeId u : dag.parents(pc.node)) {
+    if (dag.is_source(u)) continue;
+    bool local_before = false;
+    for (std::size_t i = 0; i < ref->index; ++i) {
+      if (seq[i].node == u) {
+        local_before = true;
+        break;
+      }
+    }
+    if (!local_before) candidates.push_back(u);
+  }
+  if (candidates.empty()) return false;
+  const NodeId u = candidates[rng.index(candidates.size())];
+  seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(ref->index),
+             {u, pc.superstep});
+  return true;
+}
+
+bool remove_occurrence(const ComputeDag& dag, ComputePlan& plan, Rng& rng) {
+  const auto ref = random_occurrence(plan, rng);
+  if (!ref) return false;
+  const NodeId v = plan.seq[ref->proc][ref->index].node;
+  std::size_t copies = 0;
+  for (const auto& seq : plan.seq) {
+    for (const PlannedCompute& pc : seq) {
+      if (pc.node == v) ++copies;
+    }
+  }
+  (void)dag;
+  if (copies < 2) return false;
+  auto& seq = plan.seq[ref->proc];
+  seq.erase(seq.begin() + static_cast<std::ptrdiff_t>(ref->index));
+  return true;
+}
+
+}  // namespace
+
+double evaluate_plan(const MbspInstance& inst, const ComputePlan& plan,
+                     const LnsOptions& options, MbspSchedule* out) {
+  MbspSchedule schedule =
+      complete_memory(inst, plan, options.completion_policy);
+  const double cost = options.cost == CostModel::kSynchronous
+                          ? sync_cost(inst, schedule)
+                          : async_cost(inst, schedule);
+  if (out != nullptr) *out = std::move(schedule);
+  return cost;
+}
+
+LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
+                       const LnsOptions& options) {
+  LnsResult result;
+  result.plan = initial;
+  result.initial_cost = evaluate_plan(inst, initial, options, &result.schedule);
+  result.cost = result.initial_cost;
+
+  ComputePlan current = initial;
+  double current_cost = result.initial_cost;
+
+  Rng rng(options.seed);
+  Deadline deadline(options.budget_ms);
+  double temperature =
+      std::max(1e-9, options.initial_temperature_frac * result.initial_cost);
+  const double cooling = 0.9995;
+
+  // Enabled move classes (ablations can disable any subset).
+  std::vector<unsigned> moves;
+  for (unsigned m : {kMoveProc, kMoveSuperstep, kSwapProcs, kMergeSupersteps,
+                     kSplitSuperstep, kAddRecompute, kRemoveOccurrence}) {
+    const bool recompute_move = m == kAddRecompute || m == kRemoveOccurrence;
+    if ((options.move_mask & m) != 0 &&
+        (!recompute_move || options.allow_recompute)) {
+      moves.push_back(m);
+    }
+  }
+  if (moves.empty()) return result;
+
+  while (result.iterations < options.max_iterations && !deadline.expired()) {
+    ++result.iterations;
+    ComputePlan candidate = current;
+    bool changed = false;
+    switch (moves[rng.index(moves.size())]) {
+      case kMoveProc: changed = move_to_other_proc(candidate, rng); break;
+      case kMoveSuperstep: changed = move_superstep(candidate, rng); break;
+      case kSwapProcs: changed = swap_between_procs(candidate, rng); break;
+      case kMergeSupersteps: changed = merge_supersteps(candidate, rng); break;
+      case kSplitSuperstep: changed = split_superstep(candidate, rng); break;
+      case kAddRecompute:
+        changed = add_recompute(inst.dag, candidate, rng);
+        break;
+      case kRemoveOccurrence:
+        changed = remove_occurrence(inst.dag, candidate, rng);
+        break;
+    }
+    if (!changed) continue;
+    normalize_supersteps(candidate);
+    if (!validate_plan(inst.dag, candidate)) continue;
+    const double cost = evaluate_plan(inst, candidate, options);
+    const double delta = cost - current_cost;
+    const bool accept =
+        delta <= 0 || rng.uniform01() < std::exp(-delta / temperature);
+    temperature = std::max(1e-9, temperature * cooling);
+    if (!accept) continue;
+    ++result.accepted;
+    current = std::move(candidate);
+    current_cost = cost;
+    if (cost < result.cost) {
+      result.cost = cost;
+      result.plan = current;
+    }
+  }
+  // Re-derive the best schedule (plan is stored; completion deterministic).
+  result.cost = evaluate_plan(inst, result.plan, options, &result.schedule);
+  return result;
+}
+
+}  // namespace mbsp

@@ -1,0 +1,71 @@
+#pragma once
+// The holistic anytime scheduler: simulated-annealing large-neighbourhood
+// search over ComputePlans, warm-started from the two-stage baseline — the
+// role COPT plays in the paper's experiments (improve an initial solution
+// within a time budget against the *true* MBSP objective). The search moves
+// mirror the ILP's degrees of freedom:
+//
+//   * move a compute occurrence to another processor / superstep,
+//   * swap occurrences between processors,
+//   * merge or split supersteps,
+//   * insert a recomputation (extra occurrence) to spare a load,
+//   * drop a redundant occurrence.
+//
+// Every candidate is checked by validate_plan(); memory management is
+// re-derived by the clairvoyant completion, and the exact synchronous or
+// asynchronous cost of the resulting schedule is the objective. The
+// returned schedule is therefore never worse than the warm start.
+
+#include <cstdint>
+
+#include "src/cache/policy.hpp"
+#include "src/holistic/formulation.hpp"  // CostModel
+#include "src/twostage/compute_plan.hpp"
+#include "src/twostage/memory_completion.hpp"
+
+namespace mbsp {
+
+/// Bitmask naming the LNS move classes (for ablation studies).
+enum LnsMove : unsigned {
+  kMoveProc = 1u << 0,       ///< move an occurrence to another processor
+  kMoveSuperstep = 1u << 1,  ///< shift an occurrence +-1 superstep
+  kSwapProcs = 1u << 2,      ///< swap two same-superstep occurrences
+  kMergeSupersteps = 1u << 3,
+  kSplitSuperstep = 1u << 4,
+  kAddRecompute = 1u << 5,
+  kRemoveOccurrence = 1u << 6,
+  kAllMoves = (1u << 7) - 1,
+};
+
+struct LnsOptions {
+  double budget_ms = 2000;
+  CostModel cost = CostModel::kSynchronous;
+  bool allow_recompute = true;
+  PolicyKind completion_policy = PolicyKind::kClairvoyant;
+  std::uint64_t seed = 42;
+  long max_iterations = 2'000'000;
+  /// Initial SA temperature as a fraction of the starting cost.
+  double initial_temperature_frac = 0.05;
+  /// Enabled move classes; recompute moves additionally require
+  /// allow_recompute. Disabling classes is for ablation benches.
+  unsigned move_mask = kAllMoves;
+};
+
+struct LnsResult {
+  ComputePlan plan;
+  MbspSchedule schedule;
+  double cost = 0;           ///< cost of `schedule` under options.cost
+  double initial_cost = 0;   ///< cost of the warm start
+  long iterations = 0;
+  long accepted = 0;
+};
+
+/// Evaluates a plan: completes memory and returns the configured cost.
+double evaluate_plan(const MbspInstance& inst, const ComputePlan& plan,
+                     const LnsOptions& options, MbspSchedule* out = nullptr);
+
+/// Improves `initial` within the budget. `initial` must pass validate_plan.
+LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
+                       const LnsOptions& options);
+
+}  // namespace mbsp

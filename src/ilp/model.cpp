@@ -1,0 +1,103 @@
+#include "src/ilp/model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace mbsp::ilp {
+
+VarId Model::add_var(double lo, double hi, VarType type, std::string name) {
+  const VarId id = static_cast<VarId>(lo_.size());
+  lo_.push_back(lo);
+  hi_.push_back(hi);
+  obj_.push_back(0.0);
+  type_.push_back(type);
+  if (name.empty()) name = "x" + std::to_string(id);
+  var_names_.push_back(std::move(name));
+  return id;
+}
+
+void Model::add_constraint(LinExpr expr, Sense sense, double rhs,
+                           std::string name) {
+  if (name.empty()) name = "c" + std::to_string(constraints_.size());
+  constraints_.push_back({std::move(expr), sense, rhs, std::move(name)});
+}
+
+void Model::set_objective_coeff(VarId var, double coeff) { obj_[var] = coeff; }
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double value = 0;
+  for (int v = 0; v < num_vars(); ++v) value += obj_[v] * x[v];
+  return value;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_vars()) return false;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (x[v] < lo_[v] - tol || x[v] > hi_[v] + tol) return false;
+    if (type_[v] != VarType::kContinuous &&
+        std::abs(x[v] - std::round(x[v])) > tol) {
+      return false;
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0;
+    for (const Term& t : c.expr.terms()) lhs += t.coeff * x[t.var];
+    switch (c.sense) {
+      case Sense::kLe:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string Model::to_lp_string() const {
+  std::ostringstream out;
+  out << "\\ " << name_ << "\nMinimize\n obj:";
+  bool first = true;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (obj_[v] == 0) continue;
+    out << (obj_[v] >= 0 && !first ? " +" : " ") << obj_[v] << ' '
+        << var_names_[v];
+    first = false;
+  }
+  if (first) out << " 0 " << var_names_.empty();
+  out << "\nSubject To\n";
+  for (const Constraint& c : constraints_) {
+    out << ' ' << c.name << ':';
+    for (const Term& t : c.expr.terms()) {
+      out << (t.coeff >= 0 ? " +" : " ") << t.coeff << ' '
+          << var_names_[t.var];
+    }
+    switch (c.sense) {
+      case Sense::kLe: out << " <= "; break;
+      case Sense::kGe: out << " >= "; break;
+      case Sense::kEq: out << " = "; break;
+    }
+    out << c.rhs << '\n';
+  }
+  out << "Bounds\n";
+  for (int v = 0; v < num_vars(); ++v) {
+    out << ' ' << lo_[v] << " <= " << var_names_[v] << " <= ";
+    if (hi_[v] == kInf) {
+      out << "+inf";
+    } else {
+      out << hi_[v];
+    }
+    out << '\n';
+  }
+  out << "Generals\n";
+  for (int v = 0; v < num_vars(); ++v) {
+    if (type_[v] != VarType::kContinuous) out << ' ' << var_names_[v];
+  }
+  out << "\nEnd\n";
+  return out.str();
+}
+
+}  // namespace mbsp::ilp

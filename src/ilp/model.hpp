@@ -1,0 +1,102 @@
+#pragma once
+// Generic mixed-integer linear program container. This is the in-house
+// substitute for the commercial solver interface the paper uses (COPT):
+// models are built once, exported to .lp for inspection, and solved by the
+// branch-and-bound solver in solver.hpp.
+//
+// Conventions: minimization; every variable has bounds [lo, hi] with
+// lo > -inf (all MBSP formulations are naturally nonnegative).
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mbsp::ilp {
+
+using VarId = int;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class VarType { kContinuous, kBinary, kInteger };
+
+enum class Sense { kLe, kGe, kEq };
+
+struct Term {
+  VarId var;
+  double coeff;
+};
+
+/// A linear expression sum(coeff_i * var_i) built incrementally.
+class LinExpr {
+ public:
+  LinExpr& add(VarId var, double coeff) {
+    if (coeff != 0.0) terms_.push_back({var, coeff});
+    return *this;
+  }
+  const std::vector<Term>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::vector<Term> terms_;
+};
+
+struct Constraint {
+  LinExpr expr;
+  Sense sense = Sense::kLe;
+  double rhs = 0;
+  std::string name;
+};
+
+class Model {
+ public:
+  explicit Model(std::string name = "model") : name_(std::move(name)) {}
+
+  VarId add_var(double lo, double hi, VarType type, std::string name = "");
+  VarId add_binary(std::string name = "") {
+    return add_var(0, 1, VarType::kBinary, std::move(name));
+  }
+  VarId add_continuous(double lo, double hi, std::string name = "") {
+    return add_var(lo, hi, VarType::kContinuous, std::move(name));
+  }
+
+  void add_constraint(LinExpr expr, Sense sense, double rhs,
+                      std::string name = "");
+
+  /// Objective is minimized. Coefficients default to 0.
+  void set_objective_coeff(VarId var, double coeff);
+  double objective_coeff(VarId var) const { return obj_[var]; }
+
+  int num_vars() const { return static_cast<int>(lo_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  double lower_bound(VarId v) const { return lo_[v]; }
+  double upper_bound(VarId v) const { return hi_[v]; }
+  VarType var_type(VarId v) const { return type_[v]; }
+  const std::string& var_name(VarId v) const { return var_names_[v]; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  const std::string& name() const { return name_; }
+
+  /// Tightens a variable's bounds (used by branch-and-bound).
+  void set_bounds(VarId v, double lo, double hi) {
+    lo_[v] = lo;
+    hi_[v] = hi;
+  }
+
+  /// Objective value of an assignment.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Checks feasibility of `x` within tolerance (bounds, constraints,
+  /// integrality for integer variables).
+  bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  /// CPLEX .lp text format for offline inspection.
+  std::string to_lp_string() const;
+
+ private:
+  std::string name_;
+  std::vector<double> lo_, hi_, obj_;
+  std::vector<VarType> type_;
+  std::vector<std::string> var_names_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace mbsp::ilp

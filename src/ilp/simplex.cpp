@@ -1,0 +1,257 @@
+#include "src/ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mbsp::ilp {
+
+namespace {
+
+/// Dense tableau with an objective row at index m (reduced costs).
+class Tableau {
+ public:
+  Tableau(int rows, int cols) : rows_(rows), cols_(cols),
+                                data_(static_cast<std::size_t>(rows + 1) *
+                                          (cols + 1),
+                                      0.0) {}
+
+  double& at(int i, int j) {
+    return data_[static_cast<std::size_t>(i) * (cols_ + 1) + j];
+  }
+  double at(int i, int j) const {
+    return data_[static_cast<std::size_t>(i) * (cols_ + 1) + j];
+  }
+  double& rhs(int i) { return at(i, cols_); }
+  double rhs(int i) const { return at(i, cols_); }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  void pivot(int pr, int pc) {
+    const double pivot_value = at(pr, pc);
+    const double inv = 1.0 / pivot_value;
+    for (int j = 0; j <= cols_; ++j) at(pr, j) *= inv;
+    at(pr, pc) = 1.0;
+    for (int i = 0; i <= rows_; ++i) {
+      if (i == pr) continue;
+      const double factor = at(i, pc);
+      if (factor == 0.0) continue;
+      for (int j = 0; j <= cols_; ++j) at(i, j) -= factor * at(pr, j);
+      at(i, pc) = 0.0;
+    }
+  }
+
+ private:
+  int rows_, cols_;
+  std::vector<double> data_;
+};
+
+struct Problem {
+  int n_struct = 0;      // structural (shifted) variables
+  int n_total = 0;       // + slacks + artificials
+  int first_artificial = 0;
+  std::vector<double> shift;  // lo_j, x_j = shift_j + x'_j
+};
+
+}  // namespace
+
+LpResult solve_lp(const Model& model, const SimplexOptions& options) {
+  const double eps = options.eps;
+  const int n = model.num_vars();
+
+  // Assemble rows: model constraints (with shifted rhs) + upper-bound rows.
+  struct Row {
+    std::vector<Term> terms;  // over structural variables
+    Sense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(model.num_constraints() + n);
+  Problem prob;
+  prob.n_struct = n;
+  prob.shift.resize(n);
+  for (int v = 0; v < n; ++v) prob.shift[v] = model.lower_bound(v);
+
+  for (const Constraint& c : model.constraints()) {
+    Row row;
+    row.sense = c.sense;
+    double shifted = c.rhs;
+    for (const Term& t : c.expr.terms()) {
+      shifted -= t.coeff * prob.shift[t.var];
+      row.terms.push_back(t);
+    }
+    row.rhs = shifted;
+    rows.push_back(std::move(row));
+  }
+  for (int v = 0; v < n; ++v) {
+    const double hi = model.upper_bound(v);
+    if (hi == kInf) continue;
+    const double span = hi - model.lower_bound(v);
+    Row row;
+    row.sense = Sense::kLe;
+    row.terms.push_back({v, 1.0});
+    row.rhs = span;
+    rows.push_back(std::move(row));
+  }
+  const int m = static_cast<int>(rows.size());
+
+  // Normalize rhs >= 0 and decide slack / artificial columns.
+  int n_slack = 0, n_art = 0;
+  std::vector<int> slack_col(m, -1), art_col(m, -1);
+  for (Row& row : rows) {
+    if (row.rhs < 0) {
+      row.rhs = -row.rhs;
+      for (Term& t : row.terms) t.coeff = -t.coeff;
+      if (row.sense == Sense::kLe) {
+        row.sense = Sense::kGe;
+      } else if (row.sense == Sense::kGe) {
+        row.sense = Sense::kLe;
+      }
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    switch (rows[i].sense) {
+      case Sense::kLe:
+        slack_col[i] = n + n_slack++;
+        break;
+      case Sense::kGe:
+        slack_col[i] = n + n_slack++;  // surplus, coefficient -1
+        break;
+      case Sense::kEq:
+        break;
+    }
+  }
+  prob.first_artificial = n + n_slack;
+  for (int i = 0; i < m; ++i) {
+    // >= rows and = rows need an artificial basic column.
+    if (rows[i].sense != Sense::kLe) art_col[i] = prob.first_artificial + n_art++;
+  }
+  prob.n_total = n + n_slack + n_art;
+
+  Tableau tab(m, prob.n_total);
+  std::vector<int> basis(m, -1);
+  for (int i = 0; i < m; ++i) {
+    for (const Term& t : rows[i].terms) tab.at(i, t.var) += t.coeff;
+    tab.rhs(i) = rows[i].rhs;
+    if (rows[i].sense == Sense::kLe) {
+      tab.at(i, slack_col[i]) = 1.0;
+      basis[i] = slack_col[i];
+    } else if (rows[i].sense == Sense::kGe) {
+      tab.at(i, slack_col[i]) = -1.0;
+      tab.at(i, art_col[i]) = 1.0;
+      basis[i] = art_col[i];
+    } else {
+      tab.at(i, art_col[i]) = 1.0;
+      basis[i] = art_col[i];
+    }
+  }
+
+  auto run_phase = [&](bool phase1, int iter_budget) -> LpStatus {
+    int degenerate_streak = 0;
+    for (int iter = 0; iter < iter_budget; ++iter) {
+      // Entering column: most negative reduced cost (Dantzig), switching to
+      // Bland's smallest-index rule after a degenerate streak.
+      const bool bland = degenerate_streak > 2 * (m + prob.n_total);
+      int enter = -1;
+      double best = -eps;
+      for (int j = 0; j < prob.n_total; ++j) {
+        if (!phase1 && j >= prob.first_artificial) continue;  // keep arts out
+        const double reduced = tab.at(m, j);
+        if (reduced < -eps) {
+          if (bland) {
+            enter = j;
+            break;
+          }
+          if (reduced < best) {
+            best = reduced;
+            enter = j;
+          }
+        }
+      }
+      if (enter == -1) return LpStatus::kOptimal;
+      // Ratio test.
+      int leave = -1;
+      double best_ratio = 0;
+      for (int i = 0; i < m; ++i) {
+        const double a = tab.at(i, enter);
+        if (a > eps) {
+          const double ratio = tab.rhs(i) / a;
+          if (leave == -1 || ratio < best_ratio - eps ||
+              (ratio < best_ratio + eps && basis[i] < basis[leave])) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == -1) return LpStatus::kUnbounded;
+      degenerate_streak = best_ratio < eps ? degenerate_streak + 1 : 0;
+      tab.pivot(leave, enter);
+      basis[leave] = enter;
+    }
+    return LpStatus::kIterLimit;
+  };
+
+  // Phase 1: minimize the sum of artificials.
+  if (n_art > 0) {
+    for (int j = 0; j <= prob.n_total; ++j) tab.at(m, j) = 0.0;
+    for (int j = prob.first_artificial; j < prob.n_total; ++j)
+      tab.at(m, j) = 1.0;
+    // Price out the artificial basics.
+    for (int i = 0; i < m; ++i) {
+      if (basis[i] >= prob.first_artificial) {
+        for (int j = 0; j <= prob.n_total; ++j) tab.at(m, j) -= tab.at(i, j);
+      }
+    }
+    const LpStatus st = run_phase(/*phase1=*/true, options.max_iterations);
+    if (st == LpStatus::kIterLimit) return {LpStatus::kIterLimit, 0, {}};
+    const double infeasibility = -tab.rhs(m);
+    if (infeasibility > 1e-6) return {LpStatus::kInfeasible, 0, {}};
+    // Drive leftover artificial basics out (or drop their rows).
+    for (int i = 0; i < m; ++i) {
+      if (basis[i] < prob.first_artificial) continue;
+      int pivot_col = -1;
+      for (int j = 0; j < prob.first_artificial; ++j) {
+        if (std::abs(tab.at(i, j)) > eps) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col != -1) {
+        tab.pivot(i, pivot_col);
+        basis[i] = pivot_col;
+      }
+      // Otherwise the row is redundant; the artificial stays basic at 0,
+      // harmless because phase 2 never lets artificials increase.
+    }
+  }
+
+  // Phase 2: the real objective over shifted variables.
+  for (int j = 0; j <= prob.n_total; ++j) tab.at(m, j) = 0.0;
+  for (int v = 0; v < n; ++v) tab.at(m, v) = model.objective_coeff(v);
+  for (int i = 0; i < m; ++i) {
+    const int b = basis[i];
+    if (b < n) {
+      const double cost = model.objective_coeff(b);
+      if (cost != 0.0) {
+        for (int j = 0; j <= prob.n_total; ++j) {
+          tab.at(m, j) -= cost * tab.at(i, j);
+        }
+        tab.at(m, b) = 0.0;
+      }
+    }
+  }
+  const LpStatus st = run_phase(/*phase1=*/false, options.max_iterations);
+  if (st == LpStatus::kUnbounded) return {LpStatus::kUnbounded, 0, {}};
+  if (st == LpStatus::kIterLimit) return {LpStatus::kIterLimit, 0, {}};
+
+  LpResult result;
+  result.status = LpStatus::kOptimal;
+  result.x.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (basis[i] < n) result.x[basis[i]] = tab.rhs(i);
+  }
+  for (int v = 0; v < n; ++v) result.x[v] += prob.shift[v];
+  result.objective = model.objective_value(result.x);
+  return result;
+}
+
+}  // namespace mbsp::ilp

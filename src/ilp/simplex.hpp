@@ -1,0 +1,32 @@
+#pragma once
+// Dense two-phase primal simplex for the LP relaxations inside branch and
+// bound. Scope: the small/medium LPs of this project (acyclic-partitioning
+// ILPs, tiny MBSP scheduling formulations, knapsack-style tests) — dense
+// tableau, Dantzig pricing with a Bland fallback against cycling.
+//
+// Variables are shifted to x' = x - lo >= 0; finite upper bounds become
+// explicit rows. Minimization throughout.
+
+#include <vector>
+
+#include "src/ilp/model.hpp"
+
+namespace mbsp::ilp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterLimit;
+  double objective = 0;
+  std::vector<double> x;  ///< values for the model's variables
+};
+
+struct SimplexOptions {
+  int max_iterations = 20000;
+  double eps = 1e-9;
+};
+
+/// Solves the LP relaxation of `model` (integrality dropped).
+LpResult solve_lp(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace mbsp::ilp

@@ -1,0 +1,19 @@
+#pragma once
+// Computing architecture of the MBSP model (Section 3): P processors, each
+// with a private fast memory of capacity r, plus the BSP parameters g
+// (cost per transferred data unit) and L (synchronization cost).
+
+namespace mbsp {
+
+struct Architecture {
+  int num_processors = 1;  ///< P >= 1
+  double fast_memory = 0;  ///< r, per-processor cache capacity
+  double g = 1;            ///< cost of moving one unit of data
+  double L = 0;            ///< per-superstep synchronization cost
+
+  static Architecture make(int P, double r, double g = 1, double L = 0) {
+    return Architecture{P, r, g, L};
+  }
+};
+
+}  // namespace mbsp

@@ -1,0 +1,86 @@
+#include "src/model/cost.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mbsp {
+
+SyncCostBreakdown sync_cost_breakdown(const MbspInstance& inst,
+                                      const MbspSchedule& sched) {
+  const ComputeDag& dag = inst.dag;
+  SyncCostBreakdown out;
+  for (const Superstep& step : sched.steps) {
+    double max_comp = 0, max_save = 0, max_load = 0;
+    for (const ProcStep& ps : step.proc) {
+      max_comp = std::max(max_comp, ps.compute_cost(dag));
+      max_save = std::max(max_save, ps.save_cost(dag, inst.arch.g));
+      max_load = std::max(max_load, ps.load_cost(dag, inst.arch.g));
+    }
+    out.compute += max_comp;
+    out.io += max_save + max_load;
+    out.sync += inst.arch.L;
+  }
+  return out;
+}
+
+double sync_cost(const MbspInstance& inst, const MbspSchedule& sched) {
+  return sync_cost_breakdown(inst, sched).total();
+}
+
+double async_cost(const MbspInstance& inst, const MbspSchedule& sched) {
+  const ComputeDag& dag = inst.dag;
+  const int P = inst.arch.num_processors;
+  const double g = inst.arch.g;
+  constexpr double kUnset = std::numeric_limits<double>::infinity();
+
+  std::vector<double> gets_blue(dag.num_nodes(), kUnset);
+  std::vector<int> first_save_step(dag.num_nodes(), -1);
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (dag.is_source(v)) gets_blue[v] = 0;  // sources start in slow memory
+  }
+
+  std::vector<double> now(P, 0.0);  // finishing time of last op per proc
+
+  for (std::size_t s = 0; s < sched.steps.size(); ++s) {
+    const Superstep& step = sched.steps[s];
+    // Compute phases (delete ops cost 0, computes cost omega).
+    for (int p = 0; p < P; ++p) {
+      for (const PhaseOp& op : step.proc[p].compute_phase) {
+        if (op.kind == OpKind::kCompute) now[p] += dag.omega(op.node);
+      }
+    }
+    // Save phases: record Gamma candidates for the *first* saving superstep.
+    for (int p = 0; p < P; ++p) {
+      for (NodeId v : step.proc[p].saves) {
+        now[p] += g * dag.mu(v);
+        if (first_save_step[v] == -1) first_save_step[v] = static_cast<int>(s);
+        if (first_save_step[v] == static_cast<int>(s)) {
+          gets_blue[v] = std::min(gets_blue[v], now[p]);
+        }
+      }
+    }
+    // Delete phases are free. Load phases wait for availability.
+    for (int p = 0; p < P; ++p) {
+      for (NodeId v : step.proc[p].loads) {
+        now[p] = std::max(now[p], gets_blue[v]) + g * dag.mu(v);
+      }
+    }
+  }
+  double makespan = 0;
+  for (int p = 0; p < P; ++p) makespan = std::max(makespan, now[p]);
+  return makespan;
+}
+
+double io_volume(const MbspInstance& inst, const MbspSchedule& sched) {
+  const ComputeDag& dag = inst.dag;
+  double volume = 0;
+  for (const Superstep& step : sched.steps) {
+    for (const ProcStep& ps : step.proc) {
+      for (NodeId v : ps.saves) volume += dag.mu(v);
+      for (NodeId v : ps.loads) volume += dag.mu(v);
+    }
+  }
+  return volume;
+}
+
+}  // namespace mbsp

@@ -1,0 +1,41 @@
+#pragma once
+// Cost functions of Section 3.3.
+//
+// Synchronous:   cost(S) = sum over supersteps of
+//                max_p comp + max_p save + max_p load + L.
+// Asynchronous:  finishing-time recursion gamma over each processor's flat
+//                operation sequence; a LOAD of v additionally waits for
+//                Gamma(v), the finishing time of the earliest SAVE of v in
+//                the first superstep that saves v (0 for DAG sources, which
+//                start blue). Cost = max over processors of the last
+//                finishing time.
+
+#include <vector>
+
+#include "src/model/instance.hpp"
+#include "src/model/schedule.hpp"
+
+namespace mbsp {
+
+/// Per-superstep breakdown of the synchronous cost.
+struct SyncCostBreakdown {
+  double compute = 0;  ///< sum of per-superstep max compute-phase costs
+  double io = 0;       ///< sum of max save + max load costs
+  double sync = 0;     ///< L * number of supersteps
+  double total() const { return compute + io + sync; }
+};
+
+SyncCostBreakdown sync_cost_breakdown(const MbspInstance& inst,
+                                      const MbspSchedule& sched);
+
+double sync_cost(const MbspInstance& inst, const MbspSchedule& sched);
+
+/// Asynchronous makespan (requires a *valid* schedule: every load must be
+/// preceded by a save of the value, which validate() guarantees).
+double async_cost(const MbspInstance& inst, const MbspSchedule& sched);
+
+/// Total I/O volume (sum of mu over all saves and loads), a model-agnostic
+/// measure used by ablation benches.
+double io_volume(const MbspInstance& inst, const MbspSchedule& sched);
+
+}  // namespace mbsp

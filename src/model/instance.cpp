@@ -1,0 +1,19 @@
+#include "src/model/instance.hpp"
+
+#include <algorithm>
+
+namespace mbsp {
+
+double min_memory_r0(const ComputeDag& dag) {
+  double r0 = 0;
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    r0 = std::max(r0, dag.mu(v));
+    if (dag.is_source(v)) continue;
+    double need = dag.mu(v);
+    for (NodeId u : dag.parents(v)) need += dag.mu(u);
+    r0 = std::max(r0, need);
+  }
+  return r0;
+}
+
+}  // namespace mbsp

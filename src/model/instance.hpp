@@ -1,0 +1,23 @@
+#pragma once
+// An MBSP problem instance: the computational DAG plus the architecture.
+
+#include <string>
+
+#include "src/graph/dag.hpp"
+#include "src/model/arch.hpp"
+
+namespace mbsp {
+
+struct MbspInstance {
+  ComputeDag dag;
+  Architecture arch;
+
+  const std::string& name() const { return dag.name(); }
+};
+
+/// Minimal fast-memory capacity r0 that admits a valid schedule:
+/// max over non-source v of mu(v) + sum of parents' mu, and at least the
+/// largest single mu (sources must be loadable).
+double min_memory_r0(const ComputeDag& dag);
+
+}  // namespace mbsp

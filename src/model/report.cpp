@@ -1,0 +1,95 @@
+#include "src/model/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "src/util/table.hpp"
+
+namespace mbsp {
+
+ScheduleStats schedule_stats(const MbspInstance& inst,
+                             const MbspSchedule& sched) {
+  const ComputeDag& dag = inst.dag;
+  ScheduleStats stats;
+  stats.supersteps = sched.num_supersteps();
+  const SyncCostBreakdown breakdown = sync_cost_breakdown(inst, sched);
+  stats.compute_cost = breakdown.compute;
+  stats.io_cost = breakdown.io;
+  stats.sync_cost_total = breakdown.total();
+  stats.async_cost_total = async_cost(inst, sched);
+  stats.io_volume = io_volume(inst, sched);
+
+  std::vector<int> computed(dag.num_nodes(), 0);
+  double imbalance_sum = 0;
+  int imbalance_steps = 0;
+  for (const Superstep& step : sched.steps) {
+    double max_comp = 0, sum_comp = 0;
+    int procs_with_work = 0;
+    for (const ProcStep& ps : step.proc) {
+      stats.loads += ps.loads.size();
+      stats.saves += ps.saves.size();
+      stats.deletes += ps.deletes.size();
+      double comp = 0;
+      for (const PhaseOp& op : ps.compute_phase) {
+        if (op.kind == OpKind::kCompute) {
+          ++stats.computes;
+          ++computed[op.node];
+          comp += dag.omega(op.node);
+        } else {
+          ++stats.deletes;
+        }
+      }
+      max_comp = std::max(max_comp, comp);
+      sum_comp += comp;
+      procs_with_work += comp > 0;
+    }
+    if (procs_with_work > 0 && sum_comp > 0) {
+      const double mean = sum_comp / static_cast<double>(step.proc.size());
+      imbalance_sum += max_comp / mean;
+      ++imbalance_steps;
+    }
+  }
+  for (int count : computed) stats.recomputed_nodes += count > 1;
+  if (imbalance_steps > 0) {
+    stats.compute_imbalance =
+        imbalance_sum / static_cast<double>(imbalance_steps);
+  }
+  return stats;
+}
+
+std::string schedule_report(const MbspInstance& inst,
+                            const MbspSchedule& sched) {
+  const ScheduleStats stats = schedule_stats(inst, sched);
+  std::ostringstream out;
+  out << "schedule for '" << inst.name() << "': " << stats.supersteps
+      << " supersteps, sync cost " << stats.sync_cost_total << " (compute "
+      << stats.compute_cost << ", I/O " << stats.io_cost << ", sync "
+      << stats.sync_cost_total - stats.compute_cost - stats.io_cost
+      << "), async cost " << stats.async_cost_total << "\n"
+      << "ops: " << stats.computes << " computes, " << stats.loads
+      << " loads, " << stats.saves << " saves, " << stats.deletes
+      << " deletes; I/O volume " << stats.io_volume << "; "
+      << stats.recomputed_nodes << " nodes recomputed; compute imbalance "
+      << stats.compute_imbalance << "\n";
+
+  Table table({"superstep", "max comp", "max save", "max load", "ops"});
+  for (std::size_t s = 0; s < sched.steps.size(); ++s) {
+    const Superstep& step = sched.steps[s];
+    double comp = 0, save = 0, load = 0;
+    std::size_t ops = 0;
+    for (const ProcStep& ps : step.proc) {
+      comp = std::max(comp, ps.compute_cost(inst.dag));
+      save = std::max(save, ps.save_cost(inst.dag, inst.arch.g));
+      load = std::max(load, ps.load_cost(inst.dag, inst.arch.g));
+      ops += ps.compute_phase.size() + ps.saves.size() + ps.deletes.size() +
+             ps.loads.size();
+    }
+    table.add_row({std::to_string(s), fmt(comp, 1), fmt(save, 1),
+                   fmt(load, 1), std::to_string(ops)});
+  }
+  out << table.to_text();
+  return out.str();
+}
+
+}  // namespace mbsp

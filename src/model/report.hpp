@@ -1,0 +1,33 @@
+#pragma once
+// Human-readable analysis of an MBSP schedule: per-superstep cost
+// breakdown, processor utilization, I/O volume, recomputation count.
+// Used by examples and handy when debugging schedulers.
+
+#include <string>
+
+#include "src/model/cost.hpp"
+
+namespace mbsp {
+
+struct ScheduleStats {
+  int supersteps = 0;
+  double compute_cost = 0;      ///< synchronous compute term
+  double io_cost = 0;           ///< synchronous I/O term
+  double sync_cost_total = 0;   ///< full synchronous cost
+  double async_cost_total = 0;
+  double io_volume = 0;         ///< sum of mu over saves + loads
+  std::size_t loads = 0, saves = 0, computes = 0, deletes = 0;
+  std::size_t recomputed_nodes = 0;  ///< nodes computed more than once
+  /// Average over supersteps of (max_p compute) / (mean_p compute),
+  /// restricted to supersteps with any compute; 1.0 = perfectly balanced.
+  double compute_imbalance = 1.0;
+};
+
+ScheduleStats schedule_stats(const MbspInstance& inst,
+                             const MbspSchedule& sched);
+
+/// Multi-line text report (stats + per-superstep table).
+std::string schedule_report(const MbspInstance& inst,
+                            const MbspSchedule& sched);
+
+}  // namespace mbsp

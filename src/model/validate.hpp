@@ -1,0 +1,29 @@
+#pragma once
+// Full semantic validation of an MBSP schedule against the transition rules
+// of Section 3.1 / Appendix A:
+//   LOAD    requires a blue pebble; SAVE requires this processor's red;
+//   COMPUTE requires all parents red on this processor and v not a source;
+//   the per-processor memory bound holds after every operation;
+//   the initial configuration has blue exactly on the sources, no reds;
+//   the terminal configuration has blue on every sink.
+
+#include <string>
+
+#include "src/model/instance.hpp"
+#include "src/model/schedule.hpp"
+
+namespace mbsp {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  ///< first violation, empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+ValidationResult validate(const MbspInstance& inst, const MbspSchedule& sched);
+
+/// Convenience: validate and abort with the message on failure (tests).
+void validate_or_die(const MbspInstance& inst, const MbspSchedule& sched);
+
+}  // namespace mbsp

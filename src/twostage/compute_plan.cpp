@@ -1,0 +1,107 @@
+#include "src/twostage/compute_plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace mbsp {
+
+int ComputePlan::num_supersteps() const {
+  int count = 0;
+  for (const auto& proc_seq : seq) {
+    if (!proc_seq.empty()) count = std::max(count, proc_seq.back().superstep + 1);
+  }
+  return count;
+}
+
+std::size_t ComputePlan::total_computes() const {
+  std::size_t total = 0;
+  for (const auto& proc_seq : seq) total += proc_seq.size();
+  return total;
+}
+
+PlanValidation validate_plan(const ComputeDag& dag, const ComputePlan& plan) {
+  auto fail = [](std::string msg) { return PlanValidation{false, std::move(msg)}; };
+  if (static_cast<int>(plan.seq.size()) != plan.num_procs) {
+    return fail("plan.seq size differs from num_procs");
+  }
+  const NodeId n = dag.num_nodes();
+  // earliest_done[v] = smallest superstep in which some occurrence of v
+  // completes (cross-processor availability starts one superstep later).
+  std::vector<int> earliest_done(n, -1);
+  for (const auto& proc_seq : plan.seq) {
+    int last_step = 0;
+    for (const PlannedCompute& pc : proc_seq) {
+      if (pc.node < 0 || pc.node >= n) return fail("bad node id in plan");
+      if (dag.is_source(pc.node)) {
+        return fail("plan computes source node " + std::to_string(pc.node));
+      }
+      if (pc.superstep < last_step) {
+        return fail("superstep indices decrease along a processor sequence");
+      }
+      last_step = pc.superstep;
+      if (earliest_done[pc.node] == -1 ||
+          pc.superstep < earliest_done[pc.node]) {
+        earliest_done[pc.node] = pc.superstep;
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (!dag.is_source(v) && earliest_done[v] == -1) {
+      return fail("node " + std::to_string(v) + " is never computed");
+    }
+  }
+  for (int p = 0; p < plan.num_procs; ++p) {
+    std::vector<int> computed_here_at(n, -1);  // superstep of first local occ.
+    std::vector<std::size_t> local_pos(n, SIZE_MAX);
+    for (std::size_t i = 0; i < plan.seq[p].size(); ++i) {
+      const PlannedCompute& pc = plan.seq[p][i];
+      for (NodeId u : dag.parents(pc.node)) {
+        if (dag.is_source(u)) continue;
+        const bool local_earlier = local_pos[u] < i;
+        const bool remote_earlier =
+            earliest_done[u] >= 0 && earliest_done[u] < pc.superstep;
+        if (!local_earlier && !remote_earlier) {
+          return fail("occurrence of node " + std::to_string(pc.node) +
+                      " on processor " + std::to_string(p) +
+                      " has unavailable parent " + std::to_string(u));
+        }
+      }
+      if (local_pos[pc.node] == SIZE_MAX) {
+        local_pos[pc.node] = i;
+        computed_here_at[pc.node] = pc.superstep;
+      } else {
+        local_pos[pc.node] = i;  // latest occurrence also fine
+      }
+    }
+  }
+  return {};
+}
+
+ComputePlan plan_from_bsp(const ComputeDag& dag, const BspSchedule& bsp,
+                          int num_procs) {
+  ComputePlan plan;
+  plan.num_procs = num_procs;
+  plan.seq.resize(num_procs);
+  for (NodeId v : bsp.order) {
+    if (dag.is_source(v)) continue;
+    plan.seq[bsp.proc[v]].push_back({v, bsp.superstep[v]});
+  }
+  normalize_supersteps(plan);
+  return plan;
+}
+
+void normalize_supersteps(ComputePlan& plan) {
+  std::set<int> used;
+  for (const auto& proc_seq : plan.seq) {
+    for (const PlannedCompute& pc : proc_seq) used.insert(pc.superstep);
+  }
+  std::map<int, int> renumber;
+  int next = 0;
+  for (int s : used) renumber[s] = next++;
+  for (auto& proc_seq : plan.seq) {
+    for (PlannedCompute& pc : proc_seq) pc.superstep = renumber[pc.superstep];
+  }
+}
+
+}  // namespace mbsp

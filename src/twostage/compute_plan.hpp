@@ -1,0 +1,56 @@
+#pragma once
+// A compute plan fixes the COMPUTE operations of an MBSP schedule — which
+// node occurrences run on which processor, in which (BSP-level) superstep,
+// in which order — while leaving every memory-management decision (loads,
+// saves, deletes, the splitting into MBSP supersteps) open. It is the
+// interface between stage 1 and stage 2 of the two-stage approach, and
+// also the search space of the holistic LNS scheduler (which, unlike
+// stage 1, may include *recomputation*: several occurrences of a node).
+
+#include <string>
+#include <vector>
+
+#include "src/bsp/bsp_schedule.hpp"
+#include "src/model/instance.hpp"
+
+namespace mbsp {
+
+struct PlannedCompute {
+  NodeId node = kInvalidNode;
+  int superstep = 0;  ///< plan-level superstep (BSP phase index)
+
+  bool operator==(const PlannedCompute&) const = default;
+};
+
+struct ComputePlan {
+  int num_procs = 1;
+  /// Per processor: compute occurrences in execution order; superstep
+  /// indices must be nondecreasing.
+  std::vector<std::vector<PlannedCompute>> seq;
+
+  int num_supersteps() const;
+  std::size_t total_computes() const;
+};
+
+struct PlanValidation {
+  bool ok = true;
+  std::string error;
+  explicit operator bool() const { return ok; }
+};
+
+/// Checks that the plan is realizable:
+///  * occurrences only of non-source nodes, supersteps nondecreasing;
+///  * every non-source node is computed at least once;
+///  * each occurrence's parents are available: a source, or computed
+///    earlier on the same processor in the same or earlier superstep, or
+///    computed on *any* processor in a strictly earlier superstep.
+PlanValidation validate_plan(const ComputeDag& dag, const ComputePlan& plan);
+
+/// Lifts a (validated) BSP schedule to a plan (no recomputation).
+ComputePlan plan_from_bsp(const ComputeDag& dag, const BspSchedule& bsp,
+                          int num_procs);
+
+/// Renumbers supersteps to 0..k-1 preserving order, dropping gaps.
+void normalize_supersteps(ComputePlan& plan);
+
+}  // namespace mbsp

@@ -1,0 +1,390 @@
+#include "src/twostage/memory_completion.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace mbsp {
+
+namespace {
+
+constexpr double kMemEps = 1e-9;
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+/// One planned maximal segment of computes on one processor, together with
+/// the I/O that realizes it and the processor state after it.
+struct SegmentPlan {
+  std::vector<NodeId> loads;
+  std::vector<NodeId> pre_saves;    // dirty upfront evictions (prev slot)
+  std::vector<NodeId> pre_deletes;  // upfront evictions (prev slot)
+  std::vector<PhaseOp> ops;         // computes + interleaved deletes
+  std::vector<NodeId> post_saves;   // outputs needing a blue pebble
+  std::vector<NodeId> post_deletes; // dead values dropped after the segment
+  std::int64_t count = 0;           // number of plan entries consumed
+  // State after the segment.
+  std::vector<char> cache;
+  double cache_weight = 0;
+  std::vector<NodeId> made_blue;  // pre_saves + post_saves (commit order)
+  std::unordered_map<NodeId, std::int64_t> touched;  // last_active updates
+};
+
+class Completer {
+ public:
+  Completer(const MbspInstance& inst, const ComputePlan& plan,
+            const EvictionPolicy& policy)
+      : inst_(inst), dag_(inst.dag), plan_(plan), policy_(policy),
+        P_(plan.num_procs), r_(inst.arch.fast_memory) {
+    precompute();
+  }
+
+  MbspSchedule run();
+
+ private:
+  void precompute();
+  std::optional<SegmentPlan> try_segment(int p, std::int64_t count) const;
+  SegmentPlan plan_largest_segment(int p, int superstep) const;
+  void commit(int p, const SegmentPlan& seg);
+
+  /// Position (in seq[p]) of the next *need* of the current copy of v at or
+  /// after `from`: the next use as a parent, unless v is recomputed on p
+  /// before that use (then the current copy is not needed). kNever if none.
+  std::int64_t effective_next_need(int p, NodeId v, std::int64_t from) const;
+
+  bool save_required(NodeId v) const { return save_required_[v] != 0; }
+
+  const MbspInstance& inst_;
+  const ComputeDag& dag_;
+  const ComputePlan& plan_;
+  const EvictionPolicy& policy_;
+  const int P_;
+  const double r_;
+
+  // Static plan indexes.
+  std::vector<std::vector<std::vector<std::int64_t>>> use_pos_;   // [p][v]
+  std::vector<std::vector<std::vector<std::int64_t>>> comp_pos_;  // [p][v]
+  std::vector<char> save_required_;  // sink or used on a non-computing proc
+
+  // Dynamic state.
+  std::vector<std::vector<char>> cache_;
+  std::vector<double> cache_weight_;
+  std::vector<char> blue_;          // visible for loads staged this round
+  std::vector<NodeId> pending_blue_;  // post_saves; visible next round
+  std::vector<std::int64_t> pos_;
+  std::vector<std::vector<std::int64_t>> last_active_;
+};
+
+void Completer::precompute() {
+  const NodeId n = dag_.num_nodes();
+  use_pos_.assign(P_, std::vector<std::vector<std::int64_t>>(n));
+  comp_pos_.assign(P_, std::vector<std::vector<std::int64_t>>(n));
+  for (int p = 0; p < P_; ++p) {
+    for (std::size_t i = 0; i < plan_.seq[p].size(); ++i) {
+      const NodeId v = plan_.seq[p][i].node;
+      comp_pos_[p][v].push_back(static_cast<std::int64_t>(i));
+      for (NodeId u : dag_.parents(v)) {
+        use_pos_[p][u].push_back(static_cast<std::int64_t>(i));
+      }
+    }
+  }
+  save_required_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dag_.is_source(v)) continue;
+    if (dag_.is_sink(v)) {
+      save_required_[v] = 1;
+      continue;
+    }
+    // Used on some processor that is not the only computing processor.
+    int computing = -1, computing_count = 0;
+    for (int p = 0; p < P_; ++p) {
+      if (!comp_pos_[p][v].empty()) {
+        computing = p;
+        ++computing_count;
+      }
+    }
+    for (int p = 0; p < P_ && !save_required_[v]; ++p) {
+      if (!use_pos_[p][v].empty() && (computing_count > 1 || p != computing)) {
+        save_required_[v] = 1;
+      }
+    }
+  }
+  cache_.assign(P_, std::vector<char>(n, 0));
+  cache_weight_.assign(P_, 0.0);
+  blue_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dag_.is_source(v)) blue_[v] = 1;
+  }
+  pos_.assign(P_, 0);
+  last_active_.assign(P_, std::vector<std::int64_t>(n, -1));
+}
+
+std::int64_t Completer::effective_next_need(int p, NodeId v,
+                                            std::int64_t from) const {
+  const auto& uses = use_pos_[p][v];
+  const auto uit = std::lower_bound(uses.begin(), uses.end(), from);
+  if (uit == uses.end()) return kNever;
+  const auto& comps = comp_pos_[p][v];
+  const auto cit = std::lower_bound(comps.begin(), comps.end(), from);
+  if (cit != comps.end() && *cit < *uit) return kNever;  // recomputed first
+  return *uit;
+}
+
+std::optional<SegmentPlan> Completer::try_segment(int p,
+                                                  std::int64_t count) const {
+  const auto& seq = plan_.seq[p];
+  const std::int64_t i0 = pos_[p];
+  SegmentPlan seg;
+  seg.count = count;
+  seg.cache = cache_[p];
+  seg.cache_weight = cache_weight_[p];
+
+  // Collect upfront loads and the set of start-cache values the segment
+  // consumes (those must not be evicted upfront).
+  std::vector<char> produced(dag_.num_nodes(), 0);
+  std::vector<char> needed_from_cache(dag_.num_nodes(), 0);
+  std::vector<char> load_set(dag_.num_nodes(), 0);
+  double load_weight = 0;
+  for (std::int64_t j = 0; j < count; ++j) {
+    const NodeId v = seq[i0 + j].node;
+    for (NodeId u : dag_.parents(v)) {
+      if (produced[u] || load_set[u]) continue;
+      if (seg.cache[u]) {
+        needed_from_cache[u] = 1;
+        continue;
+      }
+      if (!blue_[u]) return std::nullopt;  // not loadable yet
+      load_set[u] = 1;
+      seg.loads.push_back(u);
+      load_weight += dag_.mu(u);
+    }
+    produced[v] = 1;
+  }
+
+  std::vector<char> blue_local = blue_;  // includes tentative pre-saves
+  auto make_victims = [&](const std::vector<char>& cache,
+                          const std::function<bool(NodeId)>& allowed,
+                          std::int64_t from) {
+    std::vector<VictimInfo> out;
+    for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
+      if (!cache[v] || !allowed(v)) continue;
+      VictimInfo info;
+      info.node = v;
+      const std::int64_t need = effective_next_need(p, v, from);
+      info.next_use = need == kNever ? kNoNextUse : need;
+      info.last_active = last_active_[p][v];
+      out.push_back(info);
+    }
+    return out;
+  };
+
+  // Phase A: upfront evictions so start cache + loads fit.
+  while (seg.cache_weight + load_weight > r_ + kMemEps) {
+    const auto victims = make_victims(
+        seg.cache, [&](NodeId v) { return !needed_from_cache[v]; }, i0);
+    if (victims.empty()) return std::nullopt;
+    const NodeId victim = policy_.choose_victim(victims);
+    const bool live = effective_next_need(p, victim, i0) != kNever;
+    if (!blue_local[victim] && (live || save_required(victim))) {
+      seg.pre_saves.push_back(victim);
+      blue_local[victim] = 1;
+      seg.made_blue.push_back(victim);
+    }
+    seg.pre_deletes.push_back(victim);
+    seg.cache[victim] = 0;
+    seg.cache_weight -= dag_.mu(victim);
+  }
+
+  // Apply loads.
+  for (NodeId u : seg.loads) {
+    if (!seg.cache[u]) {
+      seg.cache[u] = 1;
+      seg.cache_weight += dag_.mu(u);
+    }
+    seg.touched[u] = i0;
+  }
+
+  // Phase B: replay the computes with mid-segment evictions. Mid-phase
+  // evictions cannot SAVE (the save phase comes after the compute phase),
+  // so a dirty value that is still live is only evictable by *hoisting*
+  // its eviction before the segment (pre_saves / pre_deletes). Hoisting is
+  // retroactively sound: every earlier capacity check passed with the
+  // value present, so it also holds without it. Only untouched start-cache
+  // values that the segment never consumes are hoistable.
+  std::vector<char> hoistable(dag_.num_nodes(), 0);
+  for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
+    hoistable[v] = seg.cache[v] && !needed_from_cache[v] && !load_set[v];
+  }
+  std::vector<int> remaining_need(dag_.num_nodes(), 0);
+  for (std::int64_t j = 0; j < count; ++j) {
+    for (NodeId u : dag_.parents(seq[i0 + j].node)) ++remaining_need[u];
+  }
+  for (std::int64_t j = 0; j < count; ++j) {
+    const NodeId v = seq[i0 + j].node;
+    const std::int64_t gpos = i0 + j;
+    if (!seg.cache[v]) {
+      while (seg.cache_weight + dag_.mu(v) > r_ + kMemEps) {
+        const auto victims = make_victims(
+            seg.cache,
+            [&](NodeId c) {
+              if (remaining_need[c] > 0) return false;  // still a parent here
+              if (blue_local[c]) return true;
+              if (hoistable[c]) return true;
+              // No blue pebble: only evictable if truly dead and never
+              // needing a save (otherwise we would lose the value).
+              return effective_next_need(p, c, gpos) == kNever &&
+                     !save_required(c);
+            },
+            gpos + 1);
+        if (victims.empty()) return std::nullopt;
+        const NodeId victim = policy_.choose_victim(victims);
+        const bool dirty_live =
+            !blue_local[victim] &&
+            (effective_next_need(p, victim, gpos) != kNever ||
+             save_required(victim));
+        if (dirty_live) {
+          // Hoist: evict before the segment, saving first.
+          seg.pre_saves.push_back(victim);
+          blue_local[victim] = 1;
+          seg.made_blue.push_back(victim);
+          seg.pre_deletes.push_back(victim);
+        } else {
+          seg.ops.push_back(PhaseOp::erase(victim));
+        }
+        seg.cache[victim] = 0;
+        seg.cache_weight -= dag_.mu(victim);
+      }
+      seg.ops.push_back(PhaseOp::compute(v));
+      seg.cache[v] = 1;
+      seg.cache_weight += dag_.mu(v);
+    }
+    // else: value already red; the occurrence is redundant, skip the op.
+    seg.touched[v] = gpos;
+    for (NodeId u : dag_.parents(v)) {
+      --remaining_need[u];
+      seg.touched[u] = gpos;
+    }
+    // Eager cleanup: drop parents that just died (free DELETE ops).
+    for (NodeId u : dag_.parents(v)) {
+      if (!seg.cache[u] || remaining_need[u] > 0) continue;
+      if (effective_next_need(p, u, gpos + 1) != kNever) continue;
+      if (!blue_local[u] && save_required(u)) continue;  // save pending
+      seg.ops.push_back(PhaseOp::erase(u));
+      seg.cache[u] = 0;
+      seg.cache_weight -= dag_.mu(u);
+    }
+  }
+
+  // Post phase: save outputs that need a blue pebble, then drop dead values.
+  for (std::int64_t j = 0; j < count; ++j) {
+    const NodeId v = seq[i0 + j].node;
+    if (seg.cache[v] && !blue_local[v] && save_required(v)) {
+      seg.post_saves.push_back(v);
+      blue_local[v] = 1;
+      seg.made_blue.push_back(v);
+    }
+  }
+  const std::int64_t after = i0 + count;
+  for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
+    if (!seg.cache[v]) continue;
+    if (effective_next_need(p, v, after) != kNever) continue;
+    if (!blue_local[v] && save_required(v)) continue;
+    seg.post_deletes.push_back(v);
+    seg.cache[v] = 0;
+    seg.cache_weight -= dag_.mu(v);
+  }
+  return seg;
+}
+
+SegmentPlan Completer::plan_largest_segment(int p, int superstep) const {
+  const auto& seq = plan_.seq[p];
+  std::int64_t limit = 0;
+  while (pos_[p] + limit < static_cast<std::int64_t>(seq.size()) &&
+         seq[pos_[p] + limit].superstep == superstep) {
+    ++limit;
+  }
+  assert(limit > 0);
+  std::optional<SegmentPlan> best;
+  for (std::int64_t count = 1; count <= limit; ++count) {
+    auto attempt = try_segment(p, count);
+    if (!attempt) break;
+    best = std::move(attempt);
+  }
+  assert(best && "first compute of a segment must always be schedulable");
+  return *std::move(best);
+}
+
+void Completer::commit(int p, const SegmentPlan& seg) {
+  cache_[p] = seg.cache;
+  cache_weight_[p] = seg.cache_weight;
+  pos_[p] += seg.count;
+  for (const auto& [node, when] : seg.touched) last_active_[p][node] = when;
+  for (NodeId v : seg.pre_saves) blue_[v] = 1;  // same-slot save phase
+  for (NodeId v : seg.post_saves) pending_blue_.push_back(v);
+}
+
+MbspSchedule Completer::run() {
+  MbspSchedule out;
+  out.append(P_);  // slot 0 carries the very first loads
+  std::size_t cur = 0;
+  const int K = plan_.num_supersteps();
+  for (int k = 0; k < K; ++k) {
+    for (;;) {
+      bool any_remaining = false;
+      for (int p = 0; p < P_; ++p) {
+        const auto& seq = plan_.seq[p];
+        if (pos_[p] < static_cast<std::int64_t>(seq.size()) &&
+            seq[pos_[p]].superstep == k) {
+          any_remaining = true;
+        }
+      }
+      if (!any_remaining) break;
+      if (out.steps.size() < cur + 2) out.append(P_);
+      bool progress = false;
+      for (int p = 0; p < P_; ++p) {
+        const auto& seq = plan_.seq[p];
+        if (pos_[p] >= static_cast<std::int64_t>(seq.size()) ||
+            seq[pos_[p]].superstep != k) {
+          continue;
+        }
+        const SegmentPlan seg = plan_largest_segment(p, k);
+        ProcStep& stage = out.steps[cur].proc[p];
+        stage.saves.insert(stage.saves.end(), seg.pre_saves.begin(),
+                           seg.pre_saves.end());
+        stage.deletes.insert(stage.deletes.end(), seg.pre_deletes.begin(),
+                             seg.pre_deletes.end());
+        stage.loads.insert(stage.loads.end(), seg.loads.begin(),
+                           seg.loads.end());
+        ProcStep& body = out.steps[cur + 1].proc[p];
+        body.compute_phase.insert(body.compute_phase.end(), seg.ops.begin(),
+                                  seg.ops.end());
+        body.saves.insert(body.saves.end(), seg.post_saves.begin(),
+                          seg.post_saves.end());
+        body.deletes.insert(body.deletes.end(), seg.post_deletes.begin(),
+                            seg.post_deletes.end());
+        commit(p, seg);
+        progress = true;
+      }
+      assert(progress);
+      (void)progress;
+      // post_saves become visible for loads staged from the next round on
+      // (their save phase is the slot the next round stages loads into).
+      for (NodeId v : pending_blue_) blue_[v] = 1;
+      pending_blue_.clear();
+      ++cur;
+    }
+  }
+  out.drop_empty_supersteps();
+  return out;
+}
+
+}  // namespace
+
+MbspSchedule complete_memory(const MbspInstance& inst, const ComputePlan& plan,
+                             const EvictionPolicy& policy) {
+  Completer completer(inst, plan, policy);
+  return completer.run();
+}
+
+}  // namespace mbsp

@@ -1,0 +1,69 @@
+#include "src/twostage/two_stage.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "src/bsp/cilk_scheduler.hpp"
+#include "src/bsp/dfs_scheduler.hpp"
+#include "src/bsp/greedy_scheduler.hpp"
+#include "src/bsp/refined_scheduler.hpp"
+#include "src/twostage/memory_completion.hpp"
+
+namespace mbsp {
+
+TwoStageResult two_stage_schedule(const MbspInstance& inst,
+                                  BspScheduler& stage1, PolicyKind stage2) {
+  TwoStageResult out;
+  out.bsp = stage1.schedule(inst.dag, inst.arch);
+  const BspValidation bsp_ok =
+      validate_bsp(inst.dag, inst.arch.num_processors, out.bsp);
+  if (!bsp_ok) {
+    throw std::logic_error("stage-1 scheduler produced an invalid BSP "
+                           "schedule: " + bsp_ok.error);
+  }
+  out.plan = plan_from_bsp(inst.dag, out.bsp, inst.arch.num_processors);
+  const PlanValidation plan_ok = validate_plan(inst.dag, out.plan);
+  if (!plan_ok) {
+    throw std::logic_error("BSP-derived compute plan invalid: " +
+                           plan_ok.error);
+  }
+  out.mbsp = complete_memory(inst, out.plan, stage2);
+  return out;
+}
+
+TwoStageResult run_baseline(const MbspInstance& inst, BaselineKind kind,
+                            double stage1_budget_ms) {
+  switch (kind) {
+    case BaselineKind::kGreedyClairvoyant: {
+      GreedyBspScheduler stage1;
+      return two_stage_schedule(inst, stage1, PolicyKind::kClairvoyant);
+    }
+    case BaselineKind::kCilkLru: {
+      CilkScheduler stage1;
+      return two_stage_schedule(inst, stage1, PolicyKind::kLru);
+    }
+    case BaselineKind::kRefinedClairvoyant: {
+      RefinedBspScheduler::Params params;
+      params.budget_ms = stage1_budget_ms;
+      RefinedBspScheduler stage1(params);
+      return two_stage_schedule(inst, stage1, PolicyKind::kClairvoyant);
+    }
+    case BaselineKind::kDfsClairvoyant: {
+      DfsScheduler stage1;
+      return two_stage_schedule(inst, stage1, PolicyKind::kClairvoyant);
+    }
+  }
+  throw std::logic_error("unknown baseline kind");
+}
+
+std::string baseline_name(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kGreedyClairvoyant: return "bspg+clairvoyant";
+    case BaselineKind::kCilkLru: return "cilk+lru";
+    case BaselineKind::kRefinedClairvoyant: return "ilp-bsp+clairvoyant";
+    case BaselineKind::kDfsClairvoyant: return "dfs+clairvoyant";
+  }
+  return "?";
+}
+
+}  // namespace mbsp

@@ -1,0 +1,31 @@
+#pragma once
+// Environment-variable helpers for bench configuration (time budgets, CSV
+// export) so benches can be tuned without recompiling.
+
+#include <cstdlib>
+#include <string>
+
+namespace mbsp {
+
+inline std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::string(value) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+
+inline long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  return end != value ? parsed : fallback;
+}
+
+}  // namespace mbsp

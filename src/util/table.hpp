@@ -1,0 +1,37 @@
+#pragma once
+// Plain-text table rendering and CSV output for the benchmark harness.
+// Every bench binary regenerating a paper table prints through this, so
+// rows line up and the same data can be exported as CSV.
+
+#include <string>
+#include <vector>
+
+namespace mbsp {
+
+/// Column-aligned text table with an optional title, plus CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with aligned columns. `title` is printed above if non-empty.
+  std::string to_text(const std::string& title = "") const;
+
+  /// RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  std::string to_csv() const;
+
+  /// Writes CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fmt(double value, int prec = 2);
+
+}  // namespace mbsp

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal fixed-size thread pool. Used to parallelize independent solver
+// runs in the benches (one instance per task), not for intra-solver
+// parallelism: solvers stay deterministic and single-threaded.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mbsp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1 enforced).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, count) across the pool and waits.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mbsp

@@ -1,0 +1,49 @@
+#pragma once
+// Wall-clock timing helpers used by the anytime solvers and the benches.
+
+#include <chrono>
+
+namespace mbsp {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+  }
+
+  double elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Deadline wrapper for anytime algorithms: `expired()` is cheap to poll.
+class Deadline {
+ public:
+  /// budget_ms <= 0 means "no deadline".
+  explicit Deadline(double budget_ms) : budget_ms_(budget_ms) {}
+
+  bool expired() const {
+    return budget_ms_ > 0 && timer_.elapsed_ms() >= budget_ms_;
+  }
+
+  double remaining_ms() const {
+    if (budget_ms_ <= 0) return 1e18;
+    double rem = budget_ms_ - timer_.elapsed_ms();
+    return rem > 0 ? rem : 0;
+  }
+
+  double budget_ms() const { return budget_ms_; }
+
+ private:
+  double budget_ms_;
+  Timer timer_;
+};
+
+}  // namespace mbsp

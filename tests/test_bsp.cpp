@@ -1,0 +1,199 @@
+// Tests for the memory-oblivious BSP layer: validity of every stage-1
+// scheduler and sanity of the BSP cost model.
+#include <gtest/gtest.h>
+
+#include "src/bsp/bsp_schedule.hpp"
+#include "src/bsp/cilk_scheduler.hpp"
+#include "src/bsp/dfs_scheduler.hpp"
+#include "src/bsp/greedy_scheduler.hpp"
+#include "src/bsp/refined_scheduler.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/topology.hpp"
+
+namespace mbsp {
+namespace {
+
+TEST(BspValidate, CatchesCrossProcSameSuperstep) {
+  ComputeDag dag;
+  dag.add_node(0, 1);
+  dag.add_node(1, 1);
+  dag.add_node(1, 1);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  BspSchedule sched;
+  sched.proc = {-1, 0, 1};
+  sched.superstep = {-1, 0, 0};
+  sched.order = {1, 2};
+  EXPECT_FALSE(validate_bsp(dag, 2, sched).ok);
+  sched.superstep = {-1, 0, 1};
+  EXPECT_TRUE(validate_bsp(dag, 2, sched).ok);
+}
+
+TEST(BspValidate, CatchesBadOrder) {
+  ComputeDag dag;
+  dag.add_node(0, 1);
+  dag.add_node(1, 1);
+  dag.add_node(1, 1);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  BspSchedule sched;
+  sched.proc = {-1, 0, 0};
+  sched.superstep = {-1, 0, 0};
+  sched.order = {2, 1};  // child before parent on same processor
+  EXPECT_FALSE(validate_bsp(dag, 2, sched).ok);
+}
+
+TEST(BspCost, AccountsForCommunication) {
+  // a on p0, b on p1: mu(a) crosses, plus the source delivery.
+  ComputeDag dag;
+  dag.add_node(0, 2);  // source s, mu 2
+  dag.add_node(1, 3);  // a
+  dag.add_node(1, 1);  // b
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  BspSchedule same, split;
+  same.proc = {-1, 0, 0};
+  same.superstep = {-1, 0, 0};
+  same.order = {1, 2};
+  split.proc = {-1, 0, 1};
+  split.superstep = {-1, 0, 1};
+  split.order = {1, 2};
+  const Architecture arch = Architecture::make(2, 100, 1, 0);
+  EXPECT_LT(bsp_cost(dag, arch, same), bsp_cost(dag, arch, split));
+}
+
+class SchedulerValidity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SchedulerValidity, AllSchedulersValidOnDataset) {
+  const auto [instance_index, num_procs] = GetParam();
+  auto dataset = tiny_dataset(2025);
+  const ComputeDag& dag = dataset[instance_index];
+  const Architecture arch = Architecture::make(num_procs, 1e9, 1, 10);
+
+  GreedyBspScheduler greedy;
+  CilkScheduler cilk;
+  RefinedBspScheduler::Params rp;
+  rp.budget_ms = 20;
+  RefinedBspScheduler refined(rp);
+  std::vector<BspScheduler*> schedulers{&greedy, &cilk, &refined};
+  for (BspScheduler* scheduler : schedulers) {
+    const BspSchedule sched = scheduler->schedule(dag, arch);
+    const auto valid = validate_bsp(dag, num_procs, sched);
+    EXPECT_TRUE(valid.ok)
+        << dag.name() << " / " << scheduler->name() << ": " << valid.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dataset, SchedulerValidity,
+                         ::testing::Combine(::testing::Values(0, 2, 4, 7, 10,
+                                                              13),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+TEST(GreedyScheduler, BalancesIndependentWork) {
+  // 8 independent unit tasks on 4 procs: expect parallel work split.
+  ComputeDag dag;
+  const NodeId s = dag.add_node(0, 1);
+  for (int i = 0; i < 8; ++i) {
+    const NodeId v = dag.add_node(1, 1);
+    dag.add_edge(s, v);
+  }
+  GreedyBspScheduler greedy;
+  const BspSchedule sched =
+      greedy.schedule(dag, Architecture::make(4, 1e9, 1, 0));
+  std::vector<int> per_proc(4, 0);
+  for (NodeId v = 1; v < dag.num_nodes(); ++v) ++per_proc[sched.proc[v]];
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(per_proc[p], 2) << "proc " << p;
+}
+
+TEST(GreedyScheduler, ChainStaysOnOneProcessor) {
+  ComputeDag dag;
+  NodeId prev = dag.add_node(0, 1);
+  for (int i = 0; i < 10; ++i) {
+    const NodeId v = dag.add_node(1, 1);
+    dag.add_edge(prev, v);
+    prev = v;
+  }
+  GreedyBspScheduler greedy;
+  const BspSchedule sched =
+      greedy.schedule(dag, Architecture::make(4, 1e9, 1, 0));
+  std::set<int> procs;
+  for (NodeId v = 1; v < dag.num_nodes(); ++v) procs.insert(sched.proc[v]);
+  EXPECT_EQ(procs.size(), 1u);
+}
+
+TEST(CilkScheduler, UsesMultipleProcessorsOnWideDag) {
+  Rng rng(3);
+  ComputeDag dag = random_layered_dag(60, 8, rng);
+  CilkScheduler cilk;
+  const BspSchedule sched =
+      cilk.schedule(dag, Architecture::make(4, 1e9, 1, 0));
+  std::set<int> procs;
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (!dag.is_source(v)) procs.insert(sched.proc[v]);
+  }
+  EXPECT_GT(procs.size(), 1u);
+}
+
+TEST(DfsScheduler, HandlesReconvergentFanout) {
+  // Regression: a pending parent deeper in the DFS stack used to livelock
+  // the scheduler (observed on the bicgstab task graph).
+  for (int i : {0, 1, 2}) {
+    auto dataset = tiny_dataset(2025);
+    const ComputeDag& dag = dataset[i];
+    DfsScheduler dfs;
+    const BspSchedule sched =
+        dfs.schedule(dag, Architecture::make(1, 1e9, 1, 0));
+    const auto valid = validate_bsp(dag, 1, sched);
+    EXPECT_TRUE(valid.ok) << dag.name() << ": " << valid.error;
+  }
+}
+
+TEST(DfsScheduler, SingleProcessorTopological) {
+  Rng rng(5);
+  const ComputeDag dag = iterated_spmv_dag(4, 2, 2, rng, "dfs");
+  DfsScheduler dfs;
+  const BspSchedule sched = dfs.schedule(dag, Architecture::make(1, 1e9, 1, 0));
+  const auto valid = validate_bsp(dag, 1, sched);
+  EXPECT_TRUE(valid.ok) << valid.error;
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (!dag.is_source(v)) EXPECT_EQ(sched.superstep[v], 0);
+  }
+}
+
+TEST(RefinedScheduler, NeverWorseThanGreedyLift) {
+  auto dataset = tiny_dataset(2025);
+  const Architecture arch = Architecture::make(4, 1e9, 1, 10);
+  for (int i : {1, 5, 8}) {
+    const ComputeDag& dag = dataset[i];
+    GreedyBspScheduler greedy;
+    const BspSchedule base = RefinedBspScheduler::lift_assignment(
+        dag, greedy.schedule(dag, arch).proc);
+    RefinedBspScheduler::Params params;
+    params.budget_ms = 100;
+    RefinedBspScheduler refined(params);
+    const BspSchedule improved = refined.schedule(dag, arch);
+    EXPECT_LE(bsp_cost(dag, arch, improved), bsp_cost(dag, arch, base) + 1e-9)
+        << dag.name();
+  }
+}
+
+TEST(LiftAssignment, MinimalSuperstepsOnChainSplit) {
+  ComputeDag dag;
+  dag.add_node(0, 1);
+  dag.add_node(1, 1);
+  dag.add_node(1, 1);
+  dag.add_node(1, 1);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  dag.add_edge(2, 3);
+  const BspSchedule lifted =
+      RefinedBspScheduler::lift_assignment(dag, {-1, 0, 1, 0});
+  EXPECT_TRUE(validate_bsp(dag, 2, lifted).ok);
+  EXPECT_EQ(lifted.superstep[1], 0);
+  EXPECT_EQ(lifted.superstep[2], 1);
+  EXPECT_EQ(lifted.superstep[3], 2);
+}
+
+}  // namespace
+}  // namespace mbsp

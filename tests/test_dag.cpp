@@ -1,0 +1,191 @@
+// Unit tests for the DAG container and topological utilities.
+#include <gtest/gtest.h>
+
+#include "src/graph/dag.hpp"
+#include "src/graph/dag_io.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/topology.hpp"
+
+namespace mbsp {
+namespace {
+
+ComputeDag diamond() {
+  // 0 -> {1, 2} -> 3
+  ComputeDag dag("diamond");
+  for (int i = 0; i < 4; ++i) dag.add_node(1, 1);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  return dag;
+}
+
+TEST(Dag, BasicStructure) {
+  const ComputeDag dag = diamond();
+  EXPECT_EQ(dag.num_nodes(), 4);
+  EXPECT_EQ(dag.num_edges(), 4u);
+  EXPECT_TRUE(dag.is_source(0));
+  EXPECT_TRUE(dag.is_sink(3));
+  EXPECT_EQ(dag.parents(3).size(), 2u);
+  EXPECT_EQ(dag.children(0).size(), 2u);
+  EXPECT_EQ(dag.sources(), std::vector<NodeId>{0});
+  EXPECT_EQ(dag.sinks(), std::vector<NodeId>{3});
+}
+
+TEST(Dag, DuplicateEdgeIgnored) {
+  ComputeDag dag;
+  dag.add_node();
+  dag.add_node();
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 1);
+  EXPECT_EQ(dag.num_edges(), 1u);
+}
+
+TEST(Dag, Weights) {
+  ComputeDag dag;
+  const NodeId v = dag.add_node(2.5, 3.5);
+  EXPECT_DOUBLE_EQ(dag.omega(v), 2.5);
+  EXPECT_DOUBLE_EQ(dag.mu(v), 3.5);
+  dag.set_omega(v, 1);
+  dag.set_mu(v, 2);
+  EXPECT_DOUBLE_EQ(dag.total_omega(), 1);
+  EXPECT_DOUBLE_EQ(dag.total_mu(), 2);
+}
+
+TEST(Dag, RandomMemoryWeightsInRange) {
+  ComputeDag dag;
+  for (int i = 0; i < 100; ++i) dag.add_node();
+  Rng rng(3);
+  assign_random_memory_weights(dag, rng, 1, 5);
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    EXPECT_GE(dag.mu(v), 1);
+    EXPECT_LE(dag.mu(v), 5);
+  }
+}
+
+TEST(Dag, DotOutputContainsNodes) {
+  const std::string dot = diamond().to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Topology, TopologicalOrderRespectsEdges) {
+  const ComputeDag dag = diamond();
+  const auto order = topological_order(dag);
+  ASSERT_EQ(order.size(), 4u);
+  const auto pos = order_positions(order, dag.num_nodes());
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    for (NodeId v : dag.children(u)) EXPECT_LT(pos[u], pos[v]);
+  }
+}
+
+TEST(Topology, AcyclicCheck) {
+  EXPECT_TRUE(is_acyclic(diamond()));
+  ComputeDag empty;
+  EXPECT_TRUE(is_acyclic(empty));
+}
+
+TEST(Topology, Levels) {
+  const auto levels = longest_path_levels(diamond());
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], 1);
+  EXPECT_EQ(levels[3], 2);
+}
+
+TEST(Topology, CriticalPathOmega) {
+  ComputeDag dag;
+  dag.add_node(1, 1);
+  dag.add_node(5, 1);
+  dag.add_node(2, 1);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(critical_path_omega(dag), 8.0);
+}
+
+TEST(Topology, InducedSubdag) {
+  const ComputeDag dag = diamond();
+  std::vector<NodeId> local;
+  const ComputeDag sub = induced_subdag(dag, {0, 1, 3}, &local);
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_edges(), 2u);  // 0->1 and 1->3 survive
+  EXPECT_EQ(local[2], kInvalidNode);
+}
+
+TEST(Topology, QuotientGraph) {
+  const ComputeDag dag = diamond();
+  const std::vector<int> part{0, 0, 1, 1};
+  const ComputeDag q = quotient_graph(dag, part, 2);
+  EXPECT_EQ(q.num_nodes(), 2);
+  EXPECT_EQ(q.num_edges(), 1u);  // 0 -> 1 (edges 0->2 and 1->3 merge)
+  EXPECT_DOUBLE_EQ(q.omega(0), 2.0);
+  EXPECT_TRUE(is_acyclic(q));
+}
+
+TEST(Topology, CutEdges) {
+  const ComputeDag dag = diamond();
+  EXPECT_EQ(cut_edges(dag, {0, 0, 1, 1}), 2u);
+  EXPECT_EQ(cut_edges(dag, {0, 0, 0, 0}), 0u);
+}
+
+TEST(DagIo, RoundTripPreservesEverything) {
+  Rng rng(21);
+  ComputeDag original = spmv_dag(7, 3, rng, "roundtrip demo");
+  assign_random_memory_weights(original, rng);
+  original.set_omega(2, 1.25e-3);  // exercise double round-tripping
+  std::string error;
+  const auto parsed = dag_from_text(dag_to_text(original), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->name(), original.name());
+  ASSERT_EQ(parsed->num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed->num_edges(), original.num_edges());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(parsed->omega(v), original.omega(v));
+    EXPECT_DOUBLE_EQ(parsed->mu(v), original.mu(v));
+    EXPECT_EQ(parsed->children(v), original.children(v));
+  }
+}
+
+TEST(DagIo, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(dag_from_text("garbage", &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+  EXPECT_FALSE(
+      dag_from_text("mbsp-dag v1\nname x\nnodes 1\n1 1\nedges 1\n0 5\n",
+                    &error)
+          .has_value());
+  EXPECT_NE(error.find("edge"), std::string::npos);
+  EXPECT_FALSE(
+      dag_from_text("mbsp-dag v1\nname x\nnodes 2\n1 1\n1 1\nedges 2\n"
+                    "0 1\n0 1\n",
+                    &error)
+          .has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(DagIo, FileRoundTrip) {
+  ComputeDag dag("file demo");
+  dag.add_node(1, 2);
+  dag.add_node(3, 4);
+  dag.add_edge(0, 1);
+  const std::string path = ::testing::TempDir() + "/mbsp_dag_io_test.dag";
+  ASSERT_TRUE(write_dag_file(dag, path));
+  std::string error;
+  const auto loaded = read_dag_file(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_nodes(), 2);
+  EXPECT_DOUBLE_EQ(loaded->mu(1), 4);
+  EXPECT_FALSE(read_dag_file(path + ".missing").has_value());
+}
+
+TEST(Topology, RandomLayeredDagAcyclic) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ComputeDag dag = random_layered_dag(60, 5, rng);
+    EXPECT_EQ(dag.num_nodes(), 60);
+    EXPECT_TRUE(is_acyclic(dag));
+  }
+}
+
+}  // namespace
+}  // namespace mbsp

@@ -1,0 +1,75 @@
+// Tests for the divide-and-conquer scheduler on larger DAGs.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/holistic/divide_conquer.hpp"
+#include "src/holistic/scheduler.hpp"
+#include "src/model/cost.hpp"
+#include "src/model/validate.hpp"
+
+namespace mbsp {
+namespace {
+
+TEST(DivideConquer, ValidOnSmallDatasetInstance) {
+  auto dataset = small_dataset(2025);
+  ComputeDag dag = std::move(dataset[2]);  // spmv_N25
+  const double r0 = min_memory_r0(dag);
+  const MbspInstance inst{std::move(dag),
+                          Architecture::make(4, 5 * r0, 1, 10)};
+  DivideConquerOptions options;
+  options.lns.budget_ms = 100;
+  const DivideConquerResult res = divide_conquer_schedule(inst, options);
+  EXPECT_GT(res.num_parts, 1u);
+  const auto valid = validate(inst, res.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+  EXPECT_DOUBLE_EQ(res.cost, sync_cost(inst, res.schedule));
+  // Every non-source node computed at least once.
+  for (NodeId v = 0; v < inst.dag.num_nodes(); ++v) {
+    if (!inst.dag.is_source(v)) {
+      EXPECT_GE(res.schedule.compute_count(v), 1u) << "node " << v;
+    }
+  }
+}
+
+TEST(DivideConquer, WorksOnCoarseGrainedInstance) {
+  auto dataset = small_dataset(2025);
+  ComputeDag dag = std::move(dataset[0]);  // simple_pagerank
+  const double r0 = min_memory_r0(dag);
+  const MbspInstance inst{std::move(dag),
+                          Architecture::make(4, 5 * r0, 1, 10)};
+  DivideConquerOptions options;
+  options.lns.budget_ms = 100;
+  const DivideConquerResult res = divide_conquer_schedule(inst, options);
+  const auto valid = validate(inst, res.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+}
+
+TEST(DivideConquer, FacadeRoutesLargeInstances) {
+  auto dataset = small_dataset(2025);
+  ComputeDag dag = std::move(dataset[4]);  // CG_N5_K4
+  const double r0 = min_memory_r0(dag);
+  const MbspInstance inst{std::move(dag),
+                          Architecture::make(4, 5 * r0, 1, 10)};
+  HolisticOptions options;
+  options.budget_ms = 600;
+  const HolisticOutcome out = holistic_schedule(inst, options);
+  EXPECT_TRUE(out.used_divide_conquer);
+  const auto valid = validate(inst, out.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+  EXPECT_GT(out.baseline_cost, 0);
+}
+
+TEST(DivideConquer, SingleProcessorDegenerates) {
+  auto dataset = small_dataset(2025);
+  ComputeDag dag = std::move(dataset[3]);  // spmv_N35
+  const double r0 = min_memory_r0(dag);
+  const MbspInstance inst{std::move(dag), Architecture::make(1, 5 * r0, 1, 0)};
+  DivideConquerOptions options;
+  options.lns.budget_ms = 50;
+  const DivideConquerResult res = divide_conquer_schedule(inst, options);
+  const auto valid = validate(inst, res.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+}
+
+}  // namespace
+}  // namespace mbsp

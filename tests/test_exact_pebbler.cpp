@@ -1,0 +1,128 @@
+// Tests for the exact P = 1 pebbler: known optima on small graphs and the
+// Lemma 6.1 recomputation phenomenon.
+#include <gtest/gtest.h>
+
+#include "src/graph/gadgets.hpp"
+#include "src/holistic/exact_pebbler.hpp"
+#include "src/model/cost.hpp"
+#include "src/model/validate.hpp"
+
+namespace mbsp {
+namespace {
+
+MbspInstance chain(int len, double r, double g) {
+  ComputeDag dag("chain");
+  NodeId prev = dag.add_node(0, 1);
+  for (int i = 0; i < len; ++i) {
+    const NodeId v = dag.add_node(1, 1);
+    dag.add_edge(prev, v);
+    prev = v;
+  }
+  return {std::move(dag), Architecture::make(1, r, g, 0)};
+}
+
+TEST(ExactPebbler, ChainOptimal) {
+  // Load source (g), compute len nodes (len), save sink (g).
+  const MbspInstance inst = chain(4, 2, 3);
+  const ExactPebbleResult res = exact_pebble(inst);
+  ASSERT_TRUE(res.solved);
+  EXPECT_DOUBLE_EQ(res.cost, 3 + 4 + 3);
+  const auto valid = validate(inst, res.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+  EXPECT_DOUBLE_EQ(async_cost(inst, res.schedule), res.cost);
+  EXPECT_DOUBLE_EQ(sync_cost(inst, res.schedule), res.cost);  // L = 0
+}
+
+TEST(ExactPebbler, DiamondNeedsBothBranches) {
+  ComputeDag dag;
+  dag.add_node(0, 1);
+  dag.add_node(1, 1);
+  dag.add_node(1, 1);
+  dag.add_node(1, 1);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  const MbspInstance inst{std::move(dag), Architecture::make(1, 3, 1, 0)};
+  const ExactPebbleResult res = exact_pebble(inst);
+  ASSERT_TRUE(res.solved);
+  // load s (1) + compute 3 (3) + save sink (1) = 5.
+  EXPECT_DOUBLE_EQ(res.cost, 5);
+}
+
+TEST(ExactPebbler, TightMemoryForcesExtraIo) {
+  // Heavy source s (mu = 2) feeding two 2-node branches that join in t.
+  // With r = 4 everything pipelines with one load of s; with r = r0 = 3 the
+  // second branch must re-acquire s (or spill), so the optimum is larger.
+  ComputeDag dag;
+  const NodeId s = dag.add_node(0, 2);
+  const NodeId a1 = dag.add_node(1, 1), a2 = dag.add_node(1, 1);
+  const NodeId b1 = dag.add_node(1, 1), b2 = dag.add_node(1, 1);
+  const NodeId t = dag.add_node(1, 1);
+  dag.add_edge(s, a1);
+  dag.add_edge(a1, a2);
+  dag.add_edge(s, b1);
+  dag.add_edge(b1, b2);
+  dag.add_edge(a2, t);
+  dag.add_edge(b2, t);
+  ASSERT_DOUBLE_EQ(min_memory_r0(dag), 3.0);
+  const MbspInstance loose{dag, Architecture::make(1, 4, 2, 0)};
+  ComputeDag dag2 = loose.dag;
+  const MbspInstance tight{std::move(dag2), Architecture::make(1, 3, 2, 0)};
+  const ExactPebbleResult loose_res = exact_pebble(loose);
+  const ExactPebbleResult tight_res = exact_pebble(tight);
+  ASSERT_TRUE(loose_res.solved);
+  ASSERT_TRUE(tight_res.solved);
+  EXPECT_GT(tight_res.cost, loose_res.cost);
+  const auto valid = validate(tight, tight_res.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+}
+
+TEST(ExactPebbler, RecomputationBeatsIoWhenCheap) {
+  // Lemma 6.1 gadget with expensive I/O (g > d): the exact optimum must be
+  // strictly cheaper than the best no-recompute two-stage schedule, because
+  // recomputing a u-chain replaces a load of cost g by d unit computes.
+  const RecomputeGadget gadget = lemma61_gadget(3, 3);
+  ComputeDag dag = gadget.dag;
+  const MbspInstance inst{std::move(dag), Architecture::make(1, 4, 10, 0)};
+  const ExactPebbleResult res = exact_pebble(inst);
+  ASSERT_TRUE(res.solved);
+  const auto valid = validate(inst, res.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+  std::size_t recomputed_nodes = 0;
+  for (NodeId v = 0; v < inst.dag.num_nodes(); ++v) {
+    if (res.schedule.compute_count(v) > 1) ++recomputed_nodes;
+  }
+  EXPECT_GT(recomputed_nodes, 0u)
+      << "optimum should trade loads for recomputation at g = 10";
+}
+
+TEST(ExactPebbler, Lemma61RecomputeVsIo) {
+  // With g >= d, replacing one load by recomputing the d-chain lowers the
+  // cost by g - d, as the lemma's proof describes.
+  const RecomputeGadget gadget = lemma61_gadget(3, 3);
+  ComputeDag dag = gadget.dag;
+  const double g = 6;  // g > d = 3
+  const MbspInstance inst{std::move(dag), Architecture::make(1, 4, g, 0)};
+  const ExactPebbleResult res = exact_pebble(inst);
+  ASSERT_TRUE(res.solved);
+  const auto valid = validate(inst, res.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+  // The optimum uses recomputation: some u-chain node is computed >= 2x.
+  std::size_t recomputes = 0;
+  for (NodeId v = 0; v < inst.dag.num_nodes(); ++v) {
+    if (res.schedule.compute_count(v) > 1) ++recomputes;
+  }
+  EXPECT_GT(recomputes, 0u);
+}
+
+TEST(ExactPebbler, RespectsStateLimit) {
+  const MbspInstance inst = chain(10, 3, 1);
+  ExactPebbleOptions options;
+  options.max_states = 5;
+  const ExactPebbleResult res = exact_pebble(inst, options);
+  EXPECT_FALSE(res.solved);
+}
+
+}  // namespace
+}  // namespace mbsp

@@ -1,0 +1,94 @@
+// Structural tests for the proof-construction gadgets.
+#include <gtest/gtest.h>
+
+#include "src/graph/gadgets.hpp"
+#include "src/graph/topology.hpp"
+#include "src/model/instance.hpp"
+
+namespace mbsp {
+namespace {
+
+TEST(Zipper, Structure) {
+  const ZipperGadget z = zipper_gadget(4, 6);
+  EXPECT_TRUE(is_acyclic(z.dag));
+  EXPECT_EQ(z.dag.num_nodes(), 2 * 4 + 2 * 6);
+  EXPECT_EQ(z.h1.size(), 4u);
+  EXPECT_EQ(z.v.size(), 6u);
+  // v_1 (odd) has parents H2; u_1 has parents H1.
+  for (NodeId h : z.h2) {
+    const auto& children = z.dag.children(h);
+    EXPECT_NE(std::find(children.begin(), children.end(), z.v[0]),
+              children.end());
+  }
+  for (NodeId h : z.h1) {
+    const auto& children = z.dag.children(h);
+    EXPECT_NE(std::find(children.begin(), children.end(), z.u[0]),
+              children.end());
+  }
+  // v_2 (even) has parents H1.
+  for (NodeId h : z.h1) {
+    const auto& children = z.dag.children(h);
+    EXPECT_NE(std::find(children.begin(), children.end(), z.v[1]),
+              children.end());
+  }
+  // Chain edges.
+  for (int i = 1; i < 6; ++i) {
+    const auto& parents = z.dag.parents(z.v[i]);
+    EXPECT_NE(std::find(parents.begin(), parents.end(), z.v[i - 1]),
+              parents.end());
+  }
+  // With r = d + 2, every chain node's parents (d group nodes + previous
+  // chain node) plus itself fit exactly.
+  EXPECT_DOUBLE_EQ(min_memory_r0(z.dag), 4 + 2);
+}
+
+TEST(Lemma51, WeightsAndShape) {
+  const PartitionGadget gadget = lemma51_gadget({3, 5, 2, 6});
+  EXPECT_DOUBLE_EQ(gadget.alpha, 16);
+  EXPECT_DOUBLE_EQ(gadget.dag.mu(gadget.v_prime), 8);
+  EXPECT_TRUE(is_acyclic(gadget.dag));
+  EXPECT_EQ(gadget.dag.parents(gadget.w1).size(), 4u);
+  EXPECT_EQ(gadget.dag.parents(gadget.w3).size(), 5u);  // items + w2
+  // The computation order w1 -> w2 -> w3 is forced by edges.
+  const auto& w2_parents = gadget.dag.parents(gadget.w2);
+  EXPECT_NE(std::find(w2_parents.begin(), w2_parents.end(), gadget.w1),
+            w2_parents.end());
+}
+
+TEST(Lemma53, PairStructure) {
+  const PairChainsGadget gadget = lemma53_gadget(6, 50);
+  EXPECT_TRUE(is_acyclic(gadget.dag));
+  EXPECT_EQ(gadget.pairs, 3);
+  EXPECT_EQ(gadget.dag.num_nodes(), 1 + 2 * 3 * 3);
+  // Diagonal stages are heavy.
+  EXPECT_DOUBLE_EQ(gadget.dag.omega(gadget.u[1][1]), 50);
+  EXPECT_DOUBLE_EQ(gadget.dag.omega(gadget.u[1][0]), 1);
+}
+
+TEST(Lemma54, Weights) {
+  const SyncGapGadget gadget = lemma54_gadget(100);
+  EXPECT_TRUE(is_acyclic(gadget.dag));
+  EXPECT_DOUBLE_EQ(gadget.dag.omega(gadget.u3), 200);
+  EXPECT_DOUBLE_EQ(gadget.dag.omega(gadget.w), 99);
+  EXPECT_EQ(gadget.dag.children(gadget.w1).size(), 3u);
+}
+
+TEST(Lemma61, AlternatingChain) {
+  const RecomputeGadget gadget = lemma61_gadget(3, 4);
+  EXPECT_TRUE(is_acyclic(gadget.dag));
+  EXPECT_EQ(gadget.v.size(), 5u);  // v_0 .. v_4
+  // v_1 depends on u_d, v_2 on u'_d.
+  const auto& p1 = gadget.dag.parents(gadget.v[1]);
+  EXPECT_NE(std::find(p1.begin(), p1.end(), gadget.u.back()), p1.end());
+  const auto& p2 = gadget.dag.parents(gadget.v[2]);
+  EXPECT_NE(std::find(p2.begin(), p2.end(), gadget.u_prime.back()), p2.end());
+  // w reaches every node.
+  for (NodeId v = 1; v < gadget.dag.num_nodes(); ++v) {
+    const auto& parents = gadget.dag.parents(v);
+    EXPECT_NE(std::find(parents.begin(), parents.end(), gadget.w),
+              parents.end());
+  }
+}
+
+}  // namespace
+}  // namespace mbsp

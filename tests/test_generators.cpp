@@ -1,0 +1,143 @@
+// Tests for the dataset generators: structure, sizes matching the paper's
+// datasets, determinism, and acyclicity of every family.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/topology.hpp"
+#include "src/model/instance.hpp"
+
+namespace mbsp {
+namespace {
+
+TEST(SparsePattern, DiagonalAndBounds) {
+  Rng rng(1);
+  const auto pattern = random_sparse_pattern(10, 3, rng);
+  ASSERT_EQ(pattern.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NE(std::find(pattern[i].begin(), pattern[i].end(), i),
+              pattern[i].end())
+        << "diagonal missing in row " << i;
+    for (int col : pattern[i]) {
+      EXPECT_GE(col, 0);
+      EXPECT_LT(col, 10);
+    }
+    // No duplicates.
+    auto sorted = pattern[i];
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+  }
+}
+
+TEST(ReductionTree, SingleInputPassThrough) {
+  ComputeDag dag;
+  const NodeId a = dag.add_node(1, 1);
+  EXPECT_EQ(add_reduction_tree(dag, {a}, 1, 1), a);
+  EXPECT_EQ(dag.num_nodes(), 1);
+}
+
+TEST(ReductionTree, BuildsBinaryTree) {
+  ComputeDag dag;
+  std::vector<NodeId> inputs;
+  for (int i = 0; i < 5; ++i) inputs.push_back(dag.add_node(0, 1));
+  const NodeId root = add_reduction_tree(dag, inputs, 1, 1);
+  EXPECT_EQ(dag.num_nodes(), 9);  // 5 leaves + 4 internal
+  EXPECT_TRUE(dag.is_sink(root));
+  EXPECT_TRUE(is_acyclic(dag));
+}
+
+TEST(Spmv, StructureSane) {
+  Rng rng(2);
+  const ComputeDag dag = spmv_dag(6, 3, rng, "spmv");
+  EXPECT_TRUE(is_acyclic(dag));
+  EXPECT_EQ(dag.sources().size(), 6u);  // the input vector
+  EXPECT_EQ(dag.sinks().size(), 6u);    // one result per row
+}
+
+TEST(IteratedSpmv, DeeperThanSingle) {
+  Rng rng(2);
+  const ComputeDag once = spmv_dag(5, 2, rng, "a");
+  Rng rng2(2);
+  const ComputeDag thrice = iterated_spmv_dag(5, 3, 2, rng2, "b");
+  const auto l1 = longest_path_levels(once);
+  const auto l3 = longest_path_levels(thrice);
+  EXPECT_GT(*std::max_element(l3.begin(), l3.end()),
+            *std::max_element(l1.begin(), l1.end()));
+}
+
+TEST(Cg, AcyclicWithScalarChains) {
+  Rng rng(3);
+  const ComputeDag dag = cg_dag(3, 2, 2, rng, "cg");
+  EXPECT_TRUE(is_acyclic(dag));
+  EXPECT_GT(dag.num_edges(), static_cast<std::size_t>(dag.num_nodes()));
+}
+
+TEST(Knn, QueryCountMatchesSinks) {
+  Rng rng(4);
+  const ComputeDag dag = knn_dag(5, 3, 2, rng, "knn");
+  EXPECT_TRUE(is_acyclic(dag));
+  EXPECT_EQ(dag.sinks().size(), 3u);  // one selection per query
+}
+
+TEST(CoarseGrained, AllAcyclic) {
+  Rng rng(5);
+  EXPECT_TRUE(is_acyclic(bicgstab_dag(3)));
+  EXPECT_TRUE(is_acyclic(kmeans_dag(4, 4, 3)));
+  EXPECT_TRUE(is_acyclic(pregel_dag(5, 4, rng)));
+  EXPECT_TRUE(is_acyclic(pagerank_dag(16, 8, rng)));
+  EXPECT_TRUE(is_acyclic(snni_dag(16, 9, rng)));
+}
+
+TEST(TinyDataset, FifteenInstancesInPaperSizeRange) {
+  const auto dataset = tiny_dataset(2025);
+  ASSERT_EQ(dataset.size(), 15u);
+  for (const ComputeDag& dag : dataset) {
+    EXPECT_TRUE(is_acyclic(dag)) << dag.name();
+    EXPECT_GE(dag.num_nodes(), 40) << dag.name();
+    EXPECT_LE(dag.num_nodes(), 80) << dag.name();
+    // Memory weights randomized into {1..5}.
+    for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+      EXPECT_GE(dag.mu(v), 1);
+      EXPECT_LE(dag.mu(v), 5);
+    }
+    EXPECT_GT(min_memory_r0(dag), 0);
+  }
+  EXPECT_EQ(dataset[0].name(), "bicgstab");
+  EXPECT_EQ(dataset[3].name(), "spmv_N6");
+}
+
+TEST(SmallDataset, TenInstancesInPaperSizeRange) {
+  const auto dataset = small_dataset(2025);
+  ASSERT_EQ(dataset.size(), 10u);
+  for (const ComputeDag& dag : dataset) {
+    EXPECT_TRUE(is_acyclic(dag)) << dag.name();
+    EXPECT_GE(dag.num_nodes(), 264) << dag.name() << " " << dag.num_nodes();
+    EXPECT_LE(dag.num_nodes(), 464) << dag.name() << " " << dag.num_nodes();
+  }
+}
+
+TEST(Datasets, DeterministicForSeed) {
+  const auto a = tiny_dataset(7);
+  const auto b = tiny_dataset(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].num_nodes(), b[i].num_nodes());
+    EXPECT_EQ(a[i].num_edges(), b[i].num_edges());
+    for (NodeId v = 0; v < a[i].num_nodes(); ++v) {
+      EXPECT_DOUBLE_EQ(a[i].mu(v), b[i].mu(v));
+    }
+  }
+}
+
+TEST(Datasets, DifferentSeedsChangeWeights) {
+  const auto a = tiny_dataset(7);
+  const auto b = tiny_dataset(8);
+  int diffs = 0;
+  for (NodeId v = 0; v < a[0].num_nodes(); ++v) {
+    diffs += a[0].mu(v) != b[0].mu(v);
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+}  // namespace
+}  // namespace mbsp

@@ -1,0 +1,217 @@
+// Tests for the in-house MILP stack: model container, LP writer, two-phase
+// simplex, and branch-and-bound.
+#include <gtest/gtest.h>
+
+#include "src/ilp/model.hpp"
+#include "src/ilp/simplex.hpp"
+#include "src/ilp/solver.hpp"
+#include "src/util/rng.hpp"
+
+namespace mbsp::ilp {
+namespace {
+
+TEST(Model, FeasibilityCheck) {
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_continuous(0, 10, "y");
+  LinExpr e;
+  e.add(x, 2).add(y, 1);
+  m.add_constraint(std::move(e), Sense::kLe, 5);
+  EXPECT_TRUE(m.is_feasible({1, 3}));
+  EXPECT_FALSE(m.is_feasible({1, 4}));   // constraint violated
+  EXPECT_FALSE(m.is_feasible({0.5, 0}));  // fractional binary
+  EXPECT_FALSE(m.is_feasible({0, 11}));   // bound violated
+}
+
+TEST(Model, LpWriter) {
+  Model m("demo");
+  const VarId x = m.add_binary("x");
+  m.set_objective_coeff(x, 3);
+  LinExpr e;
+  e.add(x, 1);
+  m.add_constraint(std::move(e), Sense::kGe, 1, "row");
+  const std::string lp = m.to_lp_string();
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("row:"), std::string::npos);
+  EXPECT_NE(lp.find("Generals"), std::string::npos);
+}
+
+TEST(Simplex, SimpleLp) {
+  // min -x - 2y s.t. x + y <= 4, x <= 3, y <= 2  (x,y >= 0)
+  Model m;
+  const VarId x = m.add_continuous(0, 3);
+  const VarId y = m.add_continuous(0, 2);
+  m.set_objective_coeff(x, -1);
+  m.set_objective_coeff(y, -2);
+  LinExpr e;
+  e.add(x, 1).add(y, 1);
+  m.add_constraint(std::move(e), Sense::kLe, 4);
+  const LpResult res = solve_lp(m);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -6.0, 1e-7);  // x=2, y=2
+  EXPECT_NEAR(res.x[y], 2.0, 1e-7);
+}
+
+TEST(Simplex, EqualityAndGe) {
+  // min x + y s.t. x + y = 3, x >= 1.
+  Model m;
+  const VarId x = m.add_continuous(0, kInf);
+  const VarId y = m.add_continuous(0, kInf);
+  m.set_objective_coeff(x, 1);
+  m.set_objective_coeff(y, 1);
+  LinExpr eq;
+  eq.add(x, 1).add(y, 1);
+  m.add_constraint(std::move(eq), Sense::kEq, 3);
+  LinExpr ge;
+  ge.add(x, 1);
+  m.add_constraint(std::move(ge), Sense::kGe, 1);
+  const LpResult res = solve_lp(m);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 3.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const VarId x = m.add_continuous(0, 1);
+  LinExpr e;
+  e.add(x, 1);
+  m.add_constraint(std::move(e), Sense::kGe, 2);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const VarId x = m.add_continuous(0, kInf);
+  m.set_objective_coeff(x, -1);
+  const LpResult res = solve_lp(m);
+  EXPECT_EQ(res.status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x s.t. x >= -5 (shifted variables path).
+  Model m;
+  const VarId x = m.add_continuous(-5, 5);
+  m.set_objective_coeff(x, 1);
+  const LpResult res = solve_lp(m);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.x[x], -5.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateLpTerminates) {
+  // Many redundant constraints through the origin.
+  Model m;
+  const VarId x = m.add_continuous(0, 10);
+  const VarId y = m.add_continuous(0, 10);
+  m.set_objective_coeff(x, -1);
+  for (int i = 1; i <= 6; ++i) {
+    LinExpr e;
+    e.add(x, 1.0).add(y, static_cast<double>(i));
+    m.add_constraint(std::move(e), Sense::kLe, 10.0);
+  }
+  const LpResult res = solve_lp(m);
+  ASSERT_EQ(res.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.objective, -10.0, 1e-6);
+}
+
+TEST(BranchAndBound, Knapsack) {
+  // max 10x0 + 13x1 + 7x2 + 4x3 (= min negative) with 3x0+4x1+2x2+x3 <= 6.
+  Model m;
+  std::vector<VarId> x;
+  const double value[] = {10, 13, 7, 4};
+  const double weight[] = {3, 4, 2, 1};
+  LinExpr cap;
+  for (int i = 0; i < 4; ++i) {
+    x.push_back(m.add_binary());
+    m.set_objective_coeff(x[i], -value[i]);
+    cap.add(x[i], weight[i]);
+  }
+  m.add_constraint(std::move(cap), Sense::kLe, 6);
+  BranchAndBoundSolver solver;
+  const MipResult res = solver.solve(m);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  // Optimum: items 1, 2 (13 + 7 = 20)? vs 0+2+3 = 21; weights 3+2+1=6 ok.
+  EXPECT_NEAR(res.objective, -21.0, 1e-6);
+}
+
+TEST(BranchAndBound, InfeasibleIlp) {
+  Model m;
+  const VarId x = m.add_binary();
+  const VarId y = m.add_binary();
+  LinExpr lo;
+  lo.add(x, 1).add(y, 1);
+  m.add_constraint(std::move(lo), Sense::kGe, 2);
+  LinExpr hi;
+  hi.add(x, 1).add(y, 1);
+  m.add_constraint(std::move(hi), Sense::kLe, 1);
+  BranchAndBoundSolver solver;
+  EXPECT_EQ(solver.solve(m).status, MipStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, WarmStartUsed) {
+  Model m;
+  const VarId x = m.add_binary();
+  m.set_objective_coeff(x, -1);
+  MipOptions opts;
+  opts.max_nodes = 0;  // no exploration at all
+  BranchAndBoundSolver solver(opts);
+  const MipResult res = solver.solve(m, {1.0});
+  EXPECT_EQ(res.status, MipStatus::kFeasible);
+  EXPECT_NEAR(res.objective, -1.0, 1e-9);
+}
+
+TEST(BranchAndBound, IntegerGeneralVariables) {
+  // min -x with 2x <= 7, x integer in [0, 10] -> x = 3.
+  Model m;
+  const VarId x = m.add_var(0, 10, VarType::kInteger);
+  m.set_objective_coeff(x, -1);
+  LinExpr e;
+  e.add(x, 2);
+  m.add_constraint(std::move(e), Sense::kLe, 7);
+  BranchAndBoundSolver solver;
+  const MipResult res = solver.solve(m);
+  ASSERT_EQ(res.status, MipStatus::kOptimal);
+  EXPECT_NEAR(res.x[x], 3.0, 1e-6);
+}
+
+// Randomized property sweep: B&B equals brute force on random knapsacks.
+class KnapsackSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackSweep, MatchesBruteForce) {
+  mbsp::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 6 + GetParam() % 4;
+  std::vector<double> value(n), weight(n);
+  for (int i = 0; i < n; ++i) {
+    value[i] = static_cast<double>(rng.uniform_int(1, 20));
+    weight[i] = static_cast<double>(rng.uniform_int(1, 8));
+  }
+  const double capacity = static_cast<double>(rng.uniform_int(8, 20));
+  Model m;
+  LinExpr cap;
+  for (int i = 0; i < n; ++i) {
+    const VarId x = m.add_binary();
+    m.set_objective_coeff(x, -value[i]);
+    cap.add(x, weight[i]);
+  }
+  m.add_constraint(std::move(cap), Sense::kLe, capacity);
+  BranchAndBoundSolver solver;
+  const MipResult res = solver.solve(m);
+  ASSERT_EQ(res.status, MipStatus::kOptimal) << "seed " << GetParam();
+
+  double best = 0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double v = 0, w = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        v += value[i];
+        w += weight[i];
+      }
+    }
+    if (w <= capacity) best = std::max(best, v);
+  }
+  EXPECT_NEAR(res.objective, -best, 1e-6) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, KnapsackSweep, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mbsp::ilp

@@ -1,0 +1,166 @@
+// Tests for the holistic LNS scheduler: never worsens the warm start,
+// always yields valid schedules, exploits the structures the paper's
+// theory predicts (zipper gadget), and is deterministic per seed.
+#include <gtest/gtest.h>
+
+#include "src/bsp/greedy_scheduler.hpp"
+#include "src/graph/gadgets.hpp"
+#include "src/graph/generators.hpp"
+#include "src/holistic/lns.hpp"
+#include "src/holistic/scheduler.hpp"
+#include "src/model/cost.hpp"
+#include "src/model/validate.hpp"
+#include "src/twostage/two_stage.hpp"
+
+namespace mbsp {
+namespace {
+
+MbspInstance tiny_instance(int index, int P = 4, double r_factor = 3,
+                           double g = 1, double L = 10) {
+  auto dataset = tiny_dataset(2025);
+  ComputeDag dag = std::move(dataset[index]);
+  const double r0 = min_memory_r0(dag);
+  return {std::move(dag), Architecture::make(P, r_factor * r0, g, L)};
+}
+
+TEST(Lns, NeverWorseThanWarmStart) {
+  for (int index : {1, 3, 9}) {
+    const MbspInstance inst = tiny_instance(index);
+    const TwoStageResult base =
+        run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+    LnsOptions options;
+    options.budget_ms = 300;
+    const LnsResult res = improve_plan(inst, base.plan, options);
+    EXPECT_LE(res.cost, res.initial_cost + 1e-9) << inst.name();
+    const auto valid = validate(inst, res.schedule);
+    EXPECT_TRUE(valid.ok) << inst.name() << ": " << valid.error;
+  }
+}
+
+TEST(Lns, ImprovesSpmvNoticeably) {
+  // The paper's largest wins are on SpMV-like instances; even a short
+  // budget should find a strictly better schedule.
+  const MbspInstance inst = tiny_instance(3);  // spmv_N6
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  LnsOptions options;
+  options.budget_ms = 1500;
+  const LnsResult res = improve_plan(inst, base.plan, options);
+  EXPECT_LT(res.cost, res.initial_cost) << "no improvement on spmv_N6";
+}
+
+TEST(Lns, DeterministicPerSeed) {
+  const MbspInstance inst = tiny_instance(5);
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  LnsOptions options;
+  options.budget_ms = 0;  // no deadline: run a fixed iteration count
+  options.max_iterations = 3000;
+  const LnsResult a = improve_plan(inst, base.plan, options);
+  const LnsResult b = improve_plan(inst, base.plan, options);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Lns, AsyncObjectiveSupported) {
+  const MbspInstance inst = tiny_instance(4, 4, 3, 1, 0);
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  LnsOptions options;
+  options.budget_ms = 300;
+  options.cost = CostModel::kAsynchronous;
+  const LnsResult res = improve_plan(inst, base.plan, options);
+  EXPECT_LE(res.cost, res.initial_cost + 1e-9);
+  const auto valid = validate(inst, res.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+  EXPECT_NEAR(async_cost(inst, res.schedule), res.cost, 1e-9);
+}
+
+TEST(Lns, NoRecomputeRestrictionHolds) {
+  const MbspInstance inst = tiny_instance(10);
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  LnsOptions options;
+  options.budget_ms = 300;
+  options.allow_recompute = false;
+  const LnsResult res = improve_plan(inst, base.plan, options);
+  for (NodeId v = 0; v < inst.dag.num_nodes(); ++v) {
+    if (!inst.dag.is_source(v)) {
+      EXPECT_LE(res.plan.seq[0].size() + res.plan.seq[1].size() +
+                    res.plan.seq[2].size() + res.plan.seq[3].size(),
+                res.plan.total_computes());
+    }
+  }
+  std::size_t non_source = 0;
+  for (NodeId v = 0; v < inst.dag.num_nodes(); ++v) {
+    non_source += !inst.dag.is_source(v);
+  }
+  EXPECT_EQ(res.plan.total_computes(), non_source);
+}
+
+TEST(Lns, ZipperGadgetLargeGain) {
+  // Theorem 4.1: the two-stage result on the zipper costs ~d*m*g in I/O;
+  // the holistic optimum only ~(2m + d)*g. The LNS must close a large part
+  // of that gap from the baseline warm start.
+  const ZipperGadget z = zipper_gadget(6, 10);
+  ComputeDag dag = z.dag;
+  const MbspInstance inst{std::move(dag),
+                          Architecture::make(2, z.d + 2, 1, 0)};
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  const double base_cost = sync_cost(inst, base.mbsp);
+  LnsOptions options;
+  options.budget_ms = 3000;
+  options.seed = 5;
+  const LnsResult res = improve_plan(inst, base.plan, options);
+  EXPECT_LT(res.cost, base_cost) << "LNS failed to improve the zipper";
+  const auto valid = validate(inst, res.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+}
+
+TEST(HolisticFacade, SmallInstanceUsesLns) {
+  const MbspInstance inst = tiny_instance(2);
+  HolisticOptions options;
+  options.budget_ms = 200;
+  const HolisticOutcome out = holistic_schedule(inst, options);
+  EXPECT_FALSE(out.used_divide_conquer);
+  EXPECT_LE(out.cost, out.baseline_cost + 1e-9);
+  const auto valid = validate(inst, out.schedule);
+  EXPECT_TRUE(valid.ok) << valid.error;
+}
+
+TEST(Lns, MoveMaskRestrictsSearch) {
+  const MbspInstance inst = tiny_instance(3);
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  LnsOptions options;
+  options.budget_ms = 0;
+  options.max_iterations = 2000;
+  options.move_mask = 0;  // nothing enabled: search must be a no-op
+  const LnsResult none = improve_plan(inst, base.plan, options);
+  EXPECT_EQ(none.iterations, 0);
+  EXPECT_DOUBLE_EQ(none.cost, none.initial_cost);
+  options.move_mask = kMergeSupersteps | kSplitSuperstep;
+  const LnsResult some = improve_plan(inst, base.plan, options);
+  EXPECT_LE(some.cost, some.initial_cost + 1e-9);
+  // Superstep-structure moves alone never change the processor of a node.
+  for (int p = 0; p < inst.arch.num_processors; ++p) {
+    ASSERT_EQ(some.plan.seq[p].size(), base.plan.seq[p].size());
+    for (std::size_t i = 0; i < some.plan.seq[p].size(); ++i) {
+      EXPECT_EQ(some.plan.seq[p][i].node, base.plan.seq[p][i].node);
+    }
+  }
+}
+
+TEST(EvaluatePlan, MatchesScheduleCost) {
+  const MbspInstance inst = tiny_instance(0);
+  const TwoStageResult base =
+      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  LnsOptions options;
+  MbspSchedule sched;
+  const double cost = evaluate_plan(inst, base.plan, options, &sched);
+  EXPECT_DOUBLE_EQ(cost, sync_cost(inst, sched));
+}
+
+}  // namespace
+}  // namespace mbsp

@@ -1,0 +1,270 @@
+// Tests for the MBSP model core: r0, schedule validation against the
+// transition rules, and the synchronous/asynchronous cost functions.
+#include <gtest/gtest.h>
+
+#include "src/model/cost.hpp"
+#include "src/model/instance.hpp"
+#include "src/model/report.hpp"
+#include "src/model/validate.hpp"
+
+namespace mbsp {
+namespace {
+
+// chain: s (source) -> a -> b (sink), unit weights.
+MbspInstance chain_instance(double r, double g = 1, double L = 0, int P = 1) {
+  ComputeDag dag("chain3");
+  dag.add_node(0, 1);  // s
+  dag.add_node(1, 1);  // a
+  dag.add_node(1, 1);  // b
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  return {std::move(dag), Architecture::make(P, r, g, L)};
+}
+
+/// A handwritten valid schedule for the chain on one processor.
+MbspSchedule chain_schedule() {
+  MbspSchedule sched;
+  Superstep& s0 = sched.append(1);
+  s0.proc[0].loads = {0};  // load s
+  Superstep& s1 = sched.append(1);
+  s1.proc[0].compute_phase = {PhaseOp::compute(1), PhaseOp::erase(0),
+                              PhaseOp::compute(2)};
+  s1.proc[0].saves = {2};
+  return sched;
+}
+
+TEST(MinMemory, ChainR0) {
+  const MbspInstance inst = chain_instance(2);
+  EXPECT_DOUBLE_EQ(min_memory_r0(inst.dag), 2.0);  // a + its parent s
+}
+
+TEST(MinMemory, WeightedParents) {
+  ComputeDag dag;
+  dag.add_node(0, 3);
+  dag.add_node(0, 4);
+  dag.add_node(1, 2);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(min_memory_r0(dag), 9.0);
+}
+
+TEST(MinMemory, LargeSourceCounts) {
+  ComputeDag dag;
+  dag.add_node(0, 7);  // isolated heavy source
+  EXPECT_DOUBLE_EQ(min_memory_r0(dag), 7.0);
+}
+
+TEST(Validate, AcceptsValidChain) {
+  const MbspInstance inst = chain_instance(2);
+  EXPECT_TRUE(validate(inst, chain_schedule()).ok);
+}
+
+TEST(Validate, RejectsComputeWithoutParent) {
+  const MbspInstance inst = chain_instance(2);
+  MbspSchedule sched;
+  Superstep& s0 = sched.append(1);
+  s0.proc[0].compute_phase = {PhaseOp::compute(1)};  // parent s not red
+  const auto res = validate(inst, sched);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("missing red parent"), std::string::npos);
+}
+
+TEST(Validate, RejectsComputeOnSource) {
+  const MbspInstance inst = chain_instance(2);
+  MbspSchedule sched;
+  sched.append(1).proc[0].compute_phase = {PhaseOp::compute(0)};
+  EXPECT_FALSE(validate(inst, sched).ok);
+}
+
+TEST(Validate, RejectsLoadWithoutBlue) {
+  const MbspInstance inst = chain_instance(2);
+  MbspSchedule sched;
+  sched.append(1).proc[0].loads = {1};  // node a was never saved
+  const auto res = validate(inst, sched);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("without blue"), std::string::npos);
+}
+
+TEST(Validate, RejectsSaveWithoutRed) {
+  const MbspInstance inst = chain_instance(2);
+  MbspSchedule sched;
+  sched.append(1).proc[0].saves = {0};
+  EXPECT_FALSE(validate(inst, sched).ok);
+}
+
+TEST(Validate, RejectsDeleteWithoutRed) {
+  const MbspInstance inst = chain_instance(2);
+  MbspSchedule sched;
+  sched.append(1).proc[0].deletes = {0};
+  EXPECT_FALSE(validate(inst, sched).ok);
+}
+
+TEST(Validate, RejectsMemoryOverflow) {
+  const MbspInstance inst = chain_instance(1.5);  // r < mu(s) + mu(a)
+  const auto res = validate(inst, chain_schedule());
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("memory bound"), std::string::npos);
+}
+
+TEST(Validate, RejectsMissingTerminalSink) {
+  const MbspInstance inst = chain_instance(2);
+  MbspSchedule sched = chain_schedule();
+  sched.steps[1].proc[0].saves.clear();  // never save the sink
+  const auto res = validate(inst, sched);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("terminal"), std::string::npos);
+}
+
+TEST(Validate, SameSuperstepSaveThenLoadAllowed) {
+  // p0 computes and saves a; p1 loads a in the same superstep.
+  const MbspInstance inst = chain_instance(2, 1, 0, 2);
+  MbspSchedule sched;
+  Superstep& s0 = sched.append(2);
+  s0.proc[0].loads = {0};
+  Superstep& s1 = sched.append(2);
+  s1.proc[0].compute_phase = {PhaseOp::compute(1)};
+  s1.proc[0].saves = {1};
+  s1.proc[1].loads = {1};
+  Superstep& s2 = sched.append(2);
+  s2.proc[1].compute_phase = {PhaseOp::compute(2)};
+  s2.proc[1].saves = {2};
+  EXPECT_TRUE(validate(inst, sched).ok) << validate(inst, sched).error;
+}
+
+TEST(Validate, CrossProcessorRedRejected) {
+  // p1 computing b requires a red *on p1*, not p0.
+  const MbspInstance inst = chain_instance(2, 1, 0, 2);
+  MbspSchedule sched;
+  Superstep& s0 = sched.append(2);
+  s0.proc[0].loads = {0};
+  Superstep& s1 = sched.append(2);
+  s1.proc[0].compute_phase = {PhaseOp::compute(1)};
+  Superstep& s2 = sched.append(2);
+  s2.proc[1].compute_phase = {PhaseOp::compute(2)};
+  EXPECT_FALSE(validate(inst, sched).ok);
+}
+
+TEST(SyncCost, ChainBreakdown) {
+  const MbspInstance inst = chain_instance(2, /*g=*/2, /*L=*/10);
+  const MbspSchedule sched = chain_schedule();
+  const auto breakdown = sync_cost_breakdown(inst, sched);
+  // Superstep 0: load cost 2 (g*mu); superstep 1: compute 2, save 2.
+  EXPECT_DOUBLE_EQ(breakdown.compute, 2.0);
+  EXPECT_DOUBLE_EQ(breakdown.io, 4.0);
+  EXPECT_DOUBLE_EQ(breakdown.sync, 20.0);
+  EXPECT_DOUBLE_EQ(sync_cost(inst, sched), 26.0);
+}
+
+TEST(SyncCost, MaxAcrossProcessors) {
+  const MbspInstance inst = chain_instance(10, 1, 0, 2);
+  MbspSchedule sched;
+  Superstep& s0 = sched.append(2);
+  s0.proc[0].loads = {0};
+  s0.proc[1].loads = {0};
+  // Both processors compute a in parallel: max, not sum.
+  Superstep& s1 = sched.append(2);
+  s1.proc[0].compute_phase = {PhaseOp::compute(1)};
+  s1.proc[1].compute_phase = {PhaseOp::compute(1)};
+  s1.proc[0].saves = {1};
+  Superstep& s2 = sched.append(2);
+  s2.proc[0].compute_phase = {PhaseOp::compute(2)};
+  s2.proc[0].saves = {2};
+  ASSERT_TRUE(validate(inst, sched).ok);
+  // load 1 + (comp 1 + save 1) + (comp 1 + save 1) = 5.
+  EXPECT_DOUBLE_EQ(sync_cost(inst, sched), 5.0);
+}
+
+TEST(AsyncCost, AtMostSyncWhenLZero) {
+  const MbspInstance inst = chain_instance(2, 1, 0);
+  const MbspSchedule sched = chain_schedule();
+  EXPECT_LE(async_cost(inst, sched), sync_cost(inst, sched) + 1e-9);
+}
+
+TEST(AsyncCost, ChainValue) {
+  const MbspInstance inst = chain_instance(2, 1, 0);
+  // load(1) + compute(1) + compute(1) + save(1) = 4.
+  EXPECT_DOUBLE_EQ(async_cost(inst, chain_schedule()), 4.0);
+}
+
+TEST(AsyncCost, LoadWaitsForSave) {
+  // p0: compute a (cost 1) then save (cost 1) -> Gamma(a) = 2.
+  // p1: loads a. p1 has no earlier work, so its load finishes at 3.
+  const MbspInstance inst = chain_instance(3, 1, 0, 2);
+  MbspSchedule sched;
+  Superstep& s0 = sched.append(2);
+  s0.proc[0].loads = {0};
+  Superstep& s1 = sched.append(2);
+  s1.proc[0].compute_phase = {PhaseOp::compute(1)};
+  s1.proc[0].saves = {1};
+  s1.proc[1].loads = {1};
+  Superstep& s2 = sched.append(2);
+  s2.proc[1].compute_phase = {PhaseOp::compute(2)};
+  s2.proc[1].saves = {2};
+  ASSERT_TRUE(validate(inst, sched).ok);
+  // p0: load s (1), compute a (2), save a (3) -> Gamma(a) = 3.
+  // p1: load a waits until 3, finishes 4; compute b 5; save b 6.
+  EXPECT_DOUBLE_EQ(async_cost(inst, sched), 6.0);
+}
+
+TEST(AsyncCost, SourceAvailableAtTimeZero) {
+  const MbspInstance inst = chain_instance(2, 1, 0);
+  MbspSchedule sched;
+  sched.append(1).proc[0].loads = {0};
+  EXPECT_DOUBLE_EQ(async_cost(inst, sched), 1.0);
+}
+
+TEST(IoVolume, CountsSavesAndLoads) {
+  const MbspInstance inst = chain_instance(2);
+  EXPECT_DOUBLE_EQ(io_volume(inst, chain_schedule()), 2.0);
+}
+
+TEST(Report, StatsOnChainSchedule) {
+  const MbspInstance inst = chain_instance(2, 2, 10);
+  const MbspSchedule sched = chain_schedule();
+  const ScheduleStats stats = schedule_stats(inst, sched);
+  EXPECT_EQ(stats.supersteps, 2);
+  EXPECT_EQ(stats.computes, 2u);
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.saves, 1u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.recomputed_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.io_volume, 2.0);
+  EXPECT_DOUBLE_EQ(stats.sync_cost_total, sync_cost(inst, sched));
+  EXPECT_DOUBLE_EQ(stats.async_cost_total, async_cost(inst, sched));
+}
+
+TEST(Report, CountsRecomputation) {
+  const MbspInstance inst = chain_instance(3);
+  MbspSchedule sched = chain_schedule();
+  // Recompute node 1 after reloading its parent.
+  Superstep& extra = sched.append(1);
+  extra.proc[0].loads = {0};
+  Superstep& extra2 = sched.append(1);
+  extra2.proc[0].compute_phase = {PhaseOp::compute(1)};
+  ASSERT_TRUE(validate(inst, sched).ok);
+  EXPECT_EQ(schedule_stats(inst, sched).recomputed_nodes, 1u);
+}
+
+TEST(Report, TextContainsBreakdown) {
+  const MbspInstance inst = chain_instance(2, 2, 10);
+  const std::string report = schedule_report(inst, chain_schedule());
+  EXPECT_NE(report.find("supersteps"), std::string::npos);
+  EXPECT_NE(report.find("I/O volume"), std::string::npos);
+  EXPECT_NE(report.find("superstep"), std::string::npos);
+}
+
+TEST(Schedule, HelpersWork) {
+  MbspSchedule sched = chain_schedule();
+  EXPECT_EQ(sched.num_supersteps(), 2);
+  EXPECT_EQ(sched.num_ops(), 5u);
+  EXPECT_EQ(sched.compute_count(1), 1u);
+  EXPECT_EQ(sched.compute_count(0), 0u);
+  sched.append(1);
+  sched.drop_empty_supersteps();
+  EXPECT_EQ(sched.num_supersteps(), 2);
+  const MbspInstance inst = chain_instance(2);
+  EXPECT_NE(sched.to_string(inst).find("superstep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbsp

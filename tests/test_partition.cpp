@@ -1,0 +1,126 @@
+// Tests for acyclic bipartitioning and recursive partitioning.
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/topology.hpp"
+#include "src/holistic/partition.hpp"
+#include "src/ilp/solver.hpp"
+
+namespace mbsp {
+namespace {
+
+void expect_downset(const ComputeDag& dag, const std::vector<int>& part) {
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    for (NodeId v : dag.children(u)) {
+      EXPECT_LE(part[u], part[v])
+          << "edge " << u << "->" << v << " violates acyclicity";
+    }
+  }
+}
+
+TEST(Bipartition, GreedyDownsetAndBalance) {
+  Rng rng(3);
+  const ComputeDag dag = random_layered_dag(60, 5, rng);
+  BipartitionOptions options;
+  options.use_ilp = false;
+  const BipartitionResult res = greedy_bipartition(dag, options);
+  expect_downset(dag, res.part);
+  int zeros = 0;
+  for (int p : res.part) zeros += p == 0;
+  EXPECT_GE(zeros, 60 / 3);
+  EXPECT_GE(60 - zeros, 60 / 3);
+  EXPECT_EQ(res.cut, cut_edges(dag, res.part));
+}
+
+TEST(Bipartition, IlpOptimalOnTwoChains) {
+  // Two disjoint chains of length 6: a balanced split with zero cut exists
+  // (one chain per side); the ILP must find it.
+  ComputeDag dag;
+  for (int c = 0; c < 2; ++c) {
+    NodeId prev = dag.add_node(1, 1);
+    for (int i = 0; i < 5; ++i) {
+      const NodeId v = dag.add_node(1, 1);
+      dag.add_edge(prev, v);
+      prev = v;
+    }
+  }
+  const BipartitionResult res = acyclic_bipartition(dag);
+  expect_downset(dag, res.part);
+  EXPECT_EQ(res.cut, 0u);
+}
+
+TEST(Bipartition, IlpMatchesBruteForceOnSmallDags) {
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ComputeDag dag = random_layered_dag(10, 3, rng);
+    BipartitionOptions options;
+    options.ilp_budget_ms = 2000;
+    const BipartitionResult res = acyclic_bipartition(dag, options);
+    expect_downset(dag, res.part);
+    // Brute force over all down-sets within balance.
+    const int n = dag.num_nodes();
+    const int lo = std::max(1, n / 3);
+    std::size_t best = SIZE_MAX;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      std::vector<int> part(n);
+      int ones = 0;
+      for (int v = 0; v < n; ++v) {
+        part[v] = (mask >> v) & 1;
+        ones += part[v];
+      }
+      if (ones < lo || n - ones < lo) continue;
+      bool downset = true;
+      for (NodeId u = 0; u < n && downset; ++u) {
+        for (NodeId v : dag.children(u)) downset &= part[u] <= part[v];
+      }
+      if (downset) best = std::min(best, cut_edges(dag, part));
+    }
+    ASSERT_NE(best, SIZE_MAX);
+    EXPECT_EQ(res.cut, best) << "trial " << trial;
+  }
+}
+
+TEST(Bipartition, IlpModelShape) {
+  ComputeDag dag;
+  dag.add_node(1, 1);
+  dag.add_node(1, 1);
+  dag.add_edge(0, 1);
+  const ilp::Model model = build_bipartition_ilp(dag, 1, 1);
+  EXPECT_EQ(model.num_vars(), 3);  // 2 part vars + 1 cut var
+  // part0=0, part1=1 cuts the edge; the solver minimizes the cut but the
+  // balance constraint (1 <= ones <= 1) forces exactly that.
+  ilp::BranchAndBoundSolver solver;
+  const auto res = solver.solve(model);
+  ASSERT_EQ(res.status, ilp::MipStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 1.0, 1e-6);
+}
+
+TEST(RecursivePartition, PartsSmallAndTopological) {
+  const auto dataset = small_dataset(2025);
+  const ComputeDag& dag = dataset[2];  // spmv_N25
+  BipartitionOptions options;
+  options.ilp_budget_ms = 200;
+  const auto parts = recursive_acyclic_partition(dag, 60, options);
+  EXPECT_GT(parts.size(), 1u);
+  std::vector<int> part_of(dag.num_nodes(), -1);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_LE(parts[i].size(), 60u);
+    EXPECT_FALSE(parts[i].empty());
+    total += parts[i].size();
+    for (NodeId v : parts[i]) {
+      EXPECT_EQ(part_of[v], -1) << "node in two parts";
+      part_of[v] = static_cast<int>(i);
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(dag.num_nodes()));
+  // Topological order of parts: cross edges only go forward.
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    for (NodeId v : dag.children(u)) {
+      EXPECT_LE(part_of[u], part_of[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbsp

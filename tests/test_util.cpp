@@ -1,0 +1,145 @@
+// Unit tests for the util substrate: RNG, statistics, tables, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/timer.hpp"
+
+namespace mbsp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto draw = rng.uniform_int(-3, 5);
+    EXPECT_GE(draw, -3);
+    EXPECT_LE(draw, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(1, 5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, IndexWithinBound) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_NEAR(geometric_mean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, Quantile) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Table, TextAlignsColumns) {
+  Table t({"a", "long_header"});
+  t.add_row({"value_a", "b"});
+  const std::string text = t.to_text("title");
+  EXPECT_NE(text.find("title"), std::string::npos);
+  EXPECT_NE(text.find("long_header"), std::string::npos);
+  EXPECT_NE(text.find("value_a"), std::string::npos);
+}
+
+TEST(Table, CsvEscapes) {
+  Table t({"x"});
+  t.add_row({"with,comma"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b"});
+  t.add_row({"only_a"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.to_csv().find("only_a,"), std::string::npos);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  parallel_for(pool, 50, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Deadline, ZeroBudgetNeverExpires) {
+  Deadline d(0);
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  Deadline d(0.01);
+  Timer t;
+  while (t.elapsed_ms() < 1) {
+  }
+  EXPECT_TRUE(d.expired());
+}
+
+}  // namespace
+}  // namespace mbsp
