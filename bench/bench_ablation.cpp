@@ -4,7 +4,8 @@
 //  * completion policy inside the search (clairvoyant vs LRU),
 //  * warm start (baseline) vs cold start (trivial all-on-p0 plan).
 // Reported as geomean cost ratios vs the full configuration over a
-// representative subset of the tiny dataset.
+// representative subset of the tiny dataset. All configurations run as
+// "lns" registry cells with the corresponding SchedulerOptions knobs.
 #include "bench/bench_common.hpp"
 
 using namespace mbsp;
@@ -29,17 +30,6 @@ const Config kConfigs[] = {
     {"cold start", kAllMoves, PolicyKind::kClairvoyant, true},
 };
 
-ComputePlan trivial_plan(const MbspInstance& inst) {
-  // Everything on processor 0 in one long superstep, topological order.
-  ComputePlan plan;
-  plan.num_procs = inst.arch.num_processors;
-  plan.seq.resize(plan.num_procs);
-  for (NodeId v : topological_order(inst.dag)) {
-    if (!inst.dag.is_source(v)) plan.seq[0].push_back({v, 0});
-  }
-  return plan;
-}
-
 }  // namespace
 
 int main() {
@@ -48,30 +38,30 @@ int main() {
   const std::vector<int> subset{0, 3, 6, 9, 12};  // one per family
   constexpr std::size_t kNumConfigs = std::size(kConfigs);
 
-  std::vector<std::array<double, kNumConfigs>> cost(subset.size());
-  for_each_instance(subset.size() * kNumConfigs, [&](std::size_t job) {
-    const std::size_t i = job / kNumConfigs;
-    const std::size_t c = job % kNumConfigs;
-    const Config& cfg = kConfigs[c];
-    const MbspInstance inst = make_instance(dataset[subset[i]], 4, 3.0, 1, 10);
-    const TwoStageResult base =
-        run_baseline(inst, BaselineKind::kGreedyClairvoyant);
-    LnsOptions options;
-    options.budget_ms = config.budget_ms;
-    options.move_mask = cfg.move_mask;
-    options.completion_policy = cfg.policy;
-    const ComputePlan initial =
-        cfg.cold_start ? trivial_plan(inst) : base.plan;
-    const LnsResult res = improve_plan(inst, initial, options);
-    cost[i][c] = res.cost;
-  });
+  std::vector<MbspInstance> instances;
+  for (int index : subset) {
+    instances.push_back(make_instance(dataset[index], 4, 3.0, 1, 10));
+  }
+  std::vector<BatchRunner::CellSpec> specs;  // i-major, config-minor
+  for (const MbspInstance& inst : instances) {
+    for (const Config& cfg : kConfigs) {
+      SchedulerOptions options = scheduler_options(config);
+      options.move_mask = cfg.move_mask;
+      options.completion_policy = cfg.policy;
+      options.cold_start = cfg.cold_start;
+      specs.push_back({&inst, "lns", options});
+    }
+  }
+  const std::vector<BatchCell> cells = make_runner(config).run_cells(specs);
 
   Table table({"configuration", "geomean vs full", "per-instance ratios"});
   for (std::size_t c = 0; c < kNumConfigs; ++c) {
     std::vector<double> ratios;
     std::string detail;
     for (std::size_t i = 0; i < subset.size(); ++i) {
-      ratios.push_back(cost[i][c] / cost[i][0]);
+      const double cost = cell_or_die(cells[i * kNumConfigs + c]).cost;
+      const double full = cell_or_die(cells[i * kNumConfigs]).cost;
+      ratios.push_back(cost / full);
       detail += fmt(ratios.back(), 2) + " ";
     }
     table.add_row({kConfigs[c].label, fmt(geometric_mean(ratios), 3), detail});

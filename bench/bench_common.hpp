@@ -1,9 +1,9 @@
 #pragma once
 // Shared harness for the experiment benches. Each bench binary regenerates
-// one table or figure of the paper: it builds the dataset, runs the
-// baseline(s) and the holistic scheduler per instance (in parallel across
-// instances; each solve is single-threaded and deterministic), and prints
-// the paper's rows plus geometric-mean ratios.
+// one table or figure of the paper: it builds the dataset, runs the named
+// schedulers from the SchedulerRegistry through the BatchRunner (in
+// parallel across cells; each solve is single-threaded and deterministic),
+// and prints the paper's rows plus geometric-mean ratios.
 //
 // Environment knobs:
 //   MBSP_BENCH_BUDGET_MS  per-instance optimization budget (default 1500)
@@ -40,6 +40,47 @@ inline MbspInstance make_instance(ComputeDag dag, int P, double r_factor,
                                   double g = 1, double L = 10) {
   const double r0 = min_memory_r0(dag);
   return {std::move(dag), Architecture::make(P, r_factor * r0, g, L)};
+}
+
+/// Instantiates a whole dataset at one architecture point.
+inline std::vector<MbspInstance> make_instances(std::vector<ComputeDag> dags,
+                                                int P, double r_factor,
+                                                double g = 1, double L = 10) {
+  std::vector<MbspInstance> instances;
+  instances.reserve(dags.size());
+  for (ComputeDag& dag : dags) {
+    instances.push_back(make_instance(std::move(dag), P, r_factor, g, L));
+  }
+  return instances;
+}
+
+/// Registry-facing options derived from the bench environment knobs.
+inline SchedulerOptions scheduler_options(
+    const BenchConfig& config, CostModel cost = CostModel::kSynchronous) {
+  SchedulerOptions options;
+  options.budget_ms = config.budget_ms;
+  options.cost = cost;
+  return options;
+}
+
+/// The bench-wide batch engine (validates every produced schedule).
+inline BatchRunner make_runner(const BenchConfig& config,
+                               CostModel cost = CostModel::kSynchronous) {
+  BatchOptions batch;
+  batch.scheduler = scheduler_options(config, cost);
+  return BatchRunner(batch);
+}
+
+/// Unwraps a cell, aborting with its error on failure (bench analogue of
+/// validate_or_die: a bench must not print a table from a broken cell).
+inline const ScheduleResult& cell_or_die(const BatchCell& cell) {
+  if (!cell.ok) {
+    std::fprintf(stderr, "batch cell %s/%s failed: %s\n",
+                 cell.instance.c_str(), cell.scheduler.c_str(),
+                 cell.error.c_str());
+    std::abort();
+  }
+  return cell.result;
 }
 
 /// Paper-style cost formatting (the datasets have integral costs).

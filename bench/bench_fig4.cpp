@@ -45,25 +45,29 @@ int main() {
   const std::size_t count = dataset.size();
   constexpr std::size_t kNumVariants = std::size(kVariants);
 
-  std::vector<std::array<double, kNumVariants>> ratio(count);
-  for_each_instance(count * kNumVariants, [&](std::size_t job) {
-    const std::size_t i = job / kNumVariants;
-    const std::size_t k = job % kNumVariants;
-    const Variant& variant = kVariants[k];
-    const MbspInstance inst =
-        make_instance(dataset[i], variant.P, variant.r_factor, 1, variant.L);
-    HolisticOptions options;
-    options.budget_ms = config.budget_ms;
-    options.cost = variant.cost;
-    const HolisticOutcome out = holistic_schedule(inst, options);
-    ratio[i][k] = out.cost / out.baseline_cost;
-  });
+  std::vector<MbspInstance> instances;
+  std::vector<BatchRunner::CellSpec> specs;
+  instances.reserve(count * kNumVariants);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const Variant& variant : kVariants) {
+      instances.push_back(make_instance(dataset[i], variant.P,
+                                        variant.r_factor, 1, variant.L));
+    }
+  }
+  for (std::size_t i = 0; i < count * kNumVariants; ++i) {
+    specs.push_back({&instances[i], "holistic",
+                     scheduler_options(config, kVariants[i % kNumVariants].cost)});
+  }
+  const std::vector<BatchCell> cells = make_runner(config).run_cells(specs);
 
   Table table({"case", "min", "q25", "median", "q75", "max", "geomean",
                "0.5 ........ ratio scale ........ 1.05"});
   for (std::size_t k = 0; k < kNumVariants; ++k) {
     std::vector<double> rs;
-    for (std::size_t i = 0; i < count; ++i) rs.push_back(ratio[i][k]);
+    for (std::size_t i = 0; i < count; ++i) {
+      const ScheduleResult& res = cell_or_die(cells[i * kNumVariants + k]);
+      rs.push_back(res.cost / res.baseline_cost);
+    }
     const double lo = quantile(rs, 0), q1 = quantile(rs, 0.25),
                  med = quantile(rs, 0.5), q3 = quantile(rs, 0.75),
                  hi = quantile(rs, 1);

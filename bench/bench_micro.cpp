@@ -17,42 +17,41 @@ MbspInstance bench_instance(int index, int P, double r_factor) {
   return {std::move(dag), Architecture::make(P, r_factor * r0, 1, 10)};
 }
 
+/// Main two-stage baseline via the registry (schedule + plan fixtures).
+ScheduleResult baseline_result(const MbspInstance& inst) {
+  return SchedulerRegistry::global().at("bspg+clairvoyant").run(inst, {});
+}
+
 void BM_Validate(benchmark::State& state) {
   const MbspInstance inst = bench_instance(static_cast<int>(state.range(0)), 4, 3);
-  const TwoStageResult base =
-      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  const ScheduleResult base = baseline_result(inst);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(validate(inst, base.mbsp).ok);
+    benchmark::DoNotOptimize(validate(inst, base.schedule).ok);
   }
 }
 BENCHMARK(BM_Validate)->Arg(0)->Arg(3)->Arg(9);
 
 void BM_SyncCost(benchmark::State& state) {
   const MbspInstance inst = bench_instance(3, 4, 3);
-  const TwoStageResult base =
-      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  const ScheduleResult base = baseline_result(inst);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sync_cost(inst, base.mbsp));
+    benchmark::DoNotOptimize(sync_cost(inst, base.schedule));
   }
 }
 BENCHMARK(BM_SyncCost);
 
 void BM_AsyncCost(benchmark::State& state) {
   const MbspInstance inst = bench_instance(3, 4, 3);
-  const TwoStageResult base =
-      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  const ScheduleResult base = baseline_result(inst);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(async_cost(inst, base.mbsp));
+    benchmark::DoNotOptimize(async_cost(inst, base.schedule));
   }
 }
 BENCHMARK(BM_AsyncCost);
 
 void BM_CompleteMemory(benchmark::State& state) {
   const MbspInstance inst = bench_instance(static_cast<int>(state.range(0)), 4, 3);
-  GreedyBspScheduler stage1;
-  const BspSchedule bsp = stage1.schedule(inst.dag, inst.arch);
-  const ComputePlan plan =
-      plan_from_bsp(inst.dag, bsp, inst.arch.num_processors);
+  const ComputePlan plan = baseline_result(inst).plan;
   const PolicyKind policy = state.range(1) == 0 ? PolicyKind::kClairvoyant
                                                 : PolicyKind::kLru;
   for (auto _ : state) {
@@ -115,8 +114,7 @@ void BM_LnsIterations(benchmark::State& state) {
   // Reports how many LNS iterations fit into a fixed 50 ms budget on a
   // representative instance (iterations/sec is the quantity that matters).
   const MbspInstance inst = bench_instance(3, 4, 3);
-  const TwoStageResult base =
-      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
+  const ScheduleResult base = baseline_result(inst);
   for (auto _ : state) {
     LnsOptions options;
     options.budget_ms = 50;

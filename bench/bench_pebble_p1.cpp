@@ -13,45 +13,36 @@ int main() {
   auto dataset = tiny_dataset(config.seed);
   const std::size_t count = dataset.size();
 
-  struct Row {
-    std::string name;
-    double base3 = 0, ilp3 = 0, base1 = 0, ilp1 = 0;
-  };
-  std::vector<Row> rows(count);
-
-  for_each_instance(count * 2, [&](std::size_t job) {
-    const std::size_t i = job / 2;
-    const double r_factor = job % 2 == 0 ? 3.0 : 1.0;
-    const MbspInstance inst =
-        make_instance(dataset[i], 1, r_factor, 1, 0);
-    const TwoStageResult base =
-        run_baseline(inst, BaselineKind::kDfsClairvoyant);
-    const double base_cost = sync_cost(inst, base.mbsp);
-    HolisticOptions options;
-    options.budget_ms = config.budget_ms;
-    const HolisticOutcome out = holistic_improve(inst, base.plan, options);
-    Row& row = rows[i];
-    row.name = inst.name();
-    if (job % 2 == 0) {
-      row.base3 = base_cost;
-      row.ilp3 = std::min(out.cost, base_cost);
-    } else {
-      row.base1 = base_cost;
-      row.ilp1 = std::min(out.cost, base_cost);
-    }
-  });
+  // Cell layout: i-major, r-factor-minor (r = 3r0 then r = r0).
+  SchedulerOptions options = scheduler_options(config);
+  options.warm_start = BaselineKind::kDfsClairvoyant;
+  std::vector<MbspInstance> instances;
+  instances.reserve(count * 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    instances.push_back(make_instance(dataset[i], 1, 3.0, 1, 0));
+    instances.push_back(make_instance(dataset[i], 1, 1.0, 1, 0));
+  }
+  std::vector<BatchRunner::CellSpec> specs;
+  for (const MbspInstance& inst : instances) {
+    specs.push_back({&inst, "lns", options});
+  }
+  const std::vector<BatchCell> cells = make_runner(config).run_cells(specs);
 
   Table table({"Instance", "DFS+cv (r=3r0)", "ILP (r=3r0)", "DFS+cv (r=r0)",
                "ILP (r=r0)"});
   int improved3 = 0, improved1 = 0;
   std::vector<double> r3, r1;
-  for (const Row& row : rows) {
-    table.add_row({row.name, cost_str(row.base3), cost_str(row.ilp3),
-                   cost_str(row.base1), cost_str(row.ilp1)});
-    improved3 += row.ilp3 < row.base3 - 1e-9;
-    improved1 += row.ilp1 < row.base1 - 1e-9;
-    r3.push_back(row.ilp3 / row.base3);
-    r1.push_back(row.ilp1 / row.base1);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ScheduleResult& at3 = cell_or_die(cells[2 * i]);
+    const ScheduleResult& at1 = cell_or_die(cells[2 * i + 1]);
+    const double base3 = at3.baseline_cost, ilp3 = std::min(at3.cost, base3);
+    const double base1 = at1.baseline_cost, ilp1 = std::min(at1.cost, base1);
+    table.add_row({dataset[i].name(), cost_str(base3), cost_str(ilp3),
+                   cost_str(base1), cost_str(ilp1)});
+    improved3 += ilp3 < base3 - 1e-9;
+    improved1 += ilp1 < base1 - 1e-9;
+    r3.push_back(ilp3 / base3);
+    r1.push_back(ilp1 / base1);
   }
   emit(table, "Section 7.2 (P=1): red-blue pebbling with compute costs",
        config, "pebble_p1");

@@ -10,39 +10,33 @@ using namespace mbsp::bench;
 
 int main() {
   const BenchConfig config = BenchConfig::from_env();
-  auto dataset = tiny_dataset(config.seed);
-  const std::size_t count = dataset.size();
+  const std::vector<MbspInstance> instances =
+      make_instances(tiny_dataset(config.seed), 4, 3.0, 1, 10);
 
-  struct Row {
-    std::string name;
-    double with = 0, without = 0;
-  };
-  std::vector<Row> rows(count);
-
-  for_each_instance(count * 2, [&](std::size_t job) {
-    const std::size_t i = job / 2;
-    const bool allow = job % 2 == 0;
-    const MbspInstance inst = make_instance(dataset[i], 4, 3.0, 1, 10);
-    HolisticOptions options;
-    options.budget_ms = config.budget_ms;
-    options.allow_recompute = allow;
-    const HolisticOutcome out = holistic_schedule(inst, options);
-    validate_or_die(inst, out.schedule);
-    rows[i].name = inst.name();
-    (allow ? rows[i].with : rows[i].without) = out.cost;
-  });
+  // Cell layout: i-major; recompute-allowed first, prohibited second.
+  std::vector<BatchRunner::CellSpec> specs;
+  for (const MbspInstance& inst : instances) {
+    for (const bool allow : {true, false}) {
+      SchedulerOptions options = scheduler_options(config);
+      options.allow_recompute = allow;
+      specs.push_back({&inst, "holistic", options});
+    }
+  }
+  const std::vector<BatchCell> cells = make_runner(config).run_cells(specs);
 
   Table table({"Instance", "with recompute", "no recompute", "increase"});
   std::vector<double> increases;
   int worse = 0, better = 0;
   double max_increase = 0;
-  for (const Row& row : rows) {
-    const double increase = row.without / row.with;
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const double with = cell_or_die(cells[2 * i]).cost;
+    const double without = cell_or_die(cells[2 * i + 1]).cost;
+    const double increase = without / with;
     increases.push_back(increase);
     worse += increase > 1.0 + 1e-9;
     better += increase < 1.0 - 1e-9;
     max_increase = std::max(max_increase, increase);
-    table.add_row({row.name, cost_str(row.with), cost_str(row.without),
+    table.add_row({instances[i].name(), cost_str(with), cost_str(without),
                    fmt(increase, 2)});
   }
   emit(table, "Section 7.2: prohibiting recomputation (P=4, r=3r0, L=10)",

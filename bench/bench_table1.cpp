@@ -9,31 +9,19 @@ using namespace mbsp::bench;
 
 int main() {
   const BenchConfig config = BenchConfig::from_env();
-  auto dataset = tiny_dataset(config.seed);
-  const std::size_t count = dataset.size();
+  const std::vector<MbspInstance> instances =
+      make_instances(tiny_dataset(config.seed), 4, 3.0, 1, 10);
 
-  struct Row {
-    std::string name;
-    double base = 0, ilp = 0;
-  };
-  std::vector<Row> rows(count);
-
-  for_each_instance(count, [&](std::size_t i) {
-    const MbspInstance inst =
-        make_instance(dataset[i], 4, 3.0, 1, 10);
-    HolisticOptions options;
-    options.budget_ms = config.budget_ms;
-    const HolisticOutcome out = holistic_schedule(inst, options);
-    validate_or_die(inst, out.schedule);
-    rows[i] = {inst.name(), out.baseline_cost, out.cost};
-  });
+  const std::vector<BatchCell> cells =
+      make_runner(config).run_grid(instances, {"holistic"});
 
   Table table({"Instance", "Base", "ILP", "ratio"});
   std::vector<double> ratios;
-  for (const Row& row : rows) {
-    ratios.push_back(row.ilp / row.base);
-    table.add_row({row.name, cost_str(row.base), cost_str(row.ilp),
-                   fmt(row.ilp / row.base, 2)});
+  for (const BatchCell& cell : cells) {
+    const ScheduleResult& res = cell_or_die(cell);
+    ratios.push_back(res.cost / res.baseline_cost);
+    table.add_row({cell.instance, cost_str(res.baseline_cost),
+                   cost_str(res.cost), fmt(res.cost / res.baseline_cost, 2)});
   }
   emit(table, "Table 1: sync MBSP cost, baseline / ILP (P=4, r=3r0, L=10)",
        config, "table1");

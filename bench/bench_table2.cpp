@@ -9,37 +9,24 @@ using namespace mbsp::bench;
 
 int main() {
   const BenchConfig config = BenchConfig::from_env();
-  auto dataset = small_dataset(config.seed);
-  const std::size_t count = dataset.size();
+  const std::vector<MbspInstance> instances =
+      make_instances(small_dataset(config.seed), 4, 5.0, 1, 10);
 
-  struct Row {
-    std::string name;
-    double base = 0, ilp = 0;
-    std::size_t parts = 0;
-  };
-  std::vector<Row> rows(count);
-
-  for_each_instance(count, [&](std::size_t i) {
-    const MbspInstance inst = make_instance(dataset[i], 4, 5.0, 1, 10);
-    const TwoStageResult base =
-        run_baseline(inst, BaselineKind::kGreedyClairvoyant);
-    const double base_cost = sync_cost(inst, base.mbsp);
-
-    DivideConquerOptions options;
-    options.lns.budget_ms = config.budget_ms / 4;  // per part
-    const DivideConquerResult res = divide_conquer_schedule(inst, options);
-    validate_or_die(inst, res.schedule);
-    rows[i] = {inst.name(), base_cost, res.cost, res.num_parts};
-  });
+  const std::vector<BatchCell> cells = make_runner(config).run_grid(
+      instances, {"bspg+clairvoyant", "divide-conquer"});
 
   Table table({"Instance", "Base", "D&C ILP", "ratio", "parts"});
   std::vector<double> ratios, win_ratios, loss_ratios;
-  for (const Row& row : rows) {
-    const double ratio = row.ilp / row.base;
+  for (const MbspInstance& inst : instances) {
+    const ScheduleResult& base =
+        cell_or_die(*find_cell(cells, inst.name(), "bspg+clairvoyant"));
+    const ScheduleResult& dnc =
+        cell_or_die(*find_cell(cells, inst.name(), "divide-conquer"));
+    const double ratio = dnc.cost / base.cost;
     ratios.push_back(ratio);
     (ratio <= 1.0 ? win_ratios : loss_ratios).push_back(ratio);
-    table.add_row({row.name, cost_str(row.base), cost_str(row.ilp),
-                   fmt(ratio, 2), std::to_string(row.parts)});
+    table.add_row({inst.name(), cost_str(base.cost), cost_str(dnc.cost),
+                   fmt(ratio, 2), std::to_string(dnc.num_parts)});
   }
   emit(table,
        "Table 2: larger dataset, baseline / divide-and-conquer ILP "

@@ -32,31 +32,34 @@ int main() {
   const std::size_t count = dataset.size();
   constexpr std::size_t kNumVariants = std::size(kVariants);
 
-  std::vector<std::array<std::pair<double, double>, kNumVariants>> rows(count);
-  for_each_instance(count * kNumVariants, [&](std::size_t job) {
-    const std::size_t i = job / kNumVariants;
-    const std::size_t k = job % kNumVariants;
-    const Variant& variant = kVariants[k];
-    const MbspInstance inst =
-        make_instance(dataset[i], variant.P, variant.r_factor, 1, variant.L);
-    HolisticOptions options;
-    options.budget_ms = config.budget_ms;
-    options.cost = variant.cost;
-    const HolisticOutcome out = holistic_schedule(inst, options);
-    validate_or_die(inst, out.schedule);
-    rows[i][k] = {out.baseline_cost, out.cost};
-  });
+  // Materialize every (instance, variant) pair with its own architecture;
+  // the cell list is i-major, k-minor.
+  std::vector<MbspInstance> instances;
+  std::vector<BatchRunner::CellSpec> specs;
+  instances.reserve(count * kNumVariants);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const Variant& variant : kVariants) {
+      instances.push_back(make_instance(dataset[i], variant.P,
+                                        variant.r_factor, 1, variant.L));
+    }
+  }
+  for (std::size_t i = 0; i < count * kNumVariants; ++i) {
+    specs.push_back({&instances[i], "holistic",
+                     scheduler_options(config, kVariants[i % kNumVariants].cost)});
+  }
+  const std::vector<BatchCell> cells = make_runner(config).run_cells(specs);
 
   Table table({"Instance", "r=5r0", "r=r0", "P=8", "L=0", "async"});
   std::array<std::vector<double>, kNumVariants> ratios;
   for (std::size_t i = 0; i < count; ++i) {
-    std::vector<std::string> cells{dataset[i].name()};
+    std::vector<std::string> row_cells{dataset[i].name()};
     for (std::size_t k = 0; k < kNumVariants; ++k) {
-      const auto [base, ilp] = rows[i][k];
-      cells.push_back(cost_str(base) + " / " + cost_str(ilp));
-      ratios[k].push_back(ilp / base);
+      const ScheduleResult& res = cell_or_die(cells[i * kNumVariants + k]);
+      row_cells.push_back(cost_str(res.baseline_cost) + " / " +
+                          cost_str(res.cost));
+      ratios[k].push_back(res.cost / res.baseline_cost);
     }
-    table.add_row(std::move(cells));
+    table.add_row(std::move(row_cells));
   }
   emit(table, "Table 4: baseline / our ILP under alternative parameters",
        config, "table4");

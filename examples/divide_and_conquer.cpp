@@ -31,20 +31,19 @@ int main() {
   std::printf("acyclic partition: %zu parts, %zu cut edges\n", parts.size(),
               boundary);
 
-  // The two-stage baseline for reference.
-  const TwoStageResult base =
-      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
-  const double base_cost = sync_cost(inst, base.mbsp);
-
-  // Full divide-and-conquer run.
-  DivideConquerOptions options;
-  options.lns.budget_ms = 400;  // per part
-  const DivideConquerResult res = divide_conquer_schedule(inst, options);
+  // The two-stage baseline for reference, then the full divide-and-conquer
+  // run — both through the scheduler registry.
+  const SchedulerRegistry& registry = SchedulerRegistry::global();
+  SchedulerOptions options;
+  options.budget_ms = 1600;  // the divide-conquer adapter spends /4 per part
+  const ScheduleResult base =
+      registry.at("bspg+clairvoyant").run(inst, options);
+  const ScheduleResult res = registry.at("divide-conquer").run(inst, options);
   validate_or_die(inst, res.schedule);
 
   std::printf("baseline cost %.0f | divide-and-conquer cost %.0f "
               "(ratio %.2fx, %zu parts)\n",
-              base_cost, res.cost, res.cost / base_cost, res.num_parts);
+              base.cost, res.cost, res.cost / base.cost, res.num_parts);
   std::printf("\nOn SpMV-like DAGs the parts are loosely coupled and the\n"
               "method wins; on exp/kNN-like DAGs the per-part optima ignore\n"
               "cross-part cache reuse and it can lose to the baseline —\n"

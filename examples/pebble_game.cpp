@@ -17,12 +17,16 @@ int main() {
               "%zu-node chain, cache r = 4\n\n",
               gadget.d, gadget.v.size());
 
+  const MbspScheduler& pebbler =
+      SchedulerRegistry::global().at("exact-pebbler");
+  SchedulerOptions options;
+  options.budget_ms = 30000;  // the exact solver may need the full default
   for (double g : {1.0, 2.0, 4.0, 8.0}) {
     ComputeDag dag = gadget.dag;
     const MbspInstance inst{std::move(dag),
                             Architecture::make(1, 4, g, 0)};
-    const ExactPebbleResult res = exact_pebble(inst);
-    if (!res.solved) {
+    const ScheduleResult res = pebbler.run(inst, options);
+    if (!res.optimal) {
       std::printf("g = %.0f: state space too large\n", g);
       continue;
     }

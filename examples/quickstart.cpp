@@ -42,22 +42,24 @@ int main() {
                           Architecture::make(/*P=*/2, /*r=*/8, /*g=*/1,
                                              /*L=*/5)};
 
-  // 3. Two-stage baseline: BSPg-style scheduling, then clairvoyant cache
-  //    management (Section 4 of the paper).
-  const TwoStageResult baseline =
-      run_baseline(inst, BaselineKind::kGreedyClairvoyant);
-  validate_or_die(inst, baseline.mbsp);
+  // 3. Every scheduling algorithm lives in the SchedulerRegistry and is
+  //    addressed by name. First the two-stage baseline: BSPg-style
+  //    scheduling, then clairvoyant cache management (Section 4).
+  const SchedulerRegistry& registry = SchedulerRegistry::global();
+  SchedulerOptions options;
+  options.budget_ms = 1000;
+  const ScheduleResult baseline =
+      registry.at("bspg+clairvoyant").run(inst, options);
+  validate_or_die(inst, baseline.schedule);
   std::printf("two-stage baseline: sync cost %.1f, async cost %.1f, %d "
               "supersteps\n",
-              sync_cost(inst, baseline.mbsp), async_cost(inst, baseline.mbsp),
-              baseline.mbsp.num_supersteps());
+              sync_cost(inst, baseline.schedule),
+              async_cost(inst, baseline.schedule), baseline.supersteps);
 
   // 4. Holistic scheduler: improves the baseline against the true MBSP
   //    objective (assignment, superstep structure, recomputation and
   //    memory management considered together).
-  HolisticOptions options;
-  options.budget_ms = 1000;
-  const HolisticOutcome out = holistic_schedule(inst, options);
+  const ScheduleResult out = registry.at("holistic").run(inst, options);
   validate_or_die(inst, out.schedule);
   std::printf("holistic schedule:  sync cost %.1f (baseline %.1f, ratio "
               "%.2fx)\n",

@@ -1,10 +1,8 @@
 // Domain example: scheduling a sparse matrix-vector product (the workload
 // family where the paper's holistic method wins the most) across cache
-// sizes and eviction policies.
-//
-// Prints, for r in {r0, 2r0, 3r0, 5r0}:
-//   * the two-stage cost with clairvoyant and with LRU eviction,
-//   * the holistic scheduler's cost,
+// sizes and eviction policies, as one BatchRunner grid:
+//   (r in {r0, 2r0, 3r0, 5r0}) x (two-stage clairvoyant, two-stage LRU,
+//   holistic),
 // showing how the memory bound shifts the compute/I-O balance and how much
 // of the gap is due to the policy vs the assignment.
 
@@ -23,27 +21,34 @@ int main() {
   std::printf("SpMV DAG: %d nodes, %zu edges, r0 = %.0f\n\n", dag.num_nodes(),
               dag.num_edges(), r0);
 
+  const std::vector<double> factors{1.0, 2.0, 3.0, 5.0};
+  std::vector<MbspInstance> instances;
+  for (double factor : factors) {
+    ComputeDag copy = dag;
+    copy.set_name(dag.name() + "@" + fmt(factor, 0) + "r0");
+    instances.push_back(
+        {std::move(copy), Architecture::make(4, factor * r0, 1, 10)});
+  }
+
+  BatchOptions batch;
+  batch.scheduler.budget_ms = 800;
+  const std::vector<BatchCell> cells = BatchRunner(batch).run_grid(
+      instances, {"bspg+clairvoyant", "bspg+lru", "holistic"});
+
   Table table({"r", "two-stage (clairvoyant)", "two-stage (LRU)",
                "holistic", "holistic I/O volume"});
-  for (double factor : {1.0, 2.0, 3.0, 5.0}) {
-    ComputeDag copy = dag;
-    const MbspInstance inst{std::move(copy),
-                            Architecture::make(4, factor * r0, 1, 10)};
-
-    GreedyBspScheduler stage1;
-    const TwoStageResult cv =
-        two_stage_schedule(inst, stage1, PolicyKind::kClairvoyant);
-    const TwoStageResult lru =
-        two_stage_schedule(inst, stage1, PolicyKind::kLru);
-    HolisticOptions options;
-    options.budget_ms = 800;
-    const HolisticOutcome holistic = holistic_schedule(inst, options);
-    validate_or_die(inst, holistic.schedule);
-
-    table.add_row({std::to_string(factor) + "*r0",
-                   fmt(sync_cost(inst, cv.mbsp), 0),
-                   fmt(sync_cost(inst, lru.mbsp), 0), fmt(holistic.cost, 0),
-                   fmt(io_volume(inst, holistic.schedule), 0)});
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    const BatchCell& cv = cells[3 * i];
+    const BatchCell& lru = cells[3 * i + 1];
+    const BatchCell& holistic = cells[3 * i + 2];
+    if (!cv.ok || !lru.ok || !holistic.ok) {
+      std::fprintf(stderr, "cell failed: %s\n",
+                   (!cv.ok ? cv : !lru.ok ? lru : holistic).error.c_str());
+      return 1;
+    }
+    table.add_row({fmt(factors[i], 0) + "*r0", fmt(cv.result.cost, 0),
+                   fmt(lru.result.cost, 0), fmt(holistic.result.cost, 0),
+                   fmt(holistic.result.io_volume, 0)});
   }
   std::fputs(table.to_text("SpMV scheduling across cache sizes (P=4, L=10)")
                  .c_str(),

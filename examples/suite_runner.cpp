@@ -1,0 +1,182 @@
+// Suite runner CLI: runs any named subset of registered schedulers over a
+// generated dataset or file-loaded DAGs, through the parallel BatchRunner,
+// and prints (optionally exports) the result table. The whole experiment
+// grid is data: adding a scheduler to the registry makes it available here
+// with no code changes.
+//
+//   suite_runner --list
+//   suite_runner [--schedulers a,b,...] [--dataset tiny|small]
+//                [--dag file.dag ...] [--P 4] [--r-factor 3] [--g 1]
+//                [--L 10] [--cost sync|async] [--budget-ms 1500]
+//                [--seed 2025] [--threads N] [--wall] [--csv path.csv]
+//
+// Examples:
+//   suite_runner --schedulers bspg+clairvoyant,cilk+lru,holistic
+//   suite_runner --dataset small --schedulers bspg+clairvoyant,divide-conquer
+//   suite_runner --dag my.dag --P 1 --schedulers dfs+clairvoyant,exact-pebbler
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "include/mbsp/mbsp.hpp"
+
+namespace {
+
+using namespace mbsp;
+
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) out.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--schedulers a,b,...]\n"
+               "          [--dataset tiny|small] [--dag file ...]\n"
+               "          [--P n] [--r-factor x] [--g x] [--L x]\n"
+               "          [--cost sync|async] [--budget-ms x] [--seed n]\n"
+               "          [--max-iterations n] [--threads n] [--wall]\n"
+               "          [--csv path.csv]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mbsp;
+
+  std::vector<std::string> schedulers{"bspg+clairvoyant", "holistic"};
+  std::string dataset = "tiny";
+  std::vector<std::string> dag_files;
+  std::string csv_path;
+  int P = 4;
+  double r_factor = 3.0, g = 1.0, L = 10.0;
+  BatchOptions batch;
+  batch.scheduler.budget_ms = 1500;
+  std::uint64_t seed = 2025;
+  bool wall = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      for (const std::string& name : SchedulerRegistry::global().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--schedulers") {
+      schedulers = split_csv(value());
+    } else if (arg == "--dataset") {
+      dataset = value();
+    } else if (arg == "--dag") {
+      dag_files.push_back(value());
+    } else if (arg == "--P") {
+      P = std::atoi(value());
+    } else if (arg == "--r-factor") {
+      r_factor = std::atof(value());
+    } else if (arg == "--g") {
+      g = std::atof(value());
+    } else if (arg == "--L") {
+      L = std::atof(value());
+    } else if (arg == "--cost") {
+      const std::string cost = value();
+      if (cost != "sync" && cost != "async") return usage(argv[0]);
+      batch.scheduler.cost = cost == "sync" ? CostModel::kSynchronous
+                                            : CostModel::kAsynchronous;
+    } else if (arg == "--budget-ms") {
+      batch.scheduler.budget_ms = std::atof(value());
+    } else if (arg == "--max-iterations") {
+      // With --budget-ms 0 this makes runs bit-for-bit reproducible.
+      batch.scheduler.max_iterations = std::atol(value());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--threads") {
+      batch.threads = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--wall") {
+      wall = true;
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  for (const std::string& name : schedulers) {
+    if (!SchedulerRegistry::global().contains(name)) {
+      std::fprintf(stderr,
+                   "unknown scheduler '%s' (see --list for the registry)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  // Assemble the instance set: file-loaded DAGs win over the dataset.
+  std::vector<ComputeDag> dags;
+  if (!dag_files.empty()) {
+    for (const std::string& path : dag_files) {
+      std::string error;
+      auto dag = read_dag_file(path, &error);
+      if (!dag) {
+        std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      dags.push_back(std::move(*dag));
+    }
+  } else if (dataset == "tiny") {
+    dags = tiny_dataset(seed);
+  } else if (dataset == "small") {
+    dags = small_dataset(seed);
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s' (tiny | small)\n",
+                 dataset.c_str());
+    return 2;
+  }
+
+  std::vector<MbspInstance> instances;
+  instances.reserve(dags.size());
+  for (ComputeDag& dag : dags) {
+    const double r0 = min_memory_r0(dag);
+    instances.push_back(
+        {std::move(dag), Architecture::make(P, r_factor * r0, g, L)});
+  }
+
+  const std::vector<BatchCell> cells =
+      BatchRunner(batch).run_grid(instances, schedulers);
+  const Table table = batch_table(cells, wall);
+  std::fputs(table
+                 .to_text("suite: " + std::to_string(instances.size()) +
+                          " instances x " +
+                          std::to_string(schedulers.size()) + " schedulers" +
+                          " (P=" + std::to_string(P) + ")")
+                 .c_str(),
+             stdout);
+  if (!csv_path.empty() && !table.write_csv(csv_path)) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const BatchCell& cell : cells) failures += !cell.ok;
+  if (failures > 0) {
+    std::printf("%d of %zu cells failed or were unsupported\n", failures,
+                cells.size());
+  }
+  return 0;
+}

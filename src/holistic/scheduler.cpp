@@ -18,6 +18,7 @@ LnsOptions to_lns(const HolisticOptions& options, double budget_ms) {
   lns.cost = options.cost;
   lns.allow_recompute = options.allow_recompute;
   lns.seed = options.seed;
+  lns.max_iterations = options.max_iterations;
   return lns;
 }
 

@@ -16,6 +16,9 @@ struct HolisticOptions {
   CostModel cost = CostModel::kSynchronous;
   bool allow_recompute = true;
   std::uint64_t seed = 42;
+  /// LNS iteration cap; with budget_ms = 0 this makes runs reproducible
+  /// independent of wall-clock speed (see SchedulerOptions).
+  long max_iterations = 2'000'000;
   /// DAGs larger than this use divide-and-conquer (the paper's full ILP
   /// "is not viable anymore" past the tiny dataset).
   int divide_conquer_threshold = 120;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/timer.hpp"
+
 namespace mbsp::ilp {
 
 namespace {
@@ -145,9 +147,11 @@ LpResult solve_lp(const Model& model, const SimplexOptions& options) {
     }
   }
 
+  const Deadline deadline(options.budget_ms);
   auto run_phase = [&](bool phase1, int iter_budget) -> LpStatus {
     int degenerate_streak = 0;
     for (int iter = 0; iter < iter_budget; ++iter) {
+      if ((iter & 63) == 0 && deadline.expired()) return LpStatus::kIterLimit;
       // Entering column: most negative reduced cost (Dantzig), switching to
       // Bland's smallest-index rule after a degenerate streak.
       const bool bland = degenerate_streak > 2 * (m + prob.n_total);

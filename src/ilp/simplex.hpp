@@ -24,6 +24,10 @@ struct LpResult {
 struct SimplexOptions {
   int max_iterations = 20000;
   double eps = 1e-9;
+  /// Wall-clock budget for one solve; <= 0 means no deadline. On expiry
+  /// the solve stops with kIterLimit, so a caller's own deadline (e.g.
+  /// branch and bound's) is honored even mid-LP on large tableaus.
+  double budget_ms = 0;
 };
 
 /// Solves the LP relaxation of `model` (integrality dropped).

@@ -83,7 +83,14 @@ MipResult BranchAndBoundSolver::solve(const Model& root,
       }
     };
 
-    const LpResult lp = solve_lp(work, options_.lp);
+    // Hand the LP the remaining wall-clock budget so one big tableau
+    // cannot blow through the node-level deadline. Clamped to >= 1 ms:
+    // remaining_ms() == 0 would read as "no deadline" in SimplexOptions.
+    SimplexOptions lp_options = options_.lp;
+    if (options_.budget_ms > 0 && lp_options.budget_ms <= 0) {
+      lp_options.budget_ms = std::max(1.0, deadline.remaining_ms());
+    }
+    const LpResult lp = solve_lp(work, lp_options);
     if (node.depth == 0) {
       root_bound = lp.status == LpStatus::kOptimal ? lp.objective : -kInf;
     }

@@ -1,0 +1,77 @@
+#pragma once
+// Parallel batch-experiment engine: fans an instance x scheduler (x options)
+// grid across the ThreadPool — one cell per (instance, scheduler) pair, each
+// solve single-threaded and deterministic — and collects per-cell
+// ScheduleResult rows. Cells are indexed up front and written into a
+// preallocated vector, so the result (and any table rendered from it) is
+// bitwise-identical whatever the thread count; wall times are recorded per
+// cell but excluded from tables by default for exactly that reason.
+
+#include <string>
+#include <vector>
+
+#include "src/runner/scheduler_registry.hpp"
+#include "src/util/table.hpp"
+
+namespace mbsp {
+
+/// One completed grid cell.
+struct BatchCell {
+  std::string instance;   ///< instance name
+  std::string scheduler;  ///< scheduler name
+  CostModel cost_model = CostModel::kSynchronous;
+  bool ok = false;
+  std::string error;      ///< unsupported scheduler / invalid schedule / throw
+  ScheduleResult result;  ///< valid when ok
+};
+
+struct BatchOptions {
+  /// 0 means hardware concurrency. The cell set is independent of this.
+  std::size_t threads = 0;
+  /// Re-validate every produced schedule; failures turn into cell errors.
+  bool validate = true;
+  /// Base scheduler options used by run_grid (per-cell runs override).
+  SchedulerOptions scheduler;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {},
+                       const SchedulerRegistry& registry =
+                           SchedulerRegistry::global());
+
+  /// Non-rectangular sweeps: one cell per spec, options per cell.
+  struct CellSpec {
+    const MbspInstance* instance = nullptr;
+    std::string scheduler;
+    SchedulerOptions options;
+  };
+
+  /// Runs every (instance, scheduler) pair with the base options.
+  /// Cell order: instance-major, scheduler-minor.
+  std::vector<BatchCell> run_grid(
+      const std::vector<MbspInstance>& instances,
+      const std::vector<std::string>& schedulers) const;
+
+  std::vector<BatchCell> run_cells(const std::vector<CellSpec>& cells) const;
+
+  const SchedulerRegistry& registry() const { return registry_; }
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  BatchOptions options_;
+  const SchedulerRegistry& registry_;
+};
+
+/// Renders cells as a table: instance, scheduler, cost model, cost, ratio
+/// vs the first ok cell of the same instance, I/O volume, supersteps —
+/// plus wall time when requested (non-deterministic; off by default).
+Table batch_table(const std::vector<BatchCell>& cells,
+                  bool include_wall_time = false);
+
+/// First cell matching (instance, scheduler); nullptr when absent.
+const BatchCell* find_cell(const std::vector<BatchCell>& cells,
+                           const std::string& instance,
+                           const std::string& scheduler);
+
+}  // namespace mbsp

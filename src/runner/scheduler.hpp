@@ -1,0 +1,81 @@
+#pragma once
+// Uniform scheduler API over every MBSP scheduling algorithm in the repo:
+// the two-stage baselines (Section 4), the holistic LNS / divide-and-conquer
+// pipeline (Sections 5-6), the exact pebbler and the full ILP. A scheduler
+// takes an instance plus one flat option struct and returns one flat result
+// row, so benches, examples and the batch runner can treat "which algorithm"
+// as data instead of hand-wiring each combination.
+
+#include <cstdint>
+#include <string>
+
+#include "src/cache/policy.hpp"
+#include "src/holistic/lns.hpp"  // CostModel, LnsMove
+#include "src/model/instance.hpp"
+#include "src/model/schedule.hpp"
+#include "src/twostage/compute_plan.hpp"
+#include "src/twostage/two_stage.hpp"  // BaselineKind
+
+namespace mbsp {
+
+/// One option struct shared by every scheduler; fields a given scheduler
+/// does not understand are ignored (e.g. move_mask outside the LNS).
+struct SchedulerOptions {
+  double budget_ms = 1500;  ///< total optimization budget (anytime solvers)
+  CostModel cost = CostModel::kSynchronous;
+  bool allow_recompute = true;
+  std::uint64_t seed = 42;
+  /// LNS iteration cap. Batch runs that must be reproducible bit-for-bit
+  /// use budget_ms = 0 (no deadline) plus a finite iteration cap, making
+  /// the anytime search independent of wall-clock speed.
+  long max_iterations = 2'000'000;
+
+  /// Warm start for the improving schedulers (lns / holistic / ilp).
+  BaselineKind warm_start = BaselineKind::kGreedyClairvoyant;
+  /// Stage-1 budget for the refined ("ILP-BSP") warm start / baseline.
+  double stage1_budget_ms = 300;
+  /// LNS ablation knobs: start from the trivial all-on-p0 plan instead of
+  /// the warm start, restrict the move classes, swap the completion policy.
+  bool cold_start = false;
+  unsigned move_mask = kAllMoves;
+  PolicyKind completion_policy = PolicyKind::kClairvoyant;
+
+  /// Holistic facade / divide-and-conquer sizing.
+  int divide_conquer_threshold = 120;
+  int max_part_size = 60;
+};
+
+/// One result row: the schedule plus the metrics every harness reports.
+struct ScheduleResult {
+  std::string scheduler;   ///< name() of the producing scheduler
+  MbspSchedule schedule;
+  ComputePlan plan;        ///< compute plan, when the scheduler keeps one
+  double cost = 0;         ///< cost of `schedule` under options.cost
+  double baseline_cost = 0;  ///< warm-start cost (== cost for baselines)
+  double io_volume = 0;    ///< sum of mu over saves + loads
+  int supersteps = 0;
+  double wall_ms = 0;      ///< wall time of run() (excluded from tables)
+  std::size_t num_parts = 0;  ///< divide-and-conquer part count (else 0)
+  bool optimal = false;    ///< exact solvers: optimum proven
+};
+
+/// Polymorphic scheduler. Implementations are stateless and `run` is
+/// const + thread-safe, so one registered instance can serve a whole
+/// thread-pooled batch.
+class MbspScheduler {
+ public:
+  virtual ~MbspScheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Whether this scheduler can handle `inst` (e.g. the exact pebbler
+  /// requires P = 1 and a small DAG). Batch runs skip unsupported cells.
+  virtual bool supports(const MbspInstance&) const { return true; }
+
+  /// Produces a valid schedule (tests assert validate()-cleanliness for
+  /// every registered scheduler). Deterministic given (inst, options).
+  virtual ScheduleResult run(const MbspInstance& inst,
+                             const SchedulerOptions& options) const = 0;
+};
+
+}  // namespace mbsp

@@ -41,6 +41,39 @@ TEST(Dag, DuplicateEdgeIgnored) {
   EXPECT_EQ(dag.num_edges(), 1u);
 }
 
+TEST(Dag, DuplicateEdgeLeavesAdjacencyUntouched) {
+  // Idempotence must hold on both adjacency sides, not just the counter.
+  ComputeDag dag;
+  for (int i = 0; i < 3; ++i) dag.add_node();
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  dag.add_edge(0, 2);  // duplicate, interleaved with distinct edges
+  dag.add_edge(0, 2);
+  EXPECT_EQ(dag.num_edges(), 2u);
+  EXPECT_EQ(dag.children(0).size(), 1u);
+  EXPECT_EQ(dag.parents(2).size(), 2u);
+  EXPECT_EQ(dag.children(1).size(), 1u);
+}
+
+TEST(Dag, NumEdgesAccountsEveryDistinctEdge) {
+  // num_edges() must track distinct insertions exactly under a mix of
+  // fresh and repeated add_edge calls.
+  ComputeDag dag;
+  constexpr int kNodes = 6;
+  for (int i = 0; i < kNodes; ++i) dag.add_node();
+  std::size_t distinct = 0;
+  for (int round = 0; round < 3; ++round) {  // re-add the full edge set
+    for (int u = 0; u < kNodes; ++u) {
+      for (int v = u + 1; v < kNodes; ++v) {
+        if ((u + v) % 2 == 0) continue;
+        dag.add_edge(u, v);
+        if (round == 0) ++distinct;
+      }
+    }
+  }
+  EXPECT_EQ(dag.num_edges(), distinct);
+}
+
 TEST(Dag, Weights) {
   ComputeDag dag;
   const NodeId v = dag.add_node(2.5, 3.5);

@@ -54,6 +54,45 @@ TEST(MinMemory, LargeSourceCounts) {
   EXPECT_DOUBLE_EQ(min_memory_r0(dag), 7.0);
 }
 
+TEST(MinMemory, SingleNodeDag) {
+  // One node is both source and sink: r0 is exactly its mu (it must be
+  // loadable), with no parent-sum term at all.
+  ComputeDag dag;
+  dag.add_node(1, 3);
+  EXPECT_DOUBLE_EQ(min_memory_r0(dag), 3.0);
+}
+
+TEST(MinMemory, SourceOnlyDag) {
+  // No non-source node exists, so the bound degenerates to the largest
+  // single mu over the (edge-free) sources.
+  ComputeDag dag;
+  dag.add_node(0, 2);
+  dag.add_node(0, 5);
+  dag.add_node(0, 1);
+  EXPECT_DOUBLE_EQ(min_memory_r0(dag), 5.0);
+}
+
+TEST(MinMemory, LargeMuSourceDominatesParentSumBound) {
+  // A huge source that feeds nothing must still fit in cache on its own,
+  // even when every compute's mu + parent-sum is tiny.
+  ComputeDag dag;
+  dag.add_node(0, 100);  // heavy isolated source
+  dag.add_node(0, 1);    // light source s
+  dag.add_node(1, 1);    // v with parent s: bound 1 + 1 = 2
+  dag.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(min_memory_r0(dag), 100.0);
+}
+
+TEST(MinMemory, HeavyParentSourceEntersParentSum) {
+  // The same heavy source, now consumed: the consumer's bound must count
+  // it (mu(v) + sum of parents' mu), dominating the standalone mu bound.
+  ComputeDag dag;
+  dag.add_node(0, 100);  // heavy source, consumed below
+  dag.add_node(1, 2);
+  dag.add_edge(0, 1);
+  EXPECT_DOUBLE_EQ(min_memory_r0(dag), 102.0);
+}
+
 TEST(Validate, AcceptsValidChain) {
   const MbspInstance inst = chain_instance(2);
   EXPECT_TRUE(validate(inst, chain_schedule()).ok);

@@ -128,6 +128,47 @@ TEST(ThreadPool, ParallelForCoversIndices) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ConcurrentSubmitAndWaitIdleStress) {
+  // Several producer threads hammer submit() while the main thread calls
+  // wait_idle() repeatedly: every task must run exactly once and each
+  // wait_idle() must only return on a drained queue.
+  ThreadPool pool(4);
+  constexpr int kProducers = 6;
+  constexpr int kTasksPerProducer = 500;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  // Interleave waits with ongoing submissions; each call must return.
+  for (int i = 0; i < 20; ++i) pool.wait_idle();
+  for (std::thread& producer : producers) producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // no tasks submitted: must not block
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ThreadPool, SingleThreadPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
 TEST(Deadline, ZeroBudgetNeverExpires) {
   Deadline d(0);
   EXPECT_FALSE(d.expired());
