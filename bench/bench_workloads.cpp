@@ -1,0 +1,74 @@
+// Workload-corpus scaling bench: every structured family at three size
+// points, run through the registry baselines over the parallel
+// BatchRunner. Not a paper table — this bench tracks how schedule cost
+// and I/O scale with instance size across the corpus families, and its
+// CSV (MBSP_BENCH_CSV) is the artifact CI uploads.
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace mbsp;
+  using namespace mbsp::bench;
+
+  const BenchConfig config = BenchConfig::from_env();
+  // Two-stage baselines only: cheap enough that the full grid stays fast,
+  // and (budget-free) bit-reproducible across machines.
+  const std::vector<std::string> schedulers{"bspg+clairvoyant", "cilk+lru",
+                                            "dfs+clairvoyant"};
+  const std::vector<std::string> specs{
+      // family            small / medium / large
+      "stencil2d:nx=4,ny=4,steps=2",
+      "stencil2d:nx=8,ny=8,steps=3",
+      "stencil2d:nx=12,ny=12,steps=4",
+      "stencil3d:nx=3,ny=3,nz=3,steps=2",
+      "stencil3d:nx=4,ny=4,nz=4,steps=3",
+      "wavefront:nx=6,ny=6",
+      "wavefront:nx=12,ny=12",
+      "lu:blocks=3",
+      "lu:blocks=5",
+      "cholesky:blocks=4",
+      "cholesky:blocks=6",
+      "fft:n=8",
+      "fft:n=32",
+      "attention:seq=4,heads=2",
+      "attention:seq=8,heads=2",
+      "mapreduce:maps=6,reducers=4,rounds=2",
+      "mapreduce:maps=12,reducers=8,rounds=3",
+  };
+
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  std::vector<MbspInstance> instances;
+  Table sizes({"workload", "nodes", "edges", "dag_hash"});
+  for (const std::string& spec : specs) {
+    std::string error;
+    auto inst = registry.make_instance(spec, config.seed, /*P=*/4,
+                                       /*r_factor=*/3, /*g=*/1, /*L=*/10,
+                                       &error);
+    if (!inst) {
+      std::fprintf(stderr, "cannot generate '%s': %s\n", spec.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    sizes.add_row({inst->name(), std::to_string(inst->dag.num_nodes()),
+                   std::to_string(inst->dag.num_edges()),
+                   dag_hash_hex(dag_canonical_hash(inst->dag))});
+    instances.push_back(std::move(*inst));
+  }
+  emit(sizes, "workload corpus sizes", config, "workload_sizes");
+
+  BatchOptions batch;
+  batch.scheduler = scheduler_options(config);
+  batch.scheduler.budget_ms = 0;  // baselines need no anytime budget
+  const std::vector<BatchCell> cells =
+      BatchRunner(batch).run_grid(instances, schedulers);
+  emit(batch_table(cells, /*include_wall_time=*/false, /*include_hash=*/true),
+       "workload corpus scaling (P=4, r=3*r0)", config, "workloads");
+
+  int failures = 0;
+  for (const BatchCell& cell : cells) failures += !cell.ok;
+  if (failures > 0) {
+    std::printf("%d of %zu cells failed\n", failures, cells.size());
+    return 1;
+  }
+  return 0;
+}

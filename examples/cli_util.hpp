@@ -1,0 +1,23 @@
+#pragma once
+// Small helpers shared by the example CLIs (suite_runner, corpus).
+
+#include <string>
+#include <vector>
+
+namespace mbsp::cli {
+
+/// Splits "a,b,c" into its non-empty comma-separated items.
+inline std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) out.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace mbsp::cli

@@ -4,9 +4,10 @@
 // grid is data: adding a scheduler to the registry makes it available here
 // with no code changes.
 //
-//   suite_runner --list
+//   suite_runner --list | --list-workloads
 //   suite_runner [--schedulers a,b,...] [--dataset tiny|small]
-//                [--dag file.dag ...] [--P 4] [--r-factor 3] [--g 1]
+//                [--dag file.dag ...] [--workload spec ...]
+//                [--P 4] [--r-factor 3] [--g 1]
 //                [--L 10] [--cost sync|async] [--budget-ms 1500]
 //                [--seed 2025] [--threads N] [--wall] [--csv path.csv]
 //
@@ -14,35 +15,26 @@
 //   suite_runner --schedulers bspg+clairvoyant,cilk+lru,holistic
 //   suite_runner --dataset small --schedulers bspg+clairvoyant,divide-conquer
 //   suite_runner --dag my.dag --P 1 --schedulers dfs+clairvoyant,exact-pebbler
+//   suite_runner --workload stencil2d:nx=8,ny=8 --workload fft:n=16
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "examples/cli_util.hpp"
 #include "include/mbsp/mbsp.hpp"
 
 namespace {
 
 using namespace mbsp;
-
-std::vector<std::string> split_csv(const std::string& value) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= value.size()) {
-    const std::size_t comma = value.find(',', start);
-    const std::size_t end = comma == std::string::npos ? value.size() : comma;
-    if (end > start) out.push_back(value.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
-}
+using mbsp::cli::split_csv;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--list] [--schedulers a,b,...]\n"
+               "usage: %s [--list] [--list-workloads] [--schedulers a,b,...]\n"
                "          [--dataset tiny|small] [--dag file ...]\n"
+               "          [--workload spec ...]\n"
                "          [--P n] [--r-factor x] [--g x] [--L x]\n"
                "          [--cost sync|async] [--budget-ms x] [--seed n]\n"
                "          [--max-iterations n] [--threads n] [--wall]\n"
@@ -59,6 +51,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> schedulers{"bspg+clairvoyant", "holistic"};
   std::string dataset = "tiny";
   std::vector<std::string> dag_files;
+  std::vector<std::string> workload_specs;
   std::string csv_path;
   int P = 4;
   double r_factor = 3.0, g = 1.0, L = 10.0;
@@ -81,12 +74,19 @@ int main(int argc, char** argv) {
         std::printf("%s\n", name.c_str());
       }
       return 0;
+    } else if (arg == "--list-workloads") {
+      for (const std::string& name : WorkloadRegistry::global().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
     } else if (arg == "--schedulers") {
       schedulers = split_csv(value());
     } else if (arg == "--dataset") {
       dataset = value();
     } else if (arg == "--dag") {
       dag_files.push_back(value());
+    } else if (arg == "--workload") {
+      workload_specs.push_back(value());
     } else if (arg == "--P") {
       P = std::atoi(value());
     } else if (arg == "--r-factor") {
@@ -127,14 +127,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Assemble the instance set: file-loaded DAGs win over the dataset.
+  // Assemble the instance set: file-loaded DAGs and workload specs win
+  // over the dataset.
   std::vector<ComputeDag> dags;
-  if (!dag_files.empty()) {
+  if (!dag_files.empty() || !workload_specs.empty()) {
     for (const std::string& path : dag_files) {
       std::string error;
       auto dag = read_dag_file(path, &error);
       if (!dag) {
         std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      dags.push_back(std::move(*dag));
+    }
+    for (const std::string& spec : workload_specs) {
+      std::string error;
+      auto dag = WorkloadRegistry::global().make_dag(spec, seed, &error);
+      if (!dag) {
+        std::fprintf(stderr, "cannot generate '%s': %s\n", spec.c_str(),
                      error.c_str());
         return 1;
       }

@@ -1,15 +1,21 @@
 #include "src/graph/dag_io.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "src/graph/topology.hpp"
 
 namespace mbsp {
 
 namespace {
+
+constexpr char kBinaryMagic[8] = {'M', 'B', 'S', 'P', 'D', 'A', 'G', '2'};
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
 std::string format_weight(double w) {
   char buf[64];
@@ -23,7 +29,124 @@ bool fail(std::string* error, const std::string& message) {
   return false;
 }
 
+/// Little-endian byte writer / FNV hasher over the same primitive layout,
+/// so the canonical hash and the binary encoding agree bit for bit.
+/// Pass hashing = false for pure writers (the per-byte FNV loop is the
+/// dominant cost of emitting large binary files otherwise).
+class ByteSink {
+ public:
+  explicit ByteSink(std::string* out = nullptr, bool hashing = true)
+      : out_(out), hashing_(hashing) {}
+
+  void bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    if (hashing_) {
+      for (std::size_t i = 0; i < size; ++i) {
+        hash_ = (hash_ ^ p[i]) * kFnvPrime;
+      }
+    }
+    if (out_ != nullptr) out_->append(reinterpret_cast<const char*>(p), size);
+  }
+  void u32(std::uint32_t v) {
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 4);
+  }
+  void u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 8);
+  }
+  void f64(double d) { u64(std::bit_cast<std::uint64_t>(d)); }
+
+  std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::string* out_;
+  bool hashing_;
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+/// Bounds-checked little-endian reader for the binary format.
+class ByteSource {
+ public:
+  explicit ByteSource(const std::string& bytes) : bytes_(bytes) {}
+
+  bool bytes(void* out, std::size_t size) {
+    if (pos_ + size > bytes_.size()) return false;
+    std::copy_n(bytes_.data() + pos_, size, static_cast<char*>(out));
+    pos_ += size;
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    unsigned char b[4];
+    if (!bytes(b, 4)) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    unsigned char b[8];
+    if (!bytes(b, 8)) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return true;
+  }
+  bool f64(double* d) {
+    std::uint64_t bits = 0;
+    if (!u64(&bits)) return false;
+    *d = std::bit_cast<double>(bits);
+    return true;
+  }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Streams the canonical form of `dag` (header-free; sorted edges) into
+/// `sink`. Shared by the hash and the binary footer.
+void stream_canonical(const ComputeDag& dag, ByteSink& sink) {
+  sink.bytes(dag.name().data(), dag.name().size());
+  sink.u32(0);  // name terminator (names cannot contain NUL-NUL-NUL-NUL)
+  sink.u32(static_cast<std::uint32_t>(dag.num_nodes()));
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    sink.f64(dag.omega(v));
+    sink.f64(dag.mu(v));
+  }
+  sink.u64(dag.num_edges());
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    std::vector<NodeId> children = dag.children(u);
+    std::sort(children.begin(), children.end());
+    for (NodeId v : children) {
+      sink.u32(static_cast<std::uint32_t>(u));
+      sink.u32(static_cast<std::uint32_t>(v));
+    }
+  }
+}
+
 }  // namespace
+
+std::uint64_t fnv1a_64(const void* data, std::size_t size,
+                       std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+std::uint64_t dag_canonical_hash(const ComputeDag& dag) {
+  ByteSink sink;
+  stream_canonical(dag, sink);
+  return sink.hash();
+}
+
+std::string dag_hash_hex(std::uint64_t hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
+  return buf;
+}
 
 std::string dag_to_text(const ComputeDag& dag) {
   std::ostringstream out;
@@ -44,47 +167,114 @@ std::string dag_to_text(const ComputeDag& dag) {
 std::optional<ComputeDag> dag_from_text(const std::string& text,
                                         std::string* error) {
   std::istringstream in(text);
-  std::string token, version;
-  if (!(in >> token >> version) || token != "mbsp-dag" || version != "v1") {
-    fail(error, "missing 'mbsp-dag v1' header");
+  std::string line;
+  int line_no = 0;
+  // Reads the next non-blank line (CR-stripped); false at end of input.
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.find_first_not_of(" \t") != std::string::npos) return true;
+    }
+    return false;
+  };
+  auto at_line = [&](const std::string& message) {
+    return "line " + std::to_string(line_no) + ": " + message;
+  };
+  auto truncated = [&](const std::string& expected) {
+    return "unexpected end of input after line " + std::to_string(line_no) +
+           ": expected " + expected;
+  };
+
+  if (!next_line() || line != "mbsp-dag v1") {
+    fail(error, line_no == 0 ? "empty input: missing 'mbsp-dag v1' header"
+                             : at_line("missing 'mbsp-dag v1' header"));
     return std::nullopt;
   }
-  if (!(in >> token) || token != "name") {
-    fail(error, "expected 'name'");
+  if (!next_line()) {
+    fail(error, truncated("'name <string>'"));
     return std::nullopt;
   }
-  in >> std::ws;
-  std::string name;
-  std::getline(in, name);
+  if (line.rfind("name", 0) != 0 || (line.size() > 4 && line[4] != ' ')) {
+    fail(error, at_line("expected 'name <string>'"));
+    return std::nullopt;
+  }
+  const std::string name = line.size() > 5 ? line.substr(5) : "";
+
   long long n = 0;
-  if (!(in >> token >> n) || token != "nodes" || n < 0) {
-    fail(error, "expected 'nodes <count>'");
-    return std::nullopt;
+  {
+    if (!next_line()) {
+      fail(error, truncated("'nodes <count>'"));
+      return std::nullopt;
+    }
+    std::istringstream fields(line);
+    std::string token;
+    if (!(fields >> token >> n) || token != "nodes" || n < 0) {
+      fail(error, at_line("expected 'nodes <count>'"));
+      return std::nullopt;
+    }
   }
   ComputeDag dag(name);
   for (long long i = 0; i < n; ++i) {
+    if (!next_line()) {
+      fail(error, truncated(std::to_string(n) + " node weight lines, got " +
+                            std::to_string(i)));
+      return std::nullopt;
+    }
+    std::istringstream fields(line);
     double omega = 0, mu = 0;
-    if (!(in >> omega >> mu)) {
-      fail(error, "bad node weight line " + std::to_string(i));
+    std::string extra;
+    if (!(fields >> omega >> mu) || fields >> extra) {
+      fail(error, at_line("bad node weight line (expected '<omega> <mu>')"));
       return std::nullopt;
     }
     dag.add_node(omega, mu);
   }
   long long m = 0;
-  if (!(in >> token >> m) || token != "edges" || m < 0) {
-    fail(error, "expected 'edges <count>'");
-    return std::nullopt;
-  }
-  for (long long e = 0; e < m; ++e) {
-    long long u = 0, v = 0;
-    if (!(in >> u >> v) || u < 0 || v < 0 || u >= n || v >= n || u == v) {
-      fail(error, "bad edge line " + std::to_string(e));
+  {
+    if (!next_line()) {
+      fail(error, truncated("'edges <count>'"));
       return std::nullopt;
     }
-    dag.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    std::istringstream fields(line);
+    std::string token;
+    if (!(fields >> token >> m) || token != "edges" || m < 0) {
+      fail(error, at_line("expected 'edges <count>'"));
+      return std::nullopt;
+    }
   }
-  if (static_cast<long long>(dag.num_edges()) != m) {
-    fail(error, "duplicate edges in input");
+  for (long long e = 0; e < m; ++e) {
+    if (!next_line()) {
+      fail(error, truncated(std::to_string(m) + " edge lines, got " +
+                            std::to_string(e)));
+      return std::nullopt;
+    }
+    std::istringstream fields(line);
+    long long u = 0, v = 0;
+    std::string extra;
+    if (!(fields >> u >> v) || fields >> extra) {
+      fail(error, at_line("bad edge line (expected '<u> <v>')"));
+      return std::nullopt;
+    }
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      fail(error, at_line("edge endpoint out of range [0, " +
+                          std::to_string(n) + ")"));
+      return std::nullopt;
+    }
+    if (u == v) {
+      fail(error, at_line("self-loop edge " + std::to_string(u)));
+      return std::nullopt;
+    }
+    const std::size_t before = dag.num_edges();
+    dag.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    if (dag.num_edges() == before) {
+      fail(error, at_line("duplicate edge " + std::to_string(u) + " -> " +
+                          std::to_string(v)));
+      return std::nullopt;
+    }
+  }
+  if (next_line()) {
+    fail(error, at_line("trailing content after the edge list"));
     return std::nullopt;
   }
   if (!is_acyclic(dag)) {
@@ -94,23 +284,129 @@ std::optional<ComputeDag> dag_from_text(const std::string& text,
   return dag;
 }
 
-bool write_dag_file(const ComputeDag& dag, const std::string& path) {
-  std::ofstream out(path);
+std::string dag_to_binary(const ComputeDag& dag) {
+  std::string out;
+  ByteSink sink(&out, /*hashing=*/false);
+  sink.bytes(kBinaryMagic, sizeof(kBinaryMagic));
+  sink.u32(static_cast<std::uint32_t>(dag.name().size()));
+  sink.bytes(dag.name().data(), dag.name().size());
+  sink.u32(static_cast<std::uint32_t>(dag.num_nodes()));
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    sink.f64(dag.omega(v));
+    sink.f64(dag.mu(v));
+  }
+  sink.u64(dag.num_edges());
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    for (NodeId v : dag.children(u)) {
+      sink.u32(static_cast<std::uint32_t>(u));
+      sink.u32(static_cast<std::uint32_t>(v));
+    }
+  }
+  sink.u64(dag_canonical_hash(dag));
+  return out;
+}
+
+bool is_binary_dag(const std::string& bytes) {
+  return bytes.size() >= sizeof(kBinaryMagic) &&
+         std::equal(kBinaryMagic, kBinaryMagic + sizeof(kBinaryMagic),
+                    bytes.begin());
+}
+
+std::optional<ComputeDag> dag_from_binary(const std::string& bytes,
+                                          std::string* error) {
+  if (!is_binary_dag(bytes)) {
+    fail(error, "missing 'MBSPDAG2' magic (not a binary DAG)");
+    return std::nullopt;
+  }
+  ByteSource in(bytes);
+  char magic[8];
+  in.bytes(magic, sizeof(magic));
+  std::uint32_t name_len = 0;
+  if (!in.u32(&name_len) || name_len > in.remaining()) {
+    fail(error, "truncated name");
+    return std::nullopt;
+  }
+  std::string name(name_len, '\0');
+  in.bytes(name.data(), name_len);
+  std::uint32_t n = 0;
+  if (!in.u32(&n) || static_cast<std::uint64_t>(n) * 16 > in.remaining()) {
+    fail(error, "truncated node table");
+    return std::nullopt;
+  }
+  ComputeDag dag(std::move(name));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double omega = 0, mu = 0;
+    in.f64(&omega);
+    in.f64(&mu);
+    dag.add_node(omega, mu);
+  }
+  std::uint64_t m = 0;
+  if (!in.u64(&m) || m > in.remaining() / 8) {
+    fail(error, "truncated edge table");
+    return std::nullopt;
+  }
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint32_t u = 0, v = 0;
+    in.u32(&u);
+    in.u32(&v);
+    if (u >= n || v >= n || u == v) {
+      fail(error, "edge " + std::to_string(e) + " endpoint out of range");
+      return std::nullopt;
+    }
+    dag.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  if (dag.num_edges() != m) {
+    fail(error, "duplicate edges in input");
+    return std::nullopt;
+  }
+  std::uint64_t stored_hash = 0;
+  if (!in.u64(&stored_hash)) {
+    fail(error, "truncated hash footer");
+    return std::nullopt;
+  }
+  if (in.remaining() != 0) {
+    fail(error, "trailing bytes after the hash footer");
+    return std::nullopt;
+  }
+  if (!is_acyclic(dag)) {
+    fail(error, "edge set contains a cycle");
+    return std::nullopt;
+  }
+  const std::uint64_t actual = dag_canonical_hash(dag);
+  if (actual != stored_hash) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64 " != stored %016" PRIx64,
+                  actual, stored_hash);
+    fail(error, std::string("canonical hash mismatch (corrupt file): ") + buf);
+    return std::nullopt;
+  }
+  return dag;
+}
+
+std::optional<ComputeDag> dag_from_bytes(const std::string& bytes,
+                                         std::string* error) {
+  return is_binary_dag(bytes) ? dag_from_binary(bytes, error)
+                              : dag_from_text(bytes, error);
+}
+
+bool write_dag_file(const ComputeDag& dag, const std::string& path,
+                    bool binary) {
+  std::ofstream out(path, std::ios::binary);
   if (!out) return false;
-  out << dag_to_text(dag);
+  out << (binary ? dag_to_binary(dag) : dag_to_text(dag));
   return static_cast<bool>(out);
 }
 
 std::optional<ComputeDag> read_dag_file(const std::string& path,
                                         std::string* error) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     if (error != nullptr) *error = "cannot open " + path;
     return std::nullopt;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return dag_from_text(buffer.str(), error);
+  return dag_from_bytes(buffer.str(), error);
 }
 
 }  // namespace mbsp

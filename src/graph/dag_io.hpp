@@ -1,8 +1,8 @@
 #pragma once
-// Plain-text serialization for computational DAGs, so instances can be
-// exported, archived next to experiment results, and reloaded exactly.
+// Serialization for computational DAGs, so instances can be exported,
+// archived next to experiment results, and reloaded exactly. Two formats:
 //
-// Format ("mbsp-dag v1"), whitespace-separated:
+// Plain text ("mbsp-dag v1"), whitespace-separated, one record per line:
 //
 //   mbsp-dag v1
 //   name <string without newline>
@@ -11,8 +11,24 @@
 //   edges <m>
 //   <u> <v>               # one line per edge
 //
-// Weights are printed with enough digits to round-trip doubles.
+// Weights are printed with enough digits to round-trip doubles. Parse
+// errors name the offending line number.
+//
+// Binary ("mbsp-dag v2"), little-endian regardless of host, for fast,
+// verifiable corpus load:
+//
+//   "MBSPDAG2"            8-byte magic
+//   u32 name_len, name bytes
+//   u32 n, then n x (f64 omega, f64 mu)
+//   u64 m, then m x (u32 u, u32 v)    # u-major, stored children order
+//   u64 canonical hash               # footer, verified on load
+//
+// Both formats preserve child order exactly, so text -> binary -> text is
+// bitwise identity. `dag_canonical_hash` is an FNV-1a digest over a
+// canonicalized stream (edges sorted per node), identical however the DAG
+// was built or loaded.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -20,14 +36,46 @@
 
 namespace mbsp {
 
+/// 64-bit FNV-1a over a byte range; `seed` chains multiple ranges.
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+std::uint64_t fnv1a_64(const void* data, std::size_t size,
+                       std::uint64_t seed = kFnvOffset);
+
+/// Canonical instance hash: digests name, weights and the per-node sorted
+/// edge lists, so structurally identical DAGs hash identically no matter
+/// the edge insertion order or the format they were loaded from.
+std::uint64_t dag_canonical_hash(const ComputeDag& dag);
+
+/// The fixed 16-digit lower-case hex rendering of a canonical hash, used
+/// by every harness (corpus CLI, batch tables, benches) so hashes join
+/// across CSV artifacts.
+std::string dag_hash_hex(std::uint64_t hash);
+
 std::string dag_to_text(const ComputeDag& dag);
 
-/// Parses the v1 format; returns std::nullopt (and fills *error if given)
-/// on malformed input, bad ids, or a cyclic edge set.
+/// Parses the v1 text format; returns std::nullopt (and fills *error,
+/// naming the offending line) on malformed input, bad ids, or a cycle.
 std::optional<ComputeDag> dag_from_text(const std::string& text,
                                         std::string* error = nullptr);
 
-bool write_dag_file(const ComputeDag& dag, const std::string& path);
+/// The v2 binary encoding (with the canonical hash as integrity footer).
+std::string dag_to_binary(const ComputeDag& dag);
+
+/// Parses the v2 binary format; verifies the hash footer.
+std::optional<ComputeDag> dag_from_binary(const std::string& bytes,
+                                          std::string* error = nullptr);
+
+/// True when `bytes` starts with the v2 magic.
+bool is_binary_dag(const std::string& bytes);
+
+/// Auto-detecting parse: v2 when the magic matches, v1 text otherwise.
+std::optional<ComputeDag> dag_from_bytes(const std::string& bytes,
+                                         std::string* error = nullptr);
+
+bool write_dag_file(const ComputeDag& dag, const std::string& path,
+                    bool binary = false);
+
+/// Reads either format (auto-detected by magic).
 std::optional<ComputeDag> read_dag_file(const std::string& path,
                                         std::string* error = nullptr);
 

@@ -68,29 +68,37 @@ std::vector<NodeId> add_spmv(ComputeDag& dag,
   return y;
 }
 
-ComputeDag spmv_dag(int n, int avg_nnz, Rng& rng, std::string name) {
-  ComputeDag dag(std::move(name));
-  const auto pattern = random_sparse_pattern(n, avg_nnz, rng);
-  std::vector<NodeId> x;
-  for (int i = 0; i < n; ++i) x.push_back(dag.add_node(0, 1));
-  add_spmv(dag, pattern, x);
-  return dag;
+ComputeDag spmv_dag_from_pattern(const std::vector<std::vector<int>>& pattern,
+                                 std::string name) {
+  return iterated_spmv_dag_from_pattern(pattern, 1, std::move(name));
 }
 
-ComputeDag iterated_spmv_dag(int n, int iterations, int avg_nnz, Rng& rng,
-                             std::string name) {
+ComputeDag spmv_dag(int n, int avg_nnz, Rng& rng, std::string name) {
+  return spmv_dag_from_pattern(random_sparse_pattern(n, avg_nnz, rng),
+                               std::move(name));
+}
+
+ComputeDag iterated_spmv_dag_from_pattern(
+    const std::vector<std::vector<int>>& pattern, int iterations,
+    std::string name) {
   ComputeDag dag(std::move(name));
-  const auto pattern = random_sparse_pattern(n, avg_nnz, rng);
+  const int n = static_cast<int>(pattern.size());
   std::vector<NodeId> x;
   for (int i = 0; i < n; ++i) x.push_back(dag.add_node(0, 1));
   for (int k = 0; k < iterations; ++k) x = add_spmv(dag, pattern, x);
   return dag;
 }
 
-ComputeDag cg_dag(int n, int iterations, int avg_nnz, Rng& rng,
-                  std::string name) {
+ComputeDag iterated_spmv_dag(int n, int iterations, int avg_nnz, Rng& rng,
+                             std::string name) {
+  return iterated_spmv_dag_from_pattern(
+      random_sparse_pattern(n, avg_nnz, rng), iterations, std::move(name));
+}
+
+ComputeDag cg_dag_from_pattern(const std::vector<std::vector<int>>& pattern,
+                               int iterations, std::string name) {
   ComputeDag dag(std::move(name));
-  const auto pattern = random_sparse_pattern(n, avg_nnz, rng);
+  const int n = static_cast<int>(pattern.size());
   // Sources: the current solution x, residual r and direction p.
   std::vector<NodeId> x, r, p;
   for (int i = 0; i < n; ++i) x.push_back(dag.add_node(0, 1));
@@ -145,6 +153,12 @@ ComputeDag cg_dag(int n, int iterations, int avg_nnz, Rng& rng,
     rho = rho_next;
   }
   return dag;
+}
+
+ComputeDag cg_dag(int n, int iterations, int avg_nnz, Rng& rng,
+                  std::string name) {
+  return cg_dag_from_pattern(random_sparse_pattern(n, avg_nnz, rng),
+                             iterations, std::move(name));
 }
 
 ComputeDag knn_dag(int refs, int queries, int dims, Rng& rng,

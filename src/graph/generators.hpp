@@ -38,15 +38,26 @@ std::vector<NodeId> add_spmv(ComputeDag& dag,
 /// Fine-grained SpMV DAG: n sources (the input vector), one SpMV.
 ComputeDag spmv_dag(int n, int avg_nnz, Rng& rng, std::string name);
 
+/// SpMV over an explicit (e.g. Matrix Market-loaded) square pattern.
+ComputeDag spmv_dag_from_pattern(
+    const std::vector<std::vector<int>>& pattern, std::string name);
+
 /// Iterated SpMV ("exp" instances): `iterations` successive products with
 /// the same matrix pattern.
 ComputeDag iterated_spmv_dag(int n, int iterations, int avg_nnz, Rng& rng,
                              std::string name);
 
+ComputeDag iterated_spmv_dag_from_pattern(
+    const std::vector<std::vector<int>>& pattern, int iterations,
+    std::string name);
+
 /// Fine-grained conjugate gradient: per iteration one SpMV, two dot
 /// products (reduction trees), two axpys and the direction update.
 ComputeDag cg_dag(int n, int iterations, int avg_nnz, Rng& rng,
                   std::string name);
+
+ComputeDag cg_dag_from_pattern(const std::vector<std::vector<int>>& pattern,
+                               int iterations, std::string name);
 
 /// Fine-grained k-nearest-neighbours: per (query, reference) pair `dims`
 /// coordinate terms + a distance reduction, then a per-query min-reduction

@@ -1,0 +1,129 @@
+#include "src/graph/mtx_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace mbsp {
+
+namespace {
+
+std::optional<std::vector<std::vector<int>>> fail(
+    std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return std::nullopt;
+}
+
+std::string lower(std::string s) {
+  for (char& ch : s) {
+    if (ch >= 'A' && ch <= 'Z') ch = static_cast<char>(ch - 'A' + 'a');
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::vector<int>>> pattern_from_mtx(
+    const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  if (!std::getline(in, line)) return fail(error, "empty input");
+  ++line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+  std::istringstream header(lower(line));
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%matrixmarket") {
+    return fail(error, "missing '%%MatrixMarket' header");
+  }
+  if (object != "matrix" || format != "coordinate") {
+    return fail(error, "only 'matrix coordinate' files are supported (got '" +
+                           object + " " + format + "')");
+  }
+  if (field != "real" && field != "integer" && field != "pattern" &&
+      field != "complex") {
+    return fail(error, "unsupported field '" + field + "'");
+  }
+  const bool mirror = symmetry == "symmetric" || symmetry == "skew-symmetric" ||
+                      symmetry == "hermitian";
+  if (!mirror && symmetry != "general") {
+    return fail(error, "unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Size line (first non-comment, non-blank line): rows cols nnz.
+  long long rows = -1, cols = -1, nnz = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream fields(line);
+    if (!(fields >> rows >> cols >> nnz) || rows < 0 || cols < 0 || nnz < 0) {
+      return fail(error, "line " + std::to_string(line_no) +
+                             ": expected '<rows> <cols> <nnz>'");
+    }
+    break;
+  }
+  if (rows < 0) return fail(error, "missing size line");
+  if (rows != cols) {
+    return fail(error, "only square matrices are supported (" +
+                           std::to_string(rows) + " x " +
+                           std::to_string(cols) + ")");
+  }
+
+  std::vector<std::vector<int>> pattern(static_cast<std::size_t>(rows));
+  long long seen = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (seen == nnz) {
+      return fail(error, "line " + std::to_string(line_no) +
+                             ": more entries than the declared nnz");
+    }
+    std::istringstream fields(line);
+    long long i = 0, j = 0;
+    if (!(fields >> i >> j)) {  // trailing value(s) ignored
+      return fail(error,
+                  "line " + std::to_string(line_no) + ": bad entry line");
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      return fail(error, "line " + std::to_string(line_no) +
+                             ": index out of range (1-based)");
+    }
+    pattern[static_cast<std::size_t>(i - 1)].push_back(
+        static_cast<int>(j - 1));
+    if (mirror && i != j) {
+      pattern[static_cast<std::size_t>(j - 1)].push_back(
+          static_cast<int>(i - 1));
+    }
+    ++seen;
+  }
+  if (seen != nnz) {
+    return fail(error, "declared " + std::to_string(nnz) +
+                           " entries but found " + std::to_string(seen));
+  }
+  for (std::size_t r = 0; r < pattern.size(); ++r) {
+    auto& row = pattern[r];
+    if (row.empty()) row.push_back(static_cast<int>(r));
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  return pattern;
+}
+
+std::optional<std::vector<std::vector<int>>> read_mtx_file(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return pattern_from_mtx(buffer.str(), error);
+}
+
+}  // namespace mbsp

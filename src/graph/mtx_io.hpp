@@ -1,0 +1,25 @@
+#pragma once
+// Matrix Market (.mtx) import: reads the coordinate format into the sparse
+// row pattern consumed by the SpMV/CG/iterated-SpMV DAG builders, so real
+// sparse matrices become workload scenarios.
+//
+// Supported: `matrix coordinate` with field real/integer/pattern/complex
+// (values are ignored; only the structure matters) and symmetry general/
+// symmetric/skew-symmetric/hermitian (mirrored entries are materialized).
+// The matrix must be square. Rows left empty by the file get their diagonal
+// entry added, so every DAG row has at least one term to reduce.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mbsp {
+
+/// Parses .mtx text into a per-row sorted, deduplicated column pattern.
+std::optional<std::vector<std::vector<int>>> pattern_from_mtx(
+    const std::string& text, std::string* error = nullptr);
+
+std::optional<std::vector<std::vector<int>>> read_mtx_file(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace mbsp

@@ -5,6 +5,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "src/graph/dag_io.hpp"
 #include "src/model/validate.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -42,6 +43,13 @@ std::vector<BatchCell> BatchRunner::run_cells(
   for (std::size_t i = 0; i < cells.size(); ++i) {
     resolved[i] = &registry_.at(cells[i].scheduler);
   }
+  // Hash each distinct instance once, not once per grid cell.
+  std::unordered_map<const MbspInstance*, std::uint64_t> hashes;
+  for (const CellSpec& spec : cells) {
+    if (!hashes.count(spec.instance)) {
+      hashes.emplace(spec.instance, dag_canonical_hash(spec.instance->dag));
+    }
+  }
 
   const std::size_t threads =
       options_.threads > 0
@@ -53,6 +61,7 @@ std::vector<BatchCell> BatchRunner::run_cells(
     const CellSpec& spec = cells[i];
     BatchCell& cell = out[i];
     cell.instance = spec.instance->name();
+    cell.dag_hash = hashes.at(spec.instance);
     cell.scheduler = spec.scheduler;
     cell.cost_model = spec.options.cost;
     const MbspScheduler& scheduler = *resolved[i];
@@ -80,10 +89,11 @@ std::vector<BatchCell> BatchRunner::run_cells(
 }
 
 Table batch_table(const std::vector<BatchCell>& cells,
-                  bool include_wall_time) {
+                  bool include_wall_time, bool include_hash) {
   std::vector<std::string> header{"instance", "scheduler",  "model",
                                   "cost",     "ratio",      "io",
                                   "supersteps"};
+  if (include_hash) header.push_back("dag_hash");
   if (include_wall_time) header.push_back("wall_ms");
   Table table(std::move(header));
   // Ratio reference per instance: its first ok cell (the grid's first
@@ -108,6 +118,7 @@ Table batch_table(const std::vector<BatchCell>& cells,
       row.push_back(fmt(cell.result.io_volume, 0));
       row.push_back(std::to_string(cell.result.supersteps));
     }
+    if (include_hash) row.push_back(dag_hash_hex(cell.dag_hash));
     if (include_wall_time) {
       row.push_back(cell.ok ? fmt(cell.result.wall_ms, 1) : "-");
     }

@@ -7,6 +7,7 @@
 // bitwise-identical whatever the thread count; wall times are recorded per
 // cell but excluded from tables by default for exactly that reason.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -15,9 +16,12 @@
 
 namespace mbsp {
 
-/// One completed grid cell.
+/// One completed grid cell. Cells are keyed by (instance name, canonical
+/// DAG hash): corpus-generated instances are named by their workload spec,
+/// and the hash pins the exact DAG the row was computed on.
 struct BatchCell {
-  std::string instance;   ///< instance name
+  std::string instance;   ///< instance name (workload spec for corpus runs)
+  std::uint64_t dag_hash = 0;  ///< dag_canonical_hash of the instance DAG
   std::string scheduler;  ///< scheduler name
   CostModel cost_model = CostModel::kSynchronous;
   bool ok = false;
@@ -65,9 +69,11 @@ class BatchRunner {
 
 /// Renders cells as a table: instance, scheduler, cost model, cost, ratio
 /// vs the first ok cell of the same instance, I/O volume, supersteps —
-/// plus wall time when requested (non-deterministic; off by default).
+/// plus wall time when requested (non-deterministic; off by default) and
+/// the canonical DAG hash (deterministic; corpus sweeps turn it on so
+/// result rows are verifiable against the generating spec).
 Table batch_table(const std::vector<BatchCell>& cells,
-                  bool include_wall_time = false);
+                  bool include_wall_time = false, bool include_hash = false);
 
 /// First cell matching (instance, scheduler); nullptr when absent.
 const BatchCell* find_cell(const std::vector<BatchCell>& cells,

@@ -40,7 +40,7 @@ std::string Table::to_text(const std::string& title) const {
 
 namespace {
 std::string csv_escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
   std::string quoted = "\"";
   for (char ch : field) {
     if (ch == '"') quoted += '"';

@@ -1,0 +1,280 @@
+#include "src/workload/structured.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+
+namespace mbsp {
+
+namespace {
+// Compute weights by operation kind, on the same scale as the paper
+// dataset generators (coarse block ops are an order of magnitude heavier
+// than fine-grained arithmetic).
+constexpr double kCell = 1;                              // stencil/wavefront
+constexpr double kButterfly = 1;                         // FFT
+constexpr double kGetrf = 6, kTrsm = 4, kGemm = 8;       // LU / Cholesky
+constexpr double kPotrf = 6, kSyrk = 6;
+constexpr double kProj = 4, kScore = 1, kNorm = 1;       // transformer
+constexpr double kMap = 4, kReduce = 6;                  // MapReduce
+}  // namespace
+
+ComputeDag stencil2d_dag(int nx, int ny, int steps, std::string name) {
+  ComputeDag dag(std::move(name));
+  auto at = [&](const std::vector<NodeId>& grid, int x, int y) {
+    return grid[static_cast<std::size_t>(y) * nx + x];
+  };
+  std::vector<NodeId> grid;
+  for (int i = 0; i < nx * ny; ++i) grid.push_back(dag.add_node(0, 1));
+  for (int t = 0; t < steps; ++t) {
+    std::vector<NodeId> next;
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const NodeId cell = dag.add_node(kCell, 1);
+        dag.add_edge(at(grid, x, y), cell);
+        if (x > 0) dag.add_edge(at(grid, x - 1, y), cell);
+        if (x + 1 < nx) dag.add_edge(at(grid, x + 1, y), cell);
+        if (y > 0) dag.add_edge(at(grid, x, y - 1), cell);
+        if (y + 1 < ny) dag.add_edge(at(grid, x, y + 1), cell);
+        next.push_back(cell);
+      }
+    }
+    grid = std::move(next);
+  }
+  return dag;
+}
+
+ComputeDag stencil3d_dag(int nx, int ny, int nz, int steps, std::string name) {
+  ComputeDag dag(std::move(name));
+  auto at = [&](const std::vector<NodeId>& grid, int x, int y, int z) {
+    return grid[(static_cast<std::size_t>(z) * ny + y) * nx + x];
+  };
+  std::vector<NodeId> grid;
+  for (int i = 0; i < nx * ny * nz; ++i) grid.push_back(dag.add_node(0, 1));
+  for (int t = 0; t < steps; ++t) {
+    std::vector<NodeId> next;
+    for (int z = 0; z < nz; ++z) {
+      for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+          const NodeId cell = dag.add_node(kCell, 1);
+          dag.add_edge(at(grid, x, y, z), cell);
+          if (x > 0) dag.add_edge(at(grid, x - 1, y, z), cell);
+          if (x + 1 < nx) dag.add_edge(at(grid, x + 1, y, z), cell);
+          if (y > 0) dag.add_edge(at(grid, x, y - 1, z), cell);
+          if (y + 1 < ny) dag.add_edge(at(grid, x, y + 1, z), cell);
+          if (z > 0) dag.add_edge(at(grid, x, y, z - 1), cell);
+          if (z + 1 < nz) dag.add_edge(at(grid, x, y, z + 1), cell);
+          next.push_back(cell);
+        }
+      }
+    }
+    grid = std::move(next);
+  }
+  return dag;
+}
+
+ComputeDag wavefront_dag(int nx, int ny, std::string name) {
+  ComputeDag dag(std::move(name));
+  // Boundary inputs: one per column (top), one per row (left), one corner.
+  std::vector<NodeId> top, left;
+  for (int x = 0; x < nx; ++x) top.push_back(dag.add_node(0, 1));
+  for (int y = 0; y < ny; ++y) left.push_back(dag.add_node(0, 1));
+  const NodeId corner = dag.add_node(0, 1);
+  std::vector<NodeId> cells(static_cast<std::size_t>(nx) * ny);
+  auto at = [&](int x, int y) {
+    return cells[static_cast<std::size_t>(y) * nx + x];
+  };
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const NodeId cell = dag.add_node(kCell, 1);
+      dag.add_edge(y > 0 ? at(x, y - 1) : top[x], cell);
+      dag.add_edge(x > 0 ? at(x - 1, y) : left[y], cell);
+      if (x > 0 && y > 0) {
+        dag.add_edge(at(x - 1, y - 1), cell);
+      } else if (x > 0) {
+        dag.add_edge(top[x - 1], cell);
+      } else if (y > 0) {
+        dag.add_edge(left[y - 1], cell);
+      } else {
+        dag.add_edge(corner, cell);
+      }
+      cells[static_cast<std::size_t>(y) * nx + x] = cell;
+    }
+  }
+  return dag;
+}
+
+ComputeDag blocked_lu_dag(int b, std::string name) {
+  ComputeDag dag(std::move(name));
+  // state[i][j]: latest producer of block (i, j); starts at the inputs.
+  std::vector<std::vector<NodeId>> state(b, std::vector<NodeId>(b));
+  for (int i = 0; i < b; ++i) {
+    for (int j = 0; j < b; ++j) state[i][j] = dag.add_node(0, 1);
+  }
+  for (int k = 0; k < b; ++k) {
+    const NodeId getrf = dag.add_node(kGetrf, 1);
+    dag.add_edge(state[k][k], getrf);
+    state[k][k] = getrf;
+    for (int i = k + 1; i < b; ++i) {  // column panel: L(i,k)
+      const NodeId trsm = dag.add_node(kTrsm, 1);
+      dag.add_edge(getrf, trsm);
+      dag.add_edge(state[i][k], trsm);
+      state[i][k] = trsm;
+    }
+    for (int j = k + 1; j < b; ++j) {  // row panel: U(k,j)
+      const NodeId trsm = dag.add_node(kTrsm, 1);
+      dag.add_edge(getrf, trsm);
+      dag.add_edge(state[k][j], trsm);
+      state[k][j] = trsm;
+    }
+    for (int i = k + 1; i < b; ++i) {  // trailing update
+      for (int j = k + 1; j < b; ++j) {
+        const NodeId gemm = dag.add_node(kGemm, 1);
+        dag.add_edge(state[i][k], gemm);
+        dag.add_edge(state[k][j], gemm);
+        dag.add_edge(state[i][j], gemm);
+        state[i][j] = gemm;
+      }
+    }
+  }
+  return dag;
+}
+
+ComputeDag blocked_cholesky_dag(int b, std::string name) {
+  ComputeDag dag(std::move(name));
+  // Lower triangle only: state[i][j] for i >= j.
+  std::vector<std::vector<NodeId>> state(b);
+  for (int i = 0; i < b; ++i) {
+    for (int j = 0; j <= i; ++j) state[i].push_back(dag.add_node(0, 1));
+  }
+  for (int k = 0; k < b; ++k) {
+    const NodeId potrf = dag.add_node(kPotrf, 1);
+    dag.add_edge(state[k][k], potrf);
+    state[k][k] = potrf;
+    for (int i = k + 1; i < b; ++i) {
+      const NodeId trsm = dag.add_node(kTrsm, 1);
+      dag.add_edge(potrf, trsm);
+      dag.add_edge(state[i][k], trsm);
+      state[i][k] = trsm;
+    }
+    for (int j = k + 1; j < b; ++j) {
+      for (int i = j; i < b; ++i) {
+        const NodeId update = dag.add_node(i == j ? kSyrk : kGemm, 1);
+        dag.add_edge(state[i][k], update);
+        if (i != j) dag.add_edge(state[j][k], update);
+        dag.add_edge(state[i][j], update);
+        state[i][j] = update;
+      }
+    }
+  }
+  return dag;
+}
+
+ComputeDag fft_dag(int n, std::string name) {
+  if (n < 2 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: n must be a power of two >= 2, got " +
+                                std::to_string(n));
+  }
+  ComputeDag dag(std::move(name));
+  std::vector<NodeId> stage;
+  for (int i = 0; i < n; ++i) stage.push_back(dag.add_node(0, 1));
+  for (int bit = 1; bit < n; bit <<= 1) {
+    std::vector<NodeId> next;
+    for (int i = 0; i < n; ++i) {
+      const NodeId butterfly = dag.add_node(kButterfly, 1);
+      dag.add_edge(stage[i], butterfly);
+      dag.add_edge(stage[i ^ bit], butterfly);
+      next.push_back(butterfly);
+    }
+    stage = std::move(next);
+  }
+  return dag;
+}
+
+ComputeDag transformer_dag(int seq, int heads, int ff, std::string name) {
+  ComputeDag dag(std::move(name));
+  std::vector<NodeId> tokens;
+  for (int t = 0; t < seq; ++t) tokens.push_back(dag.add_node(0, 1));
+  // Multi-head attention: each head projects Q/K/V, scores every (i, j)
+  // pair, normalizes rows (softmax denominator as a reduction tree) and
+  // accumulates the weighted values per query.
+  std::vector<std::vector<NodeId>> head_out(heads);
+  for (int h = 0; h < heads; ++h) {
+    std::vector<NodeId> q, k, v;
+    for (int t = 0; t < seq; ++t) {
+      for (auto* vec : {&q, &k, &v}) {
+        const NodeId proj = dag.add_node(kProj, 1);
+        dag.add_edge(tokens[t], proj);
+        vec->push_back(proj);
+      }
+    }
+    for (int i = 0; i < seq; ++i) {
+      std::vector<NodeId> scores;
+      for (int j = 0; j < seq; ++j) {
+        const NodeId score = dag.add_node(kScore, 1);  // exp(q_i . k_j)
+        dag.add_edge(q[i], score);
+        dag.add_edge(k[j], score);
+        scores.push_back(score);
+      }
+      const NodeId denom = add_reduction_tree(dag, scores, kNorm, 1);
+      std::vector<NodeId> weighted;
+      for (int j = 0; j < seq; ++j) {
+        const NodeId w = dag.add_node(kNorm, 1);  // (score_ij / denom) v_j
+        dag.add_edge(scores[j], w);
+        dag.add_edge(denom, w);
+        dag.add_edge(v[j], w);
+        weighted.push_back(w);
+      }
+      head_out[h].push_back(
+          add_reduction_tree(dag, std::move(weighted), kNorm, 1));
+    }
+  }
+  // Output projection over the concatenated heads, plus residual.
+  std::vector<NodeId> attended;
+  for (int t = 0; t < seq; ++t) {
+    const NodeId out = dag.add_node(kProj, 1);
+    for (int h = 0; h < heads; ++h) dag.add_edge(head_out[h][t], out);
+    const NodeId residual = dag.add_node(kNorm, 1);
+    dag.add_edge(out, residual);
+    dag.add_edge(tokens[t], residual);
+    attended.push_back(residual);
+  }
+  // Feed-forward block: ff-wide hidden layer, projection back, residual.
+  for (int t = 0; t < seq; ++t) {
+    const NodeId ff1 = dag.add_node(kProj * ff, 1);
+    dag.add_edge(attended[t], ff1);
+    const NodeId ff2 = dag.add_node(kProj * ff, 1);
+    dag.add_edge(ff1, ff2);
+    const NodeId residual = dag.add_node(kNorm, 1);
+    dag.add_edge(ff2, residual);
+    dag.add_edge(attended[t], residual);
+  }
+  return dag;
+}
+
+ComputeDag mapreduce_dag(int maps, int reducers, int rounds,
+                         std::string name) {
+  ComputeDag dag(std::move(name));
+  std::vector<NodeId> inputs;
+  for (int m = 0; m < maps; ++m) inputs.push_back(dag.add_node(0, 1));
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<NodeId> mapped;
+    for (int m = 0; m < maps; ++m) {
+      const NodeId map = dag.add_node(kMap, 1);
+      // Round 0 maps read their split; later rounds redistribute the
+      // previous round's reducer outputs.
+      dag.add_edge(inputs[m % inputs.size()], map);
+      mapped.push_back(map);
+    }
+    std::vector<NodeId> reduced;
+    for (int r = 0; r < reducers; ++r) {
+      const NodeId reduce = dag.add_node(kReduce, 1);  // all-to-all shuffle
+      for (NodeId map : mapped) dag.add_edge(map, reduce);
+      reduced.push_back(reduce);
+    }
+    inputs = std::move(reduced);
+  }
+  return dag;
+}
+
+}  // namespace mbsp

@@ -1,0 +1,52 @@
+#pragma once
+// Structured DAG families beyond the paper's benchmark set: dense linear
+// algebra task graphs, stencils, wavefronts, FFT butterflies, a
+// transformer layer and MapReduce rounds. All builders are deterministic
+// (no RNG): structure is fully determined by the parameters, which makes
+// the corpus hashes stable by construction. Memory-weight randomization is
+// applied afterwards by the workload registry (common `mu` parameter).
+
+#include <string>
+
+#include "src/graph/dag.hpp"
+
+namespace mbsp {
+
+/// 5-point 2D stencil iterated `steps` times: grid nx x ny of sources,
+/// then steps full grids where (t,x,y) reads its (t-1) von-Neumann
+/// neighborhood (boundary-clamped).
+ComputeDag stencil2d_dag(int nx, int ny, int steps, std::string name);
+
+/// 7-point 3D stencil, same construction.
+ComputeDag stencil3d_dag(int nx, int ny, int nz, int steps, std::string name);
+
+/// Dynamic-programming wavefront (Smith-Waterman style): cell (i,j)
+/// depends on (i-1,j), (i,j-1) and (i-1,j-1); boundary cells read from
+/// dedicated input nodes.
+ComputeDag wavefront_dag(int nx, int ny, std::string name);
+
+/// Right-looking blocked LU factorization over a b x b block matrix:
+/// getrf on the diagonal, trsm on its row/column, gemm trailing updates.
+ComputeDag blocked_lu_dag(int blocks, std::string name);
+
+/// Right-looking blocked Cholesky over the lower triangle: potrf, trsm,
+/// syrk/gemm trailing updates.
+ComputeDag blocked_cholesky_dag(int blocks, std::string name);
+
+/// Radix-2 FFT butterfly: n inputs (n a power of two), log2(n) stages of
+/// n butterflies; (s,i) reads (s-1,i) and (s-1, i XOR 2^(s-1)).
+/// Throws std::invalid_argument when n is not a power of two.
+ComputeDag fft_dag(int n, std::string name);
+
+/// One transformer layer (multi-head attention + MLP) over `seq` tokens:
+/// per head Q/K/V projections, seq x seq score and weighting nodes with
+/// softmax row reductions, output projection with residual, then a
+/// two-layer feed-forward block (hidden multiplier `ff`) with residual.
+ComputeDag transformer_dag(int seq, int heads, int ff, std::string name);
+
+/// `rounds` MapReduce rounds: map tasks feeding an all-to-all shuffle into
+/// reduce tasks; later rounds' maps read the previous round's reducers.
+ComputeDag mapreduce_dag(int maps, int reducers, int rounds,
+                         std::string name);
+
+}  // namespace mbsp

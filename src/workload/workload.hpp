@@ -1,0 +1,81 @@
+#pragma once
+// Workload corpus subsystem, the instance-side mirror of the scheduler
+// registry: parameterized named DAG families that build MbspInstances from
+// a spec string like `stencil2d:nx=32,ny=32,steps=4`.
+//
+// A spec is `family` or `family:key=value,key=value,...`. The registry
+// canonicalizes it — parameters sorted by key, entries that textually
+// match the family's declared default dropped — and names generated DAGs
+// by the canonical form, so equal scenarios carry equal names (and equal
+// canonical hashes) everywhere: batch tables, corpus files, CI artifacts.
+//
+// Every family also honors the common parameter `mu` (`rand`, the
+// default, draws memory weights uniformly from {1..5} as the paper does;
+// `unit` keeps the generator's weights).
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/dag.hpp"
+
+namespace mbsp {
+
+/// One declared parameter of a family, for `describe` and validation.
+struct WorkloadParamInfo {
+  std::string key;
+  std::string default_value;
+  std::string help;
+};
+
+/// Parsed `family:key=value,...` spec. Parameter order is preserved as
+/// written; `canonical()` sorts by key.
+struct WorkloadSpec {
+  std::string family;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  static std::optional<WorkloadSpec> parse(const std::string& text,
+                                           std::string* error = nullptr);
+
+  /// nullptr when the key is absent.
+  const std::string* find(const std::string& key) const;
+
+  std::string canonical() const;
+};
+
+/// Typed accessors over a spec's parameters. Bad values throw
+/// std::invalid_argument (converted to error strings by the registry).
+class WorkloadParams {
+ public:
+  explicit WorkloadParams(const WorkloadSpec& spec) : spec_(spec) {}
+
+  /// Integer parameter clamped from below by `lo`; non-numeric or < lo
+  /// throws.
+  int get_int(const std::string& key, int def, int lo = 1) const;
+  double get_double(const std::string& key, double def, double lo = 0) const;
+  std::string get_string(const std::string& key, std::string def) const;
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  const WorkloadSpec& spec_;
+};
+
+/// A named, parameterized DAG family. Implementations are stateless;
+/// `generate` is const + thread-safe and deterministic given (params, rng
+/// state), like MbspScheduler::run.
+class WorkloadFamily {
+ public:
+  virtual ~WorkloadFamily() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  virtual std::vector<WorkloadParamInfo> params() const = 0;
+
+  /// Builds the family DAG. `rng` is pre-seeded from the corpus seed and
+  /// the canonical spec, so equal specs yield equal DAGs.
+  virtual ComputeDag generate(const WorkloadParams& p, Rng& rng) const = 0;
+};
+
+}  // namespace mbsp

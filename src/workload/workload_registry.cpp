@@ -1,0 +1,309 @@
+#include "src/workload/workload_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/dag_io.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/mtx_io.hpp"
+#include "src/workload/structured.hpp"
+
+namespace mbsp {
+
+WorkloadRegistry& WorkloadRegistry::global() {
+  static WorkloadRegistry* registry = [] {
+    auto* r = new WorkloadRegistry();
+    register_builtin_workloads(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void WorkloadRegistry::add(std::unique_ptr<WorkloadFamily> family) {
+  const std::string name = family->name();
+  for (auto& existing : families_) {
+    if (existing->name() == name) {
+      existing = std::move(family);
+      return;
+    }
+  }
+  families_.push_back(std::move(family));
+}
+
+bool WorkloadRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const WorkloadFamily* WorkloadRegistry::find(const std::string& name) const {
+  for (const auto& family : families_) {
+    if (family->name() == name) return family.get();
+  }
+  return nullptr;
+}
+
+const WorkloadFamily& WorkloadRegistry::at(const std::string& name) const {
+  const WorkloadFamily* family = find(name);
+  if (family == nullptr) {
+    throw std::out_of_range("no workload family named '" + name + "'");
+  }
+  return *family;
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const auto& family : families_) out.push_back(family->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::optional<ComputeDag> WorkloadRegistry::make_dag(const std::string& spec,
+                                                     std::uint64_t seed,
+                                                     std::string* error) const {
+  std::string parse_error;
+  const auto parsed = WorkloadSpec::parse(spec, &parse_error);
+  if (!parsed) {
+    fail(error, parse_error);
+    return std::nullopt;
+  }
+  const WorkloadFamily* family = find(parsed->family);
+  if (family == nullptr) {
+    fail(error, "unknown workload family '" + parsed->family + "'");
+    return std::nullopt;
+  }
+  const auto declared = family->params();
+  for (const auto& [key, value] : parsed->params) {
+    if (key == "mu") continue;  // common parameter, handled below
+    const bool known =
+        std::any_of(declared.begin(), declared.end(),
+                    [&key](const WorkloadParamInfo& p) { return p.key == key; });
+    if (!known) {
+      fail(error, "unknown parameter '" + key + "' for family '" +
+                      parsed->family + "'");
+      return std::nullopt;
+    }
+  }
+  const WorkloadParams params(*parsed);
+  const std::string mu = params.get_string("mu", "rand");
+  if (mu != "rand" && mu != "unit") {
+    fail(error, "parameter 'mu': expected 'rand' or 'unit', got '" + mu + "'");
+    return std::nullopt;
+  }
+  // Canonical name: parameters sorted by key, with entries that textually
+  // match the family's declared default (and mu=rand) dropped — so every
+  // spelling of the same scenario shares one name, hash and RNG stream.
+  WorkloadSpec normalized = *parsed;
+  std::erase_if(normalized.params,
+                [&](const std::pair<std::string, std::string>& kv) {
+                  if (kv.first == "mu") return kv.second == "rand";
+                  return std::any_of(declared.begin(), declared.end(),
+                                     [&kv](const WorkloadParamInfo& p) {
+                                       return p.key == kv.first &&
+                                              p.default_value == kv.second;
+                                     });
+                });
+  const std::string canonical = normalized.canonical();
+  // Per-spec stream: equal specs yield equal DAGs for a given seed, and
+  // no family's draws can shift another's.
+  Rng rng(seed * 0x9E3779B97F4A7C15ull ^
+          fnv1a_64(canonical.data(), canonical.size()));
+  try {
+    ComputeDag dag = family->generate(params, rng);
+    if (mu == "rand") assign_random_memory_weights(dag, rng);
+    dag.set_name(canonical);
+    return dag;
+  } catch (const std::exception& e) {
+    fail(error, parsed->family + ": " + e.what());
+    return std::nullopt;
+  }
+}
+
+std::optional<MbspInstance> WorkloadRegistry::make_instance(
+    const std::string& spec, std::uint64_t seed, int P, double r_factor,
+    double g, double L, std::string* error) const {
+  auto dag = make_dag(spec, seed, error);
+  if (!dag) return std::nullopt;
+  const double r0 = min_memory_r0(*dag);
+  return MbspInstance{std::move(*dag),
+                      Architecture::make(P, r_factor * r0, g, L)};
+}
+
+namespace {
+
+std::vector<std::vector<int>> load_mtx_or_throw(const WorkloadParams& p) {
+  const std::string file = p.get_string("file", "");
+  if (file.empty()) {
+    throw std::invalid_argument("requires file=<path.mtx>");
+  }
+  std::string error;
+  auto pattern = read_mtx_file(file, &error);
+  if (!pattern) throw std::invalid_argument(error);
+  return std::move(*pattern);
+}
+
+}  // namespace
+
+void register_builtin_workloads(WorkloadRegistry& r) {
+  using P = WorkloadParamInfo;
+  auto add = [&r](std::string name, std::string description,
+                  std::vector<P> params,
+                  SimpleWorkloadFamily::GenerateFn fn) {
+    r.add(std::make_unique<SimpleWorkloadFamily>(
+        std::move(name), std::move(description), std::move(params),
+        std::move(fn)));
+  };
+
+  // --- The paper's benchmark families ([36]-style generators). ---------
+  add("spmv", "fine-grained sparse matrix-vector product y = Ax",
+      {{"n", "8", "matrix dimension"}, {"nnz", "3", "average nonzeros/row"}},
+      [](const WorkloadParams& p, Rng& rng) {
+        return spmv_dag(p.get_int("n", 8), p.get_int("nnz", 3), rng, "");
+      });
+  add("exp", "iterated SpMV x_{k+1} = A x_k with a fixed pattern",
+      {{"n", "6", "matrix dimension"},
+       {"iters", "3", "product iterations"},
+       {"nnz", "3", "average nonzeros/row"}},
+      [](const WorkloadParams& p, Rng& rng) {
+        return iterated_spmv_dag(p.get_int("n", 6), p.get_int("iters", 3),
+                                 p.get_int("nnz", 3), rng, "");
+      });
+  add("cg", "fine-grained conjugate gradient iterations",
+      {{"n", "4", "matrix dimension"},
+       {"iters", "2", "CG iterations"},
+       {"nnz", "3", "average nonzeros/row"}},
+      [](const WorkloadParams& p, Rng& rng) {
+        return cg_dag(p.get_int("n", 4), p.get_int("iters", 2),
+                      p.get_int("nnz", 3), rng, "");
+      });
+  add("knn", "k-nearest-neighbour distance computation",
+      {{"refs", "5", "reference points"},
+       {"queries", "4", "query points"},
+       {"dims", "2", "coordinate dimensions"}},
+      [](const WorkloadParams& p, Rng& rng) {
+        return knn_dag(p.get_int("refs", 5), p.get_int("queries", 4),
+                       p.get_int("dims", 2), rng, "");
+      });
+  add("bicgstab", "coarse-grained BiCGSTAB solver task graph",
+      {{"iters", "3", "solver iterations"}},
+      [](const WorkloadParams& p, Rng&) {
+        return bicgstab_dag(p.get_int("iters", 3));
+      });
+  add("kmeans", "coarse-grained blocked k-means",
+      {{"blocks", "4", "data blocks"},
+       {"clusters", "4", "centroids"},
+       {"iters", "3", "Lloyd iterations"}},
+      [](const WorkloadParams& p, Rng&) {
+        return kmeans_dag(p.get_int("blocks", 4), p.get_int("clusters", 4),
+                          p.get_int("iters", 3));
+      });
+  add("pregel", "coarse-grained Pregel vertex-block supersteps",
+      {{"blocks", "5", "vertex blocks"}, {"supersteps", "4", "supersteps"}},
+      [](const WorkloadParams& p, Rng& rng) {
+        return pregel_dag(p.get_int("blocks", 5), p.get_int("supersteps", 4),
+                          rng, "");
+      });
+  add("pagerank", "coarse-grained block PageRank",
+      {{"blocks", "8", "vertex blocks"}, {"iters", "4", "power iterations"}},
+      [](const WorkloadParams& p, Rng& rng) {
+        return pagerank_dag(p.get_int("blocks", 8), p.get_int("iters", 4),
+                            rng);
+      });
+  add("snni", "sparse-NN inference (GraphChallenge SNNI style)",
+      {{"blocks", "8", "activation blocks"}, {"layers", "4", "layers"}},
+      [](const WorkloadParams& p, Rng& rng) {
+        return snni_dag(p.get_int("blocks", 8), p.get_int("layers", 4), rng);
+      });
+  add("random-layered", "random layered DAG (property-test workhorse)",
+      {{"nodes", "60", "total nodes"}, {"width", "5", "expected layer width"}},
+      [](const WorkloadParams& p, Rng& rng) {
+        return random_layered_dag(p.get_int("nodes", 60),
+                                  p.get_int("width", 5), rng);
+      });
+
+  // --- Structured families beyond the paper's set. ---------------------
+  add("stencil2d", "iterated 5-point 2D stencil",
+      {{"nx", "8", "grid width"},
+       {"ny", "8", "grid height"},
+       {"steps", "3", "time steps"}},
+      [](const WorkloadParams& p, Rng&) {
+        return stencil2d_dag(p.get_int("nx", 8), p.get_int("ny", 8),
+                             p.get_int("steps", 3), "");
+      });
+  add("stencil3d", "iterated 7-point 3D stencil",
+      {{"nx", "4", "grid width"},
+       {"ny", "4", "grid height"},
+       {"nz", "4", "grid depth"},
+       {"steps", "2", "time steps"}},
+      [](const WorkloadParams& p, Rng&) {
+        return stencil3d_dag(p.get_int("nx", 4), p.get_int("ny", 4),
+                             p.get_int("nz", 4), p.get_int("steps", 2), "");
+      });
+  add("wavefront", "dynamic-programming wavefront (Smith-Waterman style)",
+      {{"nx", "8", "matrix width"}, {"ny", "8", "matrix height"}},
+      [](const WorkloadParams& p, Rng&) {
+        return wavefront_dag(p.get_int("nx", 8), p.get_int("ny", 8), "");
+      });
+  add("lu", "right-looking blocked LU factorization task graph",
+      {{"blocks", "4", "blocks per dimension"}},
+      [](const WorkloadParams& p, Rng&) {
+        return blocked_lu_dag(p.get_int("blocks", 4), "");
+      });
+  add("cholesky", "right-looking blocked Cholesky task graph",
+      {{"blocks", "4", "blocks per dimension"}},
+      [](const WorkloadParams& p, Rng&) {
+        return blocked_cholesky_dag(p.get_int("blocks", 4), "");
+      });
+  add("fft", "radix-2 FFT butterfly network",
+      {{"n", "8", "transform size (power of two)"}},
+      [](const WorkloadParams& p, Rng&) {
+        return fft_dag(p.get_int("n", 8, 2), "");
+      });
+  add("attention", "one transformer layer: multi-head attention + MLP",
+      {{"seq", "6", "sequence length"},
+       {"heads", "2", "attention heads"},
+       {"ff", "4", "feed-forward hidden multiplier"}},
+      [](const WorkloadParams& p, Rng&) {
+        return transformer_dag(p.get_int("seq", 6), p.get_int("heads", 2),
+                               p.get_int("ff", 4), "");
+      });
+  add("mapreduce", "MapReduce rounds with all-to-all shuffle",
+      {{"maps", "6", "map tasks per round"},
+       {"reducers", "4", "reduce tasks per round"},
+       {"rounds", "2", "rounds"}},
+      [](const WorkloadParams& p, Rng&) {
+        return mapreduce_dag(p.get_int("maps", 6), p.get_int("reducers", 4),
+                             p.get_int("rounds", 2), "");
+      });
+
+  // --- Imported scenarios: real sparse matrices (Matrix Market). -------
+  add("mtx-spmv", "SpMV over a Matrix Market (.mtx) sparsity pattern",
+      {{"file", "", "path to the .mtx file (required)"}},
+      [](const WorkloadParams& p, Rng&) {
+        return spmv_dag_from_pattern(load_mtx_or_throw(p), "");
+      });
+  add("mtx-cg", "conjugate gradient over a Matrix Market pattern",
+      {{"file", "", "path to the .mtx file (required)"},
+       {"iters", "2", "CG iterations"}},
+      [](const WorkloadParams& p, Rng&) {
+        return cg_dag_from_pattern(load_mtx_or_throw(p),
+                                   p.get_int("iters", 2), "");
+      });
+  add("mtx-exp", "iterated SpMV over a Matrix Market pattern",
+      {{"file", "", "path to the .mtx file (required)"},
+       {"iters", "2", "product iterations"}},
+      [](const WorkloadParams& p, Rng&) {
+        return iterated_spmv_dag_from_pattern(load_mtx_or_throw(p),
+                                              p.get_int("iters", 2), "");
+      });
+}
+
+}  // namespace mbsp

@@ -1,0 +1,102 @@
+#pragma once
+// Central registry of every WorkloadFamily, the instance-side mirror of
+// SchedulerRegistry. The global registry comes pre-populated with:
+//
+//   paper set     spmv, exp, cg, knn, bicgstab, kmeans, pregel, pagerank,
+//                 snni, random-layered (the [36]-style dataset builders)
+//   structured    stencil2d, stencil3d, wavefront, lu, cholesky, fft,
+//                 attention, mapreduce
+//   imported      mtx-spmv, mtx-cg, mtx-exp (Matrix Market files)
+//
+// Adding a family is one `add(...)` call; the corpus CLI, suite_runner
+// and bench_workloads pick the newcomer up by name with no code changes.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/instance.hpp"
+#include "src/workload/workload.hpp"
+
+namespace mbsp {
+
+class WorkloadRegistry {
+ public:
+  /// Empty registry (tests); `global()` is the pre-populated one.
+  WorkloadRegistry() = default;
+
+  /// The process-wide registry with every built-in family registered.
+  /// Register custom families before starting batch runs; lookups are not
+  /// synchronized against concurrent registration.
+  static WorkloadRegistry& global();
+
+  /// Registers `family` under its name(); replaces any previous holder.
+  void add(std::unique_ptr<WorkloadFamily> family);
+
+  bool contains(const std::string& name) const;
+
+  /// nullptr when absent.
+  const WorkloadFamily* find(const std::string& name) const;
+
+  /// Throws std::out_of_range naming the missing family.
+  const WorkloadFamily& at(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return families_.size(); }
+
+  /// Builds the DAG named by `spec` ("family" or "family:k=v,..."). The
+  /// result is named by the canonical spec and its structure depends only
+  /// on (spec, seed). Unknown families/parameters or bad values fill
+  /// *error and return nullopt.
+  std::optional<ComputeDag> make_dag(const std::string& spec,
+                                     std::uint64_t seed,
+                                     std::string* error = nullptr) const;
+
+  /// make_dag plus architecture sizing: r = r_factor * min_memory_r0(dag).
+  std::optional<MbspInstance> make_instance(const std::string& spec,
+                                            std::uint64_t seed, int P,
+                                            double r_factor, double g = 1,
+                                            double L = 10,
+                                            std::string* error = nullptr) const;
+
+ private:
+  std::vector<std::unique_ptr<WorkloadFamily>> families_;
+};
+
+/// Registers the built-in families listed above (what `global()` does on
+/// first use; exposed for registry-local tests).
+void register_builtin_workloads(WorkloadRegistry& registry);
+
+/// Convenience adapter so a family is one add() call: name, description,
+/// declared params and a generate callback.
+class SimpleWorkloadFamily final : public WorkloadFamily {
+ public:
+  using GenerateFn =
+      std::function<ComputeDag(const WorkloadParams&, Rng&)>;
+
+  SimpleWorkloadFamily(std::string name, std::string description,
+                       std::vector<WorkloadParamInfo> params, GenerateFn fn)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        params_(std::move(params)),
+        fn_(std::move(fn)) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return description_; }
+  std::vector<WorkloadParamInfo> params() const override { return params_; }
+  ComputeDag generate(const WorkloadParams& p, Rng& rng) const override {
+    return fn_(p, rng);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<WorkloadParamInfo> params_;
+  GenerateFn fn_;
+};
+
+}  // namespace mbsp

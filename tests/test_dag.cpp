@@ -211,6 +211,139 @@ TEST(DagIo, FileRoundTrip) {
   EXPECT_FALSE(read_dag_file(path + ".missing").has_value());
 }
 
+TEST(DagIo, ErrorsNameTheOffendingLine) {
+  std::string error;
+  // Truncated node list: 3 declared, only 1 weight line present.
+  EXPECT_FALSE(
+      dag_from_text("mbsp-dag v1\nname x\nnodes 3\n1 1\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("after line 4"), std::string::npos) << error;
+  EXPECT_NE(error.find("3 node weight lines, got 1"), std::string::npos)
+      << error;
+  // Bad node weight line: line 4 is not "<omega> <mu>".
+  EXPECT_FALSE(
+      dag_from_text("mbsp-dag v1\nname x\nnodes 1\noops\nedges 0\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  // Edge id out of range, naming line 6.
+  EXPECT_FALSE(
+      dag_from_text("mbsp-dag v1\nname x\nnodes 2\n1 1\n1 1\nedges 1\n0 5\n",
+                    &error)
+          .has_value());
+  EXPECT_NE(error.find("line 7"), std::string::npos) << error;
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  // Truncated edge list.
+  EXPECT_FALSE(
+      dag_from_text("mbsp-dag v1\nname x\nnodes 2\n1 1\n1 1\nedges 2\n0 1\n",
+                    &error)
+          .has_value());
+  EXPECT_NE(error.find("2 edge lines, got 1"), std::string::npos) << error;
+  // Self-loop.
+  EXPECT_FALSE(
+      dag_from_text("mbsp-dag v1\nname x\nnodes 2\n1 1\n1 1\nedges 1\n1 1\n",
+                    &error)
+          .has_value());
+  EXPECT_NE(error.find("self-loop"), std::string::npos) << error;
+  // Trailing tokens on node and edge lines are rejected, not ignored.
+  EXPECT_FALSE(
+      dag_from_text("mbsp-dag v1\nname x\nnodes 1\n1 1 bogus\nedges 0\n",
+                    &error)
+          .has_value());
+  EXPECT_NE(error.find("bad node weight"), std::string::npos) << error;
+  EXPECT_FALSE(
+      dag_from_text(
+          "mbsp-dag v1\nname x\nnodes 3\n1 1\n1 1\n1 1\nedges 2\n0 1 0 2\n",
+          &error)
+          .has_value());
+  EXPECT_NE(error.find("bad edge line"), std::string::npos) << error;
+}
+
+TEST(DagIo, BinaryRoundTripPreservesEverything) {
+  Rng rng(33);
+  ComputeDag original = spmv_dag(6, 3, rng, "binary roundtrip");
+  assign_random_memory_weights(original, rng);
+  original.set_omega(1, 6.02214076e23);
+  const std::string bytes = dag_to_binary(original);
+  ASSERT_TRUE(is_binary_dag(bytes));
+  std::string error;
+  const auto parsed = dag_from_binary(bytes, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(dag_to_text(*parsed), dag_to_text(original));
+  EXPECT_EQ(dag_canonical_hash(*parsed), dag_canonical_hash(original));
+}
+
+TEST(DagIo, TextBinaryTextPropertyRoundTrip) {
+  // Property: any generated DAG survives text -> binary -> text bitwise
+  // identically, and the canonical hash is stable at every hop.
+  Rng rng(91);
+  for (int trial = 0; trial < 20; ++trial) {
+    ComputeDag dag = random_layered_dag(30 + trial * 7, 3 + trial % 4, rng);
+    assign_random_memory_weights(dag, rng);
+    dag.set_name("prop " + std::to_string(trial));
+    const std::uint64_t hash = dag_canonical_hash(dag);
+    const std::string text = dag_to_text(dag);
+    std::string error;
+    const auto from_text = dag_from_text(text, &error);
+    ASSERT_TRUE(from_text.has_value()) << error;
+    EXPECT_EQ(dag_canonical_hash(*from_text), hash);
+    const std::string bytes = dag_to_binary(*from_text);
+    const auto from_binary = dag_from_binary(bytes, &error);
+    ASSERT_TRUE(from_binary.has_value()) << error;
+    EXPECT_EQ(dag_canonical_hash(*from_binary), hash);
+    EXPECT_EQ(dag_to_text(*from_binary), text);
+    // Auto-detection picks the right parser for both encodings.
+    EXPECT_TRUE(dag_from_bytes(bytes).has_value());
+    EXPECT_TRUE(dag_from_bytes(text).has_value());
+  }
+}
+
+TEST(DagIo, CanonicalHashIgnoresEdgeInsertionOrder) {
+  ComputeDag a("same"), b("same");
+  for (int i = 0; i < 3; ++i) a.add_node(1, 2);
+  for (int i = 0; i < 3; ++i) b.add_node(1, 2);
+  a.add_edge(0, 1);
+  a.add_edge(0, 2);
+  b.add_edge(0, 2);
+  b.add_edge(0, 1);
+  EXPECT_EQ(dag_canonical_hash(a), dag_canonical_hash(b));
+  ComputeDag c("different");
+  for (int i = 0; i < 3; ++i) c.add_node(1, 2);
+  c.add_edge(0, 1);
+  c.add_edge(0, 2);
+  EXPECT_NE(dag_canonical_hash(a), dag_canonical_hash(c));
+}
+
+TEST(DagIo, CorruptedBinaryRejected) {
+  ComputeDag dag("corrupt me");
+  dag.add_node(1, 2);
+  dag.add_node(3, 4);
+  dag.add_edge(0, 1);
+  std::string bytes = dag_to_binary(dag);
+  std::string error;
+  // Flip one weight byte: the stored canonical hash no longer matches.
+  std::string flipped = bytes;
+  flipped[14] = static_cast<char>(flipped[14] ^ 0x40);
+  EXPECT_FALSE(dag_from_binary(flipped, &error).has_value());
+  // Truncation is caught by the bounds-checked reader.
+  EXPECT_FALSE(
+      dag_from_binary(bytes.substr(0, bytes.size() - 3), &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  // Not a binary DAG at all.
+  EXPECT_FALSE(dag_from_binary("garbage", &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(DagIo, BinaryFileRoundTrip) {
+  Rng rng(17);
+  ComputeDag dag = spmv_dag(5, 3, rng, "binary file demo");
+  const std::string path = ::testing::TempDir() + "/mbsp_dag_io_test.bin";
+  ASSERT_TRUE(write_dag_file(dag, path, /*binary=*/true));
+  std::string error;
+  const auto loaded = read_dag_file(path, &error);  // auto-detected
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(dag_to_text(*loaded), dag_to_text(dag));
+}
+
 TEST(Topology, RandomLayeredDagAcyclic) {
   Rng rng(5);
   for (int trial = 0; trial < 10; ++trial) {

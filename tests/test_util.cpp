@@ -99,6 +99,20 @@ TEST(Table, CsvEscapes) {
   EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
 }
 
+TEST(Table, CsvQuotesCrLf) {
+  // RFC 4180: fields containing CR or LF must be quoted, not just fields
+  // with commas/quotes.
+  Table t({"x", "y"});
+  t.add_row({"line\nbreak", "carriage\rreturn"});
+  t.add_row({"crlf\r\nboth", "plain"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+  EXPECT_NE(csv.find("\"carriage\rreturn\""), std::string::npos);
+  EXPECT_NE(csv.find("\"crlf\r\nboth\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+  EXPECT_EQ(csv.find("\"plain\""), std::string::npos);
+}
+
 TEST(Table, ShortRowsPadded) {
   Table t({"a", "b"});
   t.add_row({"only_a"});

@@ -1,0 +1,385 @@
+// Unit tests for the workload corpus subsystem: spec parsing, the family
+// registry, the structured generators, the Matrix Market importer, and
+// corpus-driven batch sweeps.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/graph/dag_io.hpp"
+#include "src/graph/mtx_io.hpp"
+#include "src/graph/topology.hpp"
+#include "src/runner/batch_runner.hpp"
+#include "src/workload/structured.hpp"
+#include "src/workload/workload.hpp"
+#include "src/workload/workload_registry.hpp"
+
+namespace mbsp {
+namespace {
+
+TEST(WorkloadSpec, ParsesFamilyOnly) {
+  const auto spec = WorkloadSpec::parse("fft");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->family, "fft");
+  EXPECT_TRUE(spec->params.empty());
+  EXPECT_EQ(spec->canonical(), "fft");
+}
+
+TEST(WorkloadSpec, ParsesParams) {
+  const auto spec = WorkloadSpec::parse("stencil2d:nx=32,ny=16,steps=4");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->family, "stencil2d");
+  ASSERT_EQ(spec->params.size(), 3u);
+  ASSERT_NE(spec->find("ny"), nullptr);
+  EXPECT_EQ(*spec->find("ny"), "16");
+  EXPECT_EQ(spec->find("absent"), nullptr);
+}
+
+TEST(WorkloadSpec, CanonicalSortsByKey) {
+  const auto a = WorkloadSpec::parse("f:b=2,a=1");
+  const auto b = WorkloadSpec::parse("f:a=1,b=2");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->canonical(), "f:a=1,b=2");
+  EXPECT_EQ(a->canonical(), b->canonical());
+}
+
+TEST(WorkloadSpec, RejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(WorkloadSpec::parse(":n=3", &error).has_value());
+  EXPECT_NE(error.find("family"), std::string::npos);
+  EXPECT_FALSE(WorkloadSpec::parse("f:novalue", &error).has_value());
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+  EXPECT_FALSE(WorkloadSpec::parse("f:a=1,a=2", &error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(WorkloadParams, TypedAccessorsAndErrors) {
+  const auto spec = WorkloadSpec::parse("f:n=12,x=2.5,s=hello");
+  ASSERT_TRUE(spec.has_value());
+  const WorkloadParams p(*spec);
+  EXPECT_EQ(p.get_int("n", 1), 12);
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("x", 0), 2.5);
+  EXPECT_EQ(p.get_string("s", ""), "hello");
+  EXPECT_THROW(p.get_int("s", 1), std::invalid_argument);
+  EXPECT_THROW(p.get_int("n", 1, 100), std::invalid_argument);
+}
+
+TEST(WorkloadParams, RejectsOutOfIntRangeValues) {
+  // Values beyond int (or long) range must error, not silently truncate
+  // into a wrong-but-valid-looking instance size.
+  const auto spec = WorkloadSpec::parse(
+      "f:big=4294967297,huge=999999999999999999999");
+  ASSERT_TRUE(spec.has_value());
+  const WorkloadParams p(*spec);
+  EXPECT_THROW(p.get_int("big", 1), std::invalid_argument);
+  EXPECT_THROW(p.get_int("huge", 1), std::invalid_argument);
+}
+
+TEST(WorkloadRegistry, GlobalHasAllBuiltinFamilies) {
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  for (const char* name :
+       {"spmv", "exp", "cg", "knn", "bicgstab", "kmeans", "pregel",
+        "pagerank", "snni", "random-layered", "stencil2d", "stencil3d",
+        "wavefront", "lu", "cholesky", "fft", "attention", "mapreduce",
+        "mtx-spmv", "mtx-cg", "mtx-exp"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  const auto names = registry.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names.size(), registry.size());
+}
+
+TEST(WorkloadRegistry, EveryNonFileFamilyGeneratesWithDefaults) {
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  for (const std::string& name : registry.names()) {
+    if (name.rfind("mtx-", 0) == 0) continue;  // requires file=
+    std::string error;
+    const auto dag = registry.make_dag(name, 7, &error);
+    ASSERT_TRUE(dag.has_value()) << name << ": " << error;
+    EXPECT_GT(dag->num_nodes(), 0) << name;
+    EXPECT_TRUE(is_acyclic(*dag)) << name;
+    EXPECT_EQ(dag->name(), name);
+  }
+}
+
+TEST(WorkloadRegistry, MakeDagDeterministicPerSeed) {
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  const std::string spec = "snni:blocks=6,layers=3";
+  const auto a = registry.make_dag(spec, 11);
+  const auto b = registry.make_dag(spec, 11);
+  const auto c = registry.make_dag(spec, 12);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(dag_to_text(*a), dag_to_text(*b));
+  EXPECT_EQ(dag_canonical_hash(*a), dag_canonical_hash(*b));
+  EXPECT_NE(dag_canonical_hash(*a), dag_canonical_hash(*c));
+}
+
+TEST(WorkloadRegistry, EquivalentSpecsShareNameAndHash) {
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  const auto a = registry.make_dag("lu:blocks=3,mu=unit", 5);
+  const auto b = registry.make_dag("lu:mu=unit,blocks=3", 5);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->name(), "lu:blocks=3,mu=unit");
+  EXPECT_EQ(dag_to_text(*a), dag_to_text(*b));
+}
+
+TEST(WorkloadRegistry, CanonicalNameDropsDefaultValuedParams) {
+  // Spelling out a default must not change the scenario's identity: the
+  // canonical name, the DAG text (same RNG stream) and hence the hash all
+  // match the bare-family spelling.
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  const auto bare = registry.make_dag("lu", 5);
+  const auto spelled = registry.make_dag("lu:blocks=4,mu=rand", 5);
+  ASSERT_TRUE(bare && spelled);
+  EXPECT_EQ(spelled->name(), "lu");
+  EXPECT_EQ(dag_to_text(*bare), dag_to_text(*spelled));
+  EXPECT_EQ(dag_canonical_hash(*bare), dag_canonical_hash(*spelled));
+  // Non-default values survive.
+  const auto other = registry.make_dag("lu:blocks=5", 5);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(other->name(), "lu:blocks=5");
+}
+
+TEST(WorkloadRegistry, ReportsUnknownFamilyAndParam) {
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  std::string error;
+  EXPECT_FALSE(registry.make_dag("no-such-family", 1, &error).has_value());
+  EXPECT_NE(error.find("unknown workload family"), std::string::npos);
+  EXPECT_FALSE(registry.make_dag("fft:bogus=1", 1, &error).has_value());
+  EXPECT_NE(error.find("unknown parameter 'bogus'"), std::string::npos);
+  EXPECT_FALSE(registry.make_dag("fft:n=7", 1, &error).has_value());
+  EXPECT_NE(error.find("power of two"), std::string::npos);
+  EXPECT_FALSE(registry.make_dag("fft:mu=bogus", 1, &error).has_value());
+  EXPECT_NE(error.find("'mu'"), std::string::npos);
+  EXPECT_THROW(registry.at("no-such-family"), std::out_of_range);
+}
+
+TEST(WorkloadRegistry, UnitMuKeepsGeneratorWeights) {
+  const auto dag = WorkloadRegistry::global().make_dag("lu:mu=unit", 3);
+  ASSERT_TRUE(dag.has_value());
+  for (NodeId v = 0; v < dag->num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(dag->mu(v), 1.0);
+  }
+}
+
+TEST(WorkloadRegistry, MakeInstanceSizesArchitecture) {
+  const auto inst = WorkloadRegistry::global().make_instance(
+      "wavefront:nx=4,ny=4", 2, /*P=*/3, /*r_factor=*/2.5);
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(inst->arch.num_processors, 3);
+  EXPECT_DOUBLE_EQ(inst->arch.fast_memory, 2.5 * min_memory_r0(inst->dag));
+}
+
+TEST(StructuredGenerators, StencilNodeCounts) {
+  const ComputeDag s2 = stencil2d_dag(4, 3, 2, "s2");
+  EXPECT_EQ(s2.num_nodes(), 4 * 3 * (2 + 1));
+  EXPECT_TRUE(is_acyclic(s2));
+  const ComputeDag s3 = stencil3d_dag(3, 3, 3, 1, "s3");
+  EXPECT_EQ(s3.num_nodes(), 27 * 2);
+  EXPECT_TRUE(is_acyclic(s3));
+}
+
+TEST(StructuredGenerators, WavefrontStructure) {
+  const ComputeDag dag = wavefront_dag(3, 4, "wf");
+  // 3 top + 4 left + corner inputs, then 3*4 cells with 3 parents each.
+  EXPECT_EQ(dag.num_nodes(), 3 + 4 + 1 + 12);
+  EXPECT_EQ(dag.num_edges(), 12u * 3u);
+  EXPECT_TRUE(is_acyclic(dag));
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (!dag.is_source(v)) EXPECT_EQ(dag.parents(v).size(), 3u);
+  }
+}
+
+TEST(StructuredGenerators, BlockedFactorizationCounts) {
+  // LU over b x b blocks: b^2 inputs + sum_k (1 + 2(b-1-k) + (b-1-k)^2).
+  const int b = 4;
+  const ComputeDag lu = blocked_lu_dag(b, "lu");
+  int expected = b * b;
+  for (int k = 0; k < b; ++k) {
+    const int rest = b - 1 - k;
+    expected += 1 + 2 * rest + rest * rest;
+  }
+  EXPECT_EQ(lu.num_nodes(), expected);
+  EXPECT_TRUE(is_acyclic(lu));
+
+  const ComputeDag chol = blocked_cholesky_dag(b, "chol");
+  int chol_expected = b * (b + 1) / 2;
+  for (int k = 0; k < b; ++k) {
+    const int rest = b - 1 - k;
+    chol_expected += 1 + rest + rest * (rest + 1) / 2;
+  }
+  EXPECT_EQ(chol.num_nodes(), chol_expected);
+  EXPECT_TRUE(is_acyclic(chol));
+}
+
+TEST(StructuredGenerators, FftButterfly) {
+  const ComputeDag dag = fft_dag(8, "fft");
+  EXPECT_EQ(dag.num_nodes(), 8 * (3 + 1));  // inputs + log2(8) stages
+  EXPECT_TRUE(is_acyclic(dag));
+  for (NodeId v = 8; v < dag.num_nodes(); ++v) {
+    EXPECT_EQ(dag.parents(v).size(), 2u);
+  }
+  EXPECT_THROW(fft_dag(12, "bad"), std::invalid_argument);
+  EXPECT_THROW(fft_dag(1, "bad"), std::invalid_argument);
+}
+
+TEST(StructuredGenerators, TransformerAndMapReduceAcyclic) {
+  const ComputeDag t = transformer_dag(4, 2, 4, "attn");
+  EXPECT_TRUE(is_acyclic(t));
+  EXPECT_GT(t.num_nodes(), 4);
+  // Sinks are the per-token feed-forward residuals.
+  EXPECT_EQ(t.sinks().size(), 4u);
+
+  const ComputeDag mr = mapreduce_dag(5, 3, 2, "mr");
+  EXPECT_TRUE(is_acyclic(mr));
+  EXPECT_EQ(mr.num_nodes(), 5 + 2 * (5 + 3));
+  EXPECT_EQ(mr.sinks().size(), 3u);  // final round's reducers
+}
+
+TEST(MtxIo, ParsesGeneralPattern) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% comment\n"
+      "3 3 4\n"
+      "1 1\n"
+      "2 1\n"
+      "2 3\n"
+      "3 2\n";
+  std::string error;
+  const auto pattern = pattern_from_mtx(text, &error);
+  ASSERT_TRUE(pattern.has_value()) << error;
+  ASSERT_EQ(pattern->size(), 3u);
+  EXPECT_EQ((*pattern)[0], (std::vector<int>{0}));
+  EXPECT_EQ((*pattern)[1], (std::vector<int>{0, 2}));
+  EXPECT_EQ((*pattern)[2], (std::vector<int>{1}));
+}
+
+TEST(MtxIo, MirrorsSymmetricEntries) {
+  const std::string text =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 2 -1.0\n";
+  const auto pattern = pattern_from_mtx(text);
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ((*pattern)[0], (std::vector<int>{0, 1}));  // (2,1) mirrored
+  EXPECT_EQ((*pattern)[1], (std::vector<int>{0, 2}));  // (3,2) mirrored
+  EXPECT_EQ((*pattern)[2], (std::vector<int>{1}));
+}
+
+TEST(MtxIo, RejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(pattern_from_mtx("", &error).has_value());
+  EXPECT_FALSE(
+      pattern_from_mtx("%%MatrixMarket matrix array real general\n2 2\n",
+                       &error)
+          .has_value());
+  EXPECT_NE(error.find("coordinate"), std::string::npos);
+  EXPECT_FALSE(pattern_from_mtx(
+                   "%%MatrixMarket matrix coordinate real general\n"
+                   "2 3 1\n1 1 1.0\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("square"), std::string::npos);
+  EXPECT_FALSE(pattern_from_mtx(
+                   "%%MatrixMarket matrix coordinate real general\n"
+                   "2 2 1\n3 1 1.0\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+  EXPECT_FALSE(pattern_from_mtx(
+                   "%%MatrixMarket matrix coordinate real general\n"
+                   "2 2 2\n1 1 1.0\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("declared 2"), std::string::npos);
+}
+
+TEST(MtxIo, FeedsWorkloadFamilies) {
+  const std::string path = ::testing::TempDir() + "/mbsp_workload_test.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real symmetric\n"
+        << "4 4 7\n"
+        << "1 1 4\n2 2 4\n3 3 4\n4 4 4\n"
+        << "2 1 -1\n3 2 -1\n4 3 -1\n";
+  }
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  std::string error;
+  const auto spmv = registry.make_dag("mtx-spmv:file=" + path, 1, &error);
+  ASSERT_TRUE(spmv.has_value()) << error;
+  EXPECT_TRUE(is_acyclic(*spmv));
+  // 4 vector sources + one multiply per nonzero (7 with mirroring = 10).
+  EXPECT_GT(spmv->num_nodes(), 4);
+  const auto cg =
+      registry.make_dag("mtx-cg:file=" + path + ",iters=1", 1, &error);
+  ASSERT_TRUE(cg.has_value()) << error;
+  EXPECT_TRUE(is_acyclic(*cg));
+  // Missing file and missing param both fail with a message.
+  EXPECT_FALSE(registry.make_dag("mtx-spmv", 1, &error).has_value());
+  EXPECT_NE(error.find("file="), std::string::npos);
+  EXPECT_FALSE(
+      registry.make_dag("mtx-spmv:file=/no/such.mtx", 1, &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(WorkloadSweep, BatchTableIdenticalForAnyThreadCount) {
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  std::vector<MbspInstance> instances;
+  for (const char* spec : {"lu:blocks=3", "fft:n=8", "stencil2d:nx=3,ny=3"}) {
+    auto inst = registry.make_instance(spec, 3, 2, 3.0);
+    ASSERT_TRUE(inst.has_value());
+    instances.push_back(std::move(*inst));
+  }
+  const std::vector<std::string> schedulers{"bspg+clairvoyant", "cilk+lru",
+                                            "dfs+clairvoyant"};
+  BatchOptions base;
+  base.scheduler.budget_ms = 0;
+  base.scheduler.max_iterations = 1000;
+  std::string reference;
+  for (const std::size_t threads : {1u, 4u}) {
+    BatchOptions options = base;
+    options.threads = threads;
+    const auto cells =
+        BatchRunner(options).run_grid(instances, schedulers);
+    const std::string csv =
+        batch_table(cells, false, /*include_hash=*/true).to_csv();
+    if (reference.empty()) {
+      reference = csv;
+      EXPECT_NE(csv.find("dag_hash"), std::string::npos);
+    } else {
+      EXPECT_EQ(csv, reference);
+    }
+  }
+}
+
+TEST(WorkloadRegistry, LocalRegistryAddAndReplace) {
+  WorkloadRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  registry.add(std::make_unique<SimpleWorkloadFamily>(
+      "custom", "test family", std::vector<WorkloadParamInfo>{},
+      [](const WorkloadParams&, Rng&) {
+        ComputeDag dag;
+        dag.add_node();
+        return dag;
+      }));
+  EXPECT_TRUE(registry.contains("custom"));
+  const auto dag = registry.make_dag("custom:mu=unit", 1);
+  ASSERT_TRUE(dag.has_value());
+  EXPECT_EQ(dag->num_nodes(), 1);
+  // Replacing keeps the registry size stable.
+  registry.add(std::make_unique<SimpleWorkloadFamily>(
+      "custom", "replacement", std::vector<WorkloadParamInfo>{},
+      [](const WorkloadParams&, Rng&) {
+        ComputeDag dag;
+        dag.add_node();
+        dag.add_node();
+        return dag;
+      }));
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.make_dag("custom", 1)->num_nodes(), 2);
+}
+
+}  // namespace
+}  // namespace mbsp
