@@ -54,17 +54,38 @@ int main() {
   }
   const std::vector<BatchCell> cells = make_runner(config).run_cells(specs);
 
-  Table table({"configuration", "geomean vs full", "per-instance ratios"});
+  Table table({"configuration", "geomean vs full", "per-instance ratios",
+               "proposed", "accepted", "accept %", "per-class accept %"});
   for (std::size_t c = 0; c < kNumConfigs; ++c) {
     std::vector<double> ratios;
     std::string detail;
+    // Move-class proposal/acceptance counters summed over the subset: move
+    // ablations should report *acceptance rates*, not just final cost.
+    long proposed = 0, accepted = 0;
+    std::array<long, kNumMoveClasses> class_proposed{}, class_accepted{};
     for (std::size_t i = 0; i < subset.size(); ++i) {
-      const double cost = cell_or_die(cells[i * kNumConfigs + c]).cost;
+      const ScheduleResult& cell = cell_or_die(cells[i * kNumConfigs + c]);
       const double full = cell_or_die(cells[i * kNumConfigs]).cost;
-      ratios.push_back(cost / full);
+      ratios.push_back(cell.cost / full);
       detail += fmt(ratios.back(), 2) + " ";
+      for (std::size_t m = 0; m < cell.lns_proposed.size(); ++m) {
+        proposed += cell.lns_proposed[m];
+        accepted += cell.lns_accepted[m];
+        class_proposed[m] += cell.lns_proposed[m];
+        class_accepted[m] += cell.lns_accepted[m];
+      }
     }
-    table.add_row({kConfigs[c].label, fmt(geometric_mean(ratios), 3), detail});
+    std::string per_class;
+    for (int m = 0; m < kNumMoveClasses; ++m) {
+      if (class_proposed[m] == 0) continue;
+      per_class += std::string(lns_move_class_name(m)) + ":" +
+                   fmt(100.0 * class_accepted[m] / class_proposed[m], 0) +
+                   "% ";
+    }
+    table.add_row({kConfigs[c].label, fmt(geometric_mean(ratios), 3), detail,
+                   std::to_string(proposed), std::to_string(accepted),
+                   proposed > 0 ? fmt(100.0 * accepted / proposed, 1) : "-",
+                   per_class});
   }
   emit(table,
        "LNS design ablation (>= 1.0 means the full configuration is better)",

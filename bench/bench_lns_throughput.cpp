@@ -1,0 +1,97 @@
+// LNS throughput bench: iterations/sec of the incremental improve_plan
+// versus the copy-and-reevaluate baseline (improve_plan_reference) on
+// corpus workload families with n >= 1000 nodes (plus one ~5000-node
+// point to show the O(delta) scaling). Both loops are run with a fixed
+// iteration count and no deadline, so the trajectories are deterministic
+// and must be bitwise identical — the bench aborts if they are not, which
+// doubles as an end-to-end differential check of the evaluation engine.
+//
+//   MBSP_BENCH_LNS_ITERS  iterations per loop (default 300)
+//   MBSP_BENCH_CSV        CSV export prefix (CI uploads the artifact)
+#include "bench/bench_common.hpp"
+
+#include <cstdlib>
+
+#include "src/bsp/greedy_scheduler.hpp"
+#include "src/holistic/lns.hpp"
+#include "src/twostage/two_stage.hpp"
+
+using namespace mbsp;
+using namespace mbsp::bench;
+
+namespace {
+
+struct Case {
+  const char* spec;
+  double iter_scale;  ///< fraction of the base iteration count
+};
+
+const Case kCases[] = {
+    {"stencil2d:nx=20,ny=20,steps=2", 1.0},  // n = 1200
+    {"fft:n=128", 1.0},                      // n = 1024
+    {"wavefront:nx=32,ny=32", 1.0},          // n = 1089
+    {"mapreduce:maps=40,reducers=30,rounds=15", 1.0},  // n = 1090
+    {"stencil2d:nx=41,ny=41,steps=2", 0.5},  // n = 5043
+};
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = BenchConfig::from_env();
+  const long base_iters = env_long("MBSP_BENCH_LNS_ITERS", 300);
+
+  Table table({"workload", "n", "iterations", "baseline it/s",
+               "incremental it/s", "speedup", "identical"});
+  std::vector<double> speedups;
+  bool all_identical = true;
+  for (const Case& c : kCases) {
+    std::string error;
+    auto dag = WorkloadRegistry::global().make_dag(c.spec, config.seed, &error);
+    if (!dag) {
+      std::fprintf(stderr, "cannot generate '%s': %s\n", c.spec,
+                   error.c_str());
+      return 1;
+    }
+    const MbspInstance inst = make_instance(std::move(*dag), 4, 3.0, 1, 10);
+    const ComputePlan initial =
+        run_baseline(inst, BaselineKind::kGreedyClairvoyant).plan;
+
+    LnsOptions options;
+    options.budget_ms = 0;  // no deadline: fixed, reproducible trajectories
+    options.max_iterations =
+        std::max<long>(1, static_cast<long>(base_iters * c.iter_scale));
+    options.seed = config.seed;
+
+    Timer fast_timer;
+    const LnsResult fast = improve_plan(inst, initial, options);
+    const double fast_ms = fast_timer.elapsed_ms();
+    Timer ref_timer;
+    const LnsResult ref = improve_plan_reference(inst, initial, options);
+    const double ref_ms = ref_timer.elapsed_ms();
+
+    const bool identical = fast.cost == ref.cost &&
+                           fast.accepted == ref.accepted &&
+                           fast.iterations == ref.iterations &&
+                           fast.plan.seq == ref.plan.seq;
+    all_identical = all_identical && identical;
+    const double fast_rate = options.max_iterations * 1000.0 / fast_ms;
+    const double ref_rate = options.max_iterations * 1000.0 / ref_ms;
+    speedups.push_back(fast_rate / ref_rate);
+    table.add_row({c.spec, std::to_string(inst.dag.num_nodes()),
+                   std::to_string(options.max_iterations), fmt(ref_rate, 0),
+                   fmt(fast_rate, 0), fmt(fast_rate / ref_rate, 2) + "x",
+                   identical ? "yes" : "NO"});
+  }
+  emit(table,
+       "LNS throughput: incremental evaluation vs copy-and-reevaluate "
+       "baseline (identical results required)",
+       config, "lns_throughput");
+  std::printf("geomean speedup: %.2fx (acceptance target: >= 5x at n >= 1000)\n",
+              geometric_mean(speedups));
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FATAL: incremental and baseline LNS results diverged\n");
+    return 1;
+  }
+  return 0;
+}

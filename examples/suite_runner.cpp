@@ -9,6 +9,8 @@
 //                [--dag file.dag ...] [--workload spec ...]
 //                [--P 4] [--r-factor 3] [--g 1]
 //                [--L 10] [--cost sync|async] [--budget-ms 1500]
+//                [--moves proc,step,swap,merge,split,recompute,drop|all]
+//                [--lns-budget-ms x]
 //                [--seed 2025] [--threads N] [--wall] [--csv path.csv]
 //
 // Examples:
@@ -16,6 +18,12 @@
 //   suite_runner --dataset small --schedulers bspg+clairvoyant,divide-conquer
 //   suite_runner --dag my.dag --P 1 --schedulers dfs+clairvoyant,exact-pebbler
 //   suite_runner --workload stencil2d:nx=8,ny=8 --workload fft:n=16
+//   suite_runner --schedulers lns --moves proc,swap --lns-budget-ms 500
+//
+// --moves restricts the LNS move classes (ablation sweeps without
+// recompiling); --lns-budget-ms overrides the optimization budget for the
+// LNS-family schedulers (lns / holistic / divide-conquer) only, so a grid
+// can mix fast baselines with a separately-budgeted anytime improver.
 
 #include <cstdio>
 #include <cstring>
@@ -37,6 +45,7 @@ int usage(const char* argv0) {
                "          [--workload spec ...]\n"
                "          [--P n] [--r-factor x] [--g x] [--L x]\n"
                "          [--cost sync|async] [--budget-ms x] [--seed n]\n"
+               "          [--moves a,b,...|all] [--lns-budget-ms x]\n"
                "          [--max-iterations n] [--threads n] [--wall]\n"
                "          [--csv path.csv]\n",
                argv0);
@@ -59,6 +68,7 @@ int main(int argc, char** argv) {
   batch.scheduler.budget_ms = 1500;
   std::uint64_t seed = 2025;
   bool wall = false;
+  double lns_budget_ms = -1;  // < 0: no LNS-specific override
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +112,20 @@ int main(int argc, char** argv) {
                                             : CostModel::kAsynchronous;
     } else if (arg == "--budget-ms") {
       batch.scheduler.budget_ms = std::atof(value());
+    } else if (arg == "--moves") {
+      unsigned mask = 0;
+      if (!parse_move_mask(value(), &mask)) {
+        std::fprintf(stderr,
+                     "unknown move class in --moves (known: all, none");
+        for (int m = 0; m < kNumMoveClasses; ++m) {
+          std::fprintf(stderr, ", %s", lns_move_class_name(m));
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+      batch.scheduler.move_mask = mask;
+    } else if (arg == "--lns-budget-ms") {
+      lns_budget_ms = std::atof(value());
     } else if (arg == "--max-iterations") {
       // With --budget-ms 0 this makes runs bit-for-bit reproducible.
       batch.scheduler.max_iterations = std::atol(value());
@@ -169,8 +193,24 @@ int main(int argc, char** argv) {
         {std::move(dag), Architecture::make(P, r_factor * r0, g, L)});
   }
 
-  const std::vector<BatchCell> cells =
-      BatchRunner(batch).run_grid(instances, schedulers);
+  std::vector<BatchCell> cells;
+  if (lns_budget_ms >= 0) {
+    // Per-cell options: the LNS-family schedulers get their own budget
+    // (cell order matches run_grid: instance-major, scheduler-minor).
+    std::vector<BatchRunner::CellSpec> specs;
+    for (const MbspInstance& inst : instances) {
+      for (const std::string& name : schedulers) {
+        SchedulerOptions options = batch.scheduler;
+        if (name == "lns" || name == "holistic" || name == "divide-conquer") {
+          options.budget_ms = lns_budget_ms;
+        }
+        specs.push_back({&inst, name, options});
+      }
+    }
+    cells = BatchRunner(batch).run_cells(specs);
+  } else {
+    cells = BatchRunner(batch).run_grid(instances, schedulers);
+  }
   const Table table = batch_table(cells, wall);
   std::fputs(table
                  .to_text("suite: " + std::to_string(instances.size()) +

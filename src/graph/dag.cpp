@@ -6,11 +6,65 @@
 
 namespace mbsp {
 
+ComputeDag::ComputeDag(const ComputeDag& other)
+    : name_(other.name_),
+      succ_(other.succ_),
+      pred_(other.pred_),
+      omega_(other.omega_),
+      mu_(other.mu_),
+      num_edges_(other.num_edges_) {}
+
+ComputeDag& ComputeDag::operator=(const ComputeDag& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  succ_ = other.succ_;
+  pred_ = other.pred_;
+  omega_ = other.omega_;
+  mu_ = other.mu_;
+  num_edges_ = other.num_edges_;
+  csr_valid_.store(false, std::memory_order_release);
+  return *this;
+}
+
+ComputeDag::ComputeDag(ComputeDag&& other) noexcept
+    : name_(std::move(other.name_)),
+      succ_(std::move(other.succ_)),
+      pred_(std::move(other.pred_)),
+      omega_(std::move(other.omega_)),
+      mu_(std::move(other.mu_)),
+      num_edges_(other.num_edges_),
+      csr_succ_off_(std::move(other.csr_succ_off_)),
+      csr_pred_off_(std::move(other.csr_pred_off_)),
+      csr_succ_(std::move(other.csr_succ_)),
+      csr_pred_(std::move(other.csr_pred_)),
+      csr_valid_(other.csr_valid_.load(std::memory_order_acquire)) {
+  other.csr_valid_.store(false, std::memory_order_release);
+}
+
+ComputeDag& ComputeDag::operator=(ComputeDag&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  succ_ = std::move(other.succ_);
+  pred_ = std::move(other.pred_);
+  omega_ = std::move(other.omega_);
+  mu_ = std::move(other.mu_);
+  num_edges_ = other.num_edges_;
+  csr_succ_off_ = std::move(other.csr_succ_off_);
+  csr_pred_off_ = std::move(other.csr_pred_off_);
+  csr_succ_ = std::move(other.csr_succ_);
+  csr_pred_ = std::move(other.csr_pred_);
+  csr_valid_.store(other.csr_valid_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+  other.csr_valid_.store(false, std::memory_order_release);
+  return *this;
+}
+
 NodeId ComputeDag::add_node(double omega, double mu) {
   succ_.emplace_back();
   pred_.emplace_back();
   omega_.push_back(omega);
   mu_.push_back(mu);
+  csr_valid_.store(false, std::memory_order_release);
   return static_cast<NodeId>(succ_.size() - 1);
 }
 
@@ -20,6 +74,28 @@ void ComputeDag::add_edge(NodeId u, NodeId v) {
   succ_[u].push_back(v);
   pred_[v].push_back(u);
   ++num_edges_;
+  csr_valid_.store(false, std::memory_order_release);
+}
+
+void ComputeDag::build_csr() const {
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_valid_.load(std::memory_order_relaxed)) return;  // lost the race
+  const std::size_t n = succ_.size();
+  csr_succ_off_.assign(n + 1, 0);
+  csr_pred_off_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    csr_succ_off_[v + 1] = csr_succ_off_[v] + succ_[v].size();
+    csr_pred_off_[v + 1] = csr_pred_off_[v] + pred_[v].size();
+  }
+  csr_succ_.resize(csr_succ_off_[n]);
+  csr_pred_.resize(csr_pred_off_[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::copy(succ_[v].begin(), succ_[v].end(),
+              csr_succ_.begin() + static_cast<std::ptrdiff_t>(csr_succ_off_[v]));
+    std::copy(pred_[v].begin(), pred_[v].end(),
+              csr_pred_.begin() + static_cast<std::ptrdiff_t>(csr_pred_off_[v]));
+  }
+  csr_valid_.store(true, std::memory_order_release);
 }
 
 std::vector<NodeId> ComputeDag::sources() const {

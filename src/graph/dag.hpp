@@ -2,8 +2,21 @@
 // Computational DAG with per-node compute weight (omega) and memory weight
 // (mu), as defined in Section 3 of the paper. Nodes represent operations;
 // an edge (u, v) means v consumes the output of u.
+//
+// Adjacency is kept twice: per-node insertion vectors (the build-time
+// representation mutated by add_node / add_edge) and a flattened CSR copy
+// (offset + value arrays) that `parents()` / `children()` serve as
+// contiguous spans. The CSR arrays are the read path of every scheduler
+// hot loop — one indirection and a linear scan instead of a
+// vector-of-vectors pointer chase — and are rebuilt lazily (thread-safe,
+// double-checked) after the last mutation. Neighbour order inside a span
+// is exactly edge-insertion order, matching the historical vector API, so
+// algorithms that iterate adjacency stay deterministic.
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,8 +32,43 @@ constexpr NodeId kInvalidNode = -1;
 /// verified by `is_acyclic()` (tests do this for every generator).
 class ComputeDag {
  public:
+  /// Contiguous, immutable view into the CSR adjacency arrays.
+  class AdjSpan {
+   public:
+    using value_type = NodeId;
+    using const_iterator = const NodeId*;
+
+    AdjSpan() = default;
+    AdjSpan(const NodeId* data, std::size_t size) : data_(data), size_(size) {}
+
+    const NodeId* begin() const { return data_; }
+    const NodeId* end() const { return data_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    NodeId operator[](std::size_t i) const { return data_[i]; }
+    NodeId front() const { return data_[0]; }
+    NodeId back() const { return data_[size_ - 1]; }
+
+    friend bool operator==(const AdjSpan& a, const AdjSpan& b) {
+      if (a.size_ != b.size_) return false;
+      for (std::size_t i = 0; i < a.size_; ++i) {
+        if (a.data_[i] != b.data_[i]) return false;
+      }
+      return true;
+    }
+
+   private:
+    const NodeId* data_ = nullptr;
+    std::size_t size_ = 0;
+  };
+
   ComputeDag() = default;
   explicit ComputeDag(std::string name) : name_(std::move(name)) {}
+
+  ComputeDag(const ComputeDag& other);
+  ComputeDag& operator=(const ComputeDag& other);
+  ComputeDag(ComputeDag&& other) noexcept;
+  ComputeDag& operator=(ComputeDag&& other) noexcept;
 
   /// Adds a node with compute weight `omega` and memory weight `mu`.
   NodeId add_node(double omega = 1.0, double mu = 1.0);
@@ -31,8 +79,22 @@ class ComputeDag {
   NodeId num_nodes() const { return static_cast<NodeId>(succ_.size()); }
   std::size_t num_edges() const { return num_edges_; }
 
-  const std::vector<NodeId>& children(NodeId v) const { return succ_[v]; }
-  const std::vector<NodeId>& parents(NodeId v) const { return pred_[v]; }
+  /// CSR span of v's successors / predecessors, in edge-insertion order.
+  /// Invalidated by the next add_node / add_edge (don't hold spans across
+  /// mutations); safe to call concurrently from const contexts.
+  AdjSpan children(NodeId v) const {
+    ensure_csr();
+    return {csr_succ_.data() + csr_succ_off_[v],
+            static_cast<std::size_t>(csr_succ_off_[v + 1] - csr_succ_off_[v])};
+  }
+  AdjSpan parents(NodeId v) const {
+    ensure_csr();
+    return {csr_pred_.data() + csr_pred_off_[v],
+            static_cast<std::size_t>(csr_pred_off_[v + 1] - csr_pred_off_[v])};
+  }
+
+  std::size_t out_degree(NodeId v) const { return succ_[v].size(); }
+  std::size_t in_degree(NodeId v) const { return pred_[v].size(); }
 
   double omega(NodeId v) const { return omega_[v]; }
   double mu(NodeId v) const { return mu_[v]; }
@@ -55,12 +117,27 @@ class ComputeDag {
   std::string to_dot() const;
 
  private:
+  void ensure_csr() const {
+    if (!csr_valid_.load(std::memory_order_acquire)) build_csr();
+  }
+  void build_csr() const;
+
   std::string name_;
   std::vector<std::vector<NodeId>> succ_;
   std::vector<std::vector<NodeId>> pred_;
   std::vector<double> omega_;
   std::vector<double> mu_;
   std::size_t num_edges_ = 0;
+
+  // Lazily flattened CSR mirror of succ_ / pred_ (offsets have n+1
+  // entries). Mutable: building is a cache fill behind a const API, made
+  // thread-safe by the double-checked csr_valid_ flag + mutex.
+  mutable std::vector<std::size_t> csr_succ_off_;
+  mutable std::vector<std::size_t> csr_pred_off_;
+  mutable std::vector<NodeId> csr_succ_;
+  mutable std::vector<NodeId> csr_pred_;
+  mutable std::atomic<bool> csr_valid_{false};
+  mutable std::mutex csr_mutex_;
 };
 
 /// Overwrites every node's memory weight with a uniform draw from

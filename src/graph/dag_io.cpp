@@ -117,7 +117,8 @@ void stream_canonical(const ComputeDag& dag, ByteSink& sink) {
   }
   sink.u64(dag.num_edges());
   for (NodeId u = 0; u < dag.num_nodes(); ++u) {
-    std::vector<NodeId> children = dag.children(u);
+    const auto span = dag.children(u);
+    std::vector<NodeId> children(span.begin(), span.end());
     std::sort(children.begin(), children.end());
     for (NodeId v : children) {
       sink.u32(static_cast<std::uint32_t>(u));

@@ -1,0 +1,968 @@
+#include "src/holistic/incremental_eval.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <climits>
+#include <cstdint>
+#include <limits>
+
+namespace mbsp {
+
+namespace {
+
+constexpr double kMemEps = 1e-9;  // must match memory_completion.cpp
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+IncrementalEvaluator::IncrementalEvaluator(const MbspInstance& inst,
+                                           const LnsOptions& options)
+    : inst_(inst),
+      dag_(inst.dag),
+      options_(options),
+      incremental_(options.cost == CostModel::kSynchronous &&
+                   options.completion_policy == PolicyKind::kClairvoyant),
+      P_(inst.arch.num_processors),
+      n_(static_cast<std::size_t>(inst.dag.num_nodes())),
+      r_(inst.arch.fast_memory),
+      g_(inst.arch.g),
+      L_(inst.arch.L) {}
+
+double IncrementalEvaluator::attach(const ComputePlan& plan) {
+  plan_ = plan;
+  P_ = plan_.num_procs;
+  index_.attach(&dag_, &plan_);
+
+  const std::size_t pn = static_cast<std::size_t>(P_) * n_;
+  comp_cnt_.assign(pn, 0);
+  use_cnt_.assign(pn, 0);
+  comp_proc_count_.assign(n_, 0);
+  for (int p = 0; p < P_; ++p) {
+    for (const PlannedCompute& pc : plan_.seq[static_cast<std::size_t>(p)]) {
+      bump_occurrence_counts(p, pc.node, +1);
+    }
+  }
+  save_req_.assign(n_, 0);
+  for (NodeId v = 0; v < static_cast<NodeId>(n_); ++v) {
+    save_req_[static_cast<std::size_t>(v)] = compute_save_required(v) ? 1 : 0;
+  }
+
+  // Validator committed rows.
+  R_.assign(static_cast<std::size_t>(P_), std::vector<int>(n_, INT_MAX));
+  R_scratch_.assign(static_cast<std::size_t>(P_),
+                    std::vector<int>(n_, INT_MAX));
+  req_nodes_.assign(static_cast<std::size_t>(P_), {});
+  req_nodes_scratch_.assign(static_cast<std::size_t>(P_), {});
+  scan_stamp_.assign(n_, 0);
+  scan_epoch_ = 0;
+  affected_stamp_.assign(n_, 0);
+  affected_epoch_ = 0;
+  for (int p = 0; p < P_; ++p) {
+    rescan_proc(p);  // attached plans are valid; this just fills the rows
+    std::swap(R_[static_cast<std::size_t>(p)],
+              R_scratch_[static_cast<std::size_t>(p)]);
+    std::swap(req_nodes_[static_cast<std::size_t>(p)],
+              req_nodes_scratch_[static_cast<std::size_t>(p)]);
+  }
+
+  in_move_ = false;
+  delta_.clear();
+  proc_touched_.assign(static_cast<std::size_t>(P_), 0);
+  touched_procs_.clear();
+  ed_before_.clear();
+  affected_nodes_.clear();
+  save_req_before_.clear();
+
+  if (!incremental_) return evaluate_plan(inst_, plan_, options_);
+
+  // Completion scratch.
+  blue_step_.assign(n_, INT_MAX);
+  for (NodeId v = 0; v < static_cast<NodeId>(n_); ++v) {
+    if (dag_.is_source(v)) blue_step_[static_cast<std::size_t>(v)] = -1;
+  }
+  blued_in_step_.clear();
+  rows_.clear();
+  row_empty_.clear();
+  checkpoints_.assign(1, Checkpoint{});
+  checkpoints_[0].cur = 0;
+  checkpoints_[0].procs.assign(static_cast<std::size_t>(P_), ProcCheckpoint{});
+  checkpoints_[0].pos.assign(static_cast<std::size_t>(P_), 0);
+  row_prefix_.clear();
+  ec_stamp_.assign(pn, 0);
+  ec_flag_.assign(pn, 0);
+  ec_list_.assign(static_cast<std::size_t>(P_), {});
+  ec_weight_.assign(static_cast<std::size_t>(P_), 0.0);
+  eb_stamp_.assign(n_, 0);
+  pos_.assign(static_cast<std::size_t>(P_), 0);
+  eval_epoch_ = 0;
+  s_produced_stamp_.assign(n_, 0);
+  s_load_stamp_.assign(n_, 0);
+  s_needed_stamp_.assign(n_, 0);
+  seg_epoch_ = 0;
+  t_stamp_.assign(n_, 0);
+  t_flag_.assign(n_, 0);
+  t_inlist_stamp_.assign(n_, 0);
+  t_blue_stamp_.assign(n_, 0);
+  t_hoist_stamp_.assign(n_, 0);
+  t_hoist_flag_.assign(n_, 0);
+  t_remneed_stamp_.assign(n_, 0);
+  t_remneed_.assign(n_, 0);
+  try_epoch_ = 0;
+  commit_stamp_.assign(n_, 0);
+  commit_stamp_epoch_ = 0;
+
+  const double cost = evaluate_from(0);
+  promote_eval();
+#ifndef NDEBUG
+  assert(cost == evaluate_plan(inst_, plan_, options_));
+#endif
+  return cost;
+}
+
+// ---------------------------------------------------------------------------
+// save_required maintenance.
+
+void IncrementalEvaluator::bump_occurrence_counts(int p, NodeId v, int delta) {
+  const std::size_t base = static_cast<std::size_t>(p) * n_;
+  long& cc = comp_cnt_[base + static_cast<std::size_t>(v)];
+  const bool had = cc > 0;
+  cc += delta;
+  const bool has = cc > 0;
+  if (had != has) {
+    comp_proc_count_[static_cast<std::size_t>(v)] += has ? 1 : -1;
+  }
+  for (NodeId u : dag_.parents(v)) {
+    use_cnt_[base + static_cast<std::size_t>(u)] += delta;
+  }
+}
+
+bool IncrementalEvaluator::compute_save_required(NodeId v) const {
+  // Mirrors Completer::precompute: sinks always; otherwise "used on some
+  // processor that is not the only computing processor".
+  if (dag_.is_source(v)) return false;
+  if (dag_.is_sink(v)) return true;
+  const int cc = comp_proc_count_[static_cast<std::size_t>(v)];
+  for (int p = 0; p < P_; ++p) {
+    const std::size_t at = static_cast<std::size_t>(p) * n_ +
+                           static_cast<std::size_t>(v);
+    if (use_cnt_[at] > 0 && (cc > 1 || comp_cnt_[at] == 0)) return true;
+  }
+  return false;
+}
+
+void IncrementalEvaluator::refresh_save_required() {
+  for (NodeId v : affected_nodes_) {
+    save_req_[static_cast<std::size_t>(v)] =
+        compute_save_required(v) ? 1 : 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Move protocol.
+
+void IncrementalEvaluator::begin_move() {
+  assert(!in_move_);
+  in_move_ = true;
+  index_.begin_move();
+  delta_.clear();
+  std::fill(proc_touched_.begin(), proc_touched_.end(), 0);
+  touched_procs_.clear();
+  ed_before_.clear();
+  affected_nodes_.clear();
+  save_req_before_.clear();
+  ++affected_epoch_;
+}
+
+void IncrementalEvaluator::apply_op(const PlanDeltaOp& op) {
+  assert(in_move_);
+  auto touch_proc = [&](int p) {
+    if (!proc_touched_[static_cast<std::size_t>(p)]) {
+      proc_touched_[static_cast<std::size_t>(p)] = 1;
+      touched_procs_.push_back(p);
+    }
+  };
+  auto note_affected = [&](NodeId v) {
+    if (affected_stamp_[static_cast<std::size_t>(v)] != affected_epoch_) {
+      affected_stamp_[static_cast<std::size_t>(v)] = affected_epoch_;
+      affected_nodes_.push_back(v);
+      save_req_before_.push_back(
+          {v, save_req_[static_cast<std::size_t>(v)]});
+    }
+  };
+  auto note_node = [&](NodeId v) {
+    ed_before_.push_back({v, index_.earliest_done(v)});
+    note_affected(v);
+    for (NodeId u : dag_.parents(v)) note_affected(u);
+  };
+
+  switch (op.kind) {
+    case PlanDeltaOpKind::kInsert:
+      touch_proc(op.proc);
+      note_node(op.pc.node);
+      bump_occurrence_counts(op.proc, op.pc.node, +1);
+      break;
+    case PlanDeltaOpKind::kErase:
+      touch_proc(op.proc);
+      note_node(op.pc.node);
+      bump_occurrence_counts(op.proc, op.pc.node, -1);
+      break;
+    case PlanDeltaOpKind::kSetNode:
+      touch_proc(op.proc);
+      note_node(op.old_node);
+      note_node(op.pc.node);
+      bump_occurrence_counts(op.proc, op.old_node, -1);
+      bump_occurrence_counts(op.proc, op.pc.node, +1);
+      break;
+    case PlanDeltaOpKind::kMergeStep:
+    case PlanDeltaOpKind::kSplitStep:
+      delta_.structural = true;
+      for (int p = 0; p < P_; ++p) touch_proc(p);
+      break;
+  }
+  apply_delta_op(plan_, op);
+  index_.on_apply(op);
+  delta_.ops.push_back(op);
+}
+
+IncrementalEvaluator::Outcome IncrementalEvaluator::finish_move() {
+  assert(in_move_);
+  // Keep the dense-superstep invariant: a move that emptied a superstep
+  // strictly below the top is followed by a gap-closing merge (this is
+  // exactly what normalize_supersteps would have done).
+  for (int gap = index_.gap_step(); gap != -1; gap = index_.gap_step()) {
+    PlanDeltaOp close;
+    close.kind = PlanDeltaOpKind::kMergeStep;
+    close.pc.superstep = gap;
+    close.cuts.resize(static_cast<std::size_t>(P_));
+    for (int p = 0; p < P_; ++p) {
+      const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+      const auto it = std::upper_bound(
+          seq.begin(), seq.end(), gap,
+          [](int s, const PlannedCompute& pc) { return s < pc.superstep; });
+      close.cuts[static_cast<std::size_t>(p)] =
+          static_cast<std::size_t>(it - seq.begin());
+    }
+    apply_op(close);
+  }
+
+  refresh_save_required();
+  if (!validate_candidate()) return {false, 0};
+
+  double cost;
+  if (incremental_) {
+    int b = dirty_bound();
+    b = std::min(b, static_cast<int>(checkpoints_.size()) - 1);
+    cost = evaluate_from(b);
+#ifndef NDEBUG
+    // Differential oracle check: the incremental cost must equal the full
+    // evaluator's bitwise, every iteration.
+    assert(cost == evaluate_plan(inst_, plan_, options_) &&
+           "incremental cost diverged from the full evaluator");
+#endif
+  } else {
+    cost = evaluate_plan(inst_, plan_, options_);
+    last_dirty_ = index_.num_supersteps();
+  }
+  return {true, cost};
+}
+
+void IncrementalEvaluator::commit() {
+  assert(in_move_);
+  if (incremental_) promote_eval();
+  for (int p : touched_procs_) {
+    std::swap(R_[static_cast<std::size_t>(p)],
+              R_scratch_[static_cast<std::size_t>(p)]);
+    std::swap(req_nodes_[static_cast<std::size_t>(p)],
+              req_nodes_scratch_[static_cast<std::size_t>(p)]);
+  }
+  index_.commit_move();
+  in_move_ = false;
+}
+
+void IncrementalEvaluator::rollback() {
+  assert(in_move_);
+  for (auto it = delta_.ops.rbegin(); it != delta_.ops.rend(); ++it) {
+    const PlanDeltaOp& op = *it;
+    switch (op.kind) {
+      case PlanDeltaOpKind::kInsert:
+        bump_occurrence_counts(op.proc, op.pc.node, -1);
+        break;
+      case PlanDeltaOpKind::kErase:
+        bump_occurrence_counts(op.proc, op.pc.node, +1);
+        break;
+      case PlanDeltaOpKind::kSetNode:
+        bump_occurrence_counts(op.proc, op.old_node, +1);
+        bump_occurrence_counts(op.proc, op.pc.node, -1);
+        break;
+      case PlanDeltaOpKind::kMergeStep:
+      case PlanDeltaOpKind::kSplitStep:
+        break;
+    }
+    undo_delta_op(plan_, op);
+    index_.on_undo(op);
+  }
+  for (const auto& [v, req] : save_req_before_) {
+    save_req_[static_cast<std::size_t>(v)] = req;
+  }
+  index_.rollback_move();
+  in_move_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+
+bool IncrementalEvaluator::rescan_proc(int p) {
+  // Exact replica of validate_plan's per-processor availability scan,
+  // against the *current* (candidate) global earliest_done; also rebuilds
+  // this processor's remote-requirement row (min superstep per needed
+  // node), which guards untouched processors against later earliest_done
+  // changes.
+  auto& row = R_scratch_[static_cast<std::size_t>(p)];
+  auto& reqs = req_nodes_scratch_[static_cast<std::size_t>(p)];
+  for (NodeId v : reqs) row[static_cast<std::size_t>(v)] = INT_MAX;
+  reqs.clear();
+  ++scan_epoch_;
+  const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const PlannedCompute& pc = seq[i];
+    for (NodeId u : dag_.parents(pc.node)) {
+      if (dag_.is_source(u)) continue;
+      const bool local_earlier =
+          scan_stamp_[static_cast<std::size_t>(u)] == scan_epoch_;
+      if (local_earlier) continue;
+      int& entry = row[static_cast<std::size_t>(u)];
+      if (entry == INT_MAX) reqs.push_back(u);
+      entry = std::min(entry, pc.superstep);
+      const int ed = index_.earliest_done(u);
+      const bool remote_earlier = ed >= 0 && ed < pc.superstep;
+      if (!remote_earlier) return false;
+    }
+    scan_stamp_[static_cast<std::size_t>(pc.node)] = scan_epoch_;
+  }
+  return true;
+}
+
+bool IncrementalEvaluator::validate_candidate() {
+  for (int p : touched_procs_) {
+    if (!rescan_proc(p)) return false;
+  }
+  // Untouched processors: their local structure is unchanged, so their
+  // occurrences can only break through a changed earliest_done of a node
+  // they need remotely — checked against the committed requirement rows.
+  for (const auto& [v, ed_old] : ed_before_) {
+    (void)ed_old;
+    const int ed = index_.earliest_done(v);
+    if (ed < 0) return false;  // never computed (cannot happen for moves)
+    for (int q = 0; q < P_; ++q) {
+      if (proc_touched_[static_cast<std::size_t>(q)]) continue;
+      if (R_[static_cast<std::size_t>(q)][static_cast<std::size_t>(v)] <= ed) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Dirty bound.
+
+int IncrementalEvaluator::dirty_bound() {
+  int b = INT_MAX;
+  // For each node whose occurrence/use pattern on a processor changed,
+  // completion decisions on that processor are provably unchanged before
+  // (the node's last event strictly before the edit position) + 1; an
+  // absent prior event dirties the processor from its first activity on.
+  const auto node_bound = [&](int p, std::size_t pos, int op_superstep,
+                              NodeId a) {
+    const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+    const auto& pp = index_.proc_positions(p);
+    std::int64_t last = -1;
+    const auto find_last = [&](const std::vector<std::int64_t>& start,
+                               const std::vector<std::int64_t>& items) {
+      const auto lo =
+          items.begin() +
+          static_cast<std::ptrdiff_t>(start[static_cast<std::size_t>(a)]);
+      const auto hi =
+          items.begin() +
+          static_cast<std::ptrdiff_t>(start[static_cast<std::size_t>(a) + 1]);
+      const auto it =
+          std::lower_bound(lo, hi, static_cast<std::int64_t>(pos));
+      if (it != lo) last = std::max(last, *(it - 1));
+    };
+    find_last(pp.comp_start, pp.comp_items);
+    find_last(pp.use_start, pp.use_items);
+    // Queries with from == last+1 can be issued by the segment *ending*
+    // there, which runs in the superstep of position `last` — so the
+    // restart must cover that superstep, not the one containing last+1.
+    int s;
+    if (last >= 0) {
+      s = seq[static_cast<std::size_t>(last)].superstep;
+    } else if (!seq.empty()) {
+      // No prior event: the earliest divergent query (from == 0) is
+      // issued by this processor's first segment — in the *edited* plan
+      // that's seq[0]'s superstep, but the edit may have removed an even
+      // earlier first segment (e.g. erasing the lone occurrence of the
+      // first superstep), so the op's own superstep bounds it too.
+      s = std::min(seq[0].superstep, op_superstep);
+    } else {
+      s = op_superstep;
+    }
+    b = std::min(b, s);
+  };
+  for (const PlanDeltaOp& op : delta_.ops) {
+    if (op.kind == PlanDeltaOpKind::kMergeStep ||
+        op.kind == PlanDeltaOpKind::kSplitStep) {
+      // Merge/split only relabel supersteps >= s; occurrence positions —
+      // and with them every next-need lookahead — are untouched, so the
+      // completion is bitwise unchanged below superstep s.
+      b = std::min(b, op.pc.superstep);
+      continue;
+    }
+    const int s_op =
+        op.kind == PlanDeltaOpKind::kSetNode
+            ? plan_.seq[static_cast<std::size_t>(op.proc)][op.pos].superstep
+            : op.pc.superstep;
+    // op.pos is the apply-time position; clamp into the candidate
+    // sequence (conservative: a smaller pos only lowers the bound).
+    const std::size_t cand_size =
+        plan_.seq[static_cast<std::size_t>(op.proc)].size();
+    const std::size_t pos = std::min(op.pos, cand_size);
+    node_bound(op.proc, pos, s_op, op.pc.node);
+    for (NodeId u : dag_.parents(op.pc.node)) {
+      node_bound(op.proc, pos, s_op, u);
+    }
+    if (op.kind == PlanDeltaOpKind::kSetNode) {
+      node_bound(op.proc, pos, s_op, op.old_node);
+      for (NodeId u : dag_.parents(op.old_node)) {
+        node_bound(op.proc, pos, s_op, u);
+      }
+    }
+  }
+  // save_required is global: if a move flipped it for some node, every
+  // superstep from that node's earliest occurrence on is dirty.
+  for (const auto& [v, before] : save_req_before_) {
+    if (save_req_[static_cast<std::size_t>(v)] == before) continue;
+    int earliest = index_.earliest_done(v);
+    for (const auto& [w, ed_old] : ed_before_) {
+      if (w == v && ed_old >= 0) {
+        earliest = earliest < 0 ? ed_old : std::min(earliest, ed_old);
+      }
+    }
+    if (earliest >= 0) b = std::min(b, earliest);
+  }
+  return std::max(b == INT_MAX ? 0 : b, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Completion: eval-level state.
+
+bool IncrementalEvaluator::eval_cache_member(int p, NodeId v) const {
+  const std::size_t at = static_cast<std::size_t>(p) * n_ +
+                         static_cast<std::size_t>(v);
+  return ec_stamp_[at] == eval_epoch_ && ec_flag_[at];
+}
+
+void IncrementalEvaluator::eval_cache_set(int p, NodeId v, bool in) {
+  const std::size_t at = static_cast<std::size_t>(p) * n_ +
+                         static_cast<std::size_t>(v);
+  ec_stamp_[at] = eval_epoch_;
+  ec_flag_[at] = in ? 1 : 0;
+}
+
+bool IncrementalEvaluator::eval_blue(NodeId v) const {
+  if (eb_stamp_[static_cast<std::size_t>(v)] == eval_epoch_) return true;
+  return blue_step_[static_cast<std::size_t>(v)] < eval_b_;
+}
+
+void IncrementalEvaluator::eval_blue_set(NodeId v, int step) {
+  if (eb_stamp_[static_cast<std::size_t>(v)] == eval_epoch_) return;
+  eb_stamp_[static_cast<std::size_t>(v)] = eval_epoch_;
+  eval_blued_.push_back({v, step});
+}
+
+bool IncrementalEvaluator::try_member(int p, NodeId v) const {
+  if (t_stamp_[static_cast<std::size_t>(v)] == try_epoch_) {
+    return t_flag_[static_cast<std::size_t>(v)] != 0;
+  }
+  return eval_cache_member(p, v);
+}
+
+void IncrementalEvaluator::try_set_member(NodeId v, bool in) {
+  t_stamp_[static_cast<std::size_t>(v)] = try_epoch_;
+  t_flag_[static_cast<std::size_t>(v)] = in ? 1 : 0;
+  if (in && t_inlist_stamp_[static_cast<std::size_t>(v)] != try_epoch_) {
+    t_inlist_stamp_[static_cast<std::size_t>(v)] = try_epoch_;
+    t_list_.push_back(v);
+  }
+}
+
+bool IncrementalEvaluator::try_blue(NodeId v) const {
+  if (t_blue_stamp_[static_cast<std::size_t>(v)] == try_epoch_) return true;
+  return eval_blue(v);
+}
+
+IncrementalEvaluator::SlotAcc& IncrementalEvaluator::slot_acc(int slot,
+                                                              int p) {
+  return slot_accs_[static_cast<std::size_t>(slot - first_eval_slot_) *
+                        static_cast<std::size_t>(P_) +
+                    static_cast<std::size_t>(p)];
+}
+
+std::int64_t IncrementalEvaluator::effective_next_need(
+    const PlanOccurrenceIndex::ProcPositions& pp, NodeId v,
+    std::int64_t from) const {
+  const std::size_t v_ = static_cast<std::size_t>(v);
+  const auto ub = pp.use_items.begin() +
+                  static_cast<std::ptrdiff_t>(pp.use_start[v_]);
+  const auto ue = pp.use_items.begin() +
+                  static_cast<std::ptrdiff_t>(pp.use_start[v_ + 1]);
+  const auto uit = std::lower_bound(ub, ue, from);
+  if (uit == ue) return kNever;
+  const auto cb = pp.comp_items.begin() +
+                  static_cast<std::ptrdiff_t>(pp.comp_start[v_]);
+  const auto ce = pp.comp_items.begin() +
+                  static_cast<std::ptrdiff_t>(pp.comp_start[v_ + 1]);
+  const auto cit = std::lower_bound(cb, ce, from);
+  if (cit != ce && *cit < *uit) return kNever;  // recomputed first
+  return *uit;
+}
+
+// ---------------------------------------------------------------------------
+// Completion: boundary restore / checkpoint / main loop.
+
+void IncrementalEvaluator::restore_boundary(int b) {
+  ++eval_epoch_;
+  eval_b_ = b;
+  const Checkpoint& ck = checkpoints_[static_cast<std::size_t>(b)];
+  eval_cur_ = ck.cur;
+  first_eval_slot_ = ck.cur;
+  num_slots_ = ck.cur + 1;
+  slot_accs_.clear();
+  slot_accs_.resize(static_cast<std::size_t>(P_));
+  for (int p = 0; p < P_; ++p) {
+    const ProcCheckpoint& pk = ck.procs[static_cast<std::size_t>(p)];
+    SlotAcc& acc = slot_acc(ck.cur, p);
+    acc.comp = pk.comp_sum;
+    acc.save = pk.save_sum;
+    acc.load = pk.load_sum;
+    acc.any = pk.any;
+    ec_list_[static_cast<std::size_t>(p)] = pk.cache;
+    for (NodeId v : pk.cache) eval_cache_set(p, v, true);
+    ec_weight_[static_cast<std::size_t>(p)] = pk.weight;
+    pos_[static_cast<std::size_t>(p)] = ck.pos[static_cast<std::size_t>(p)];
+  }
+  pending_blue_.clear();
+  eval_blued_.clear();
+  scratch_checkpoints_.clear();
+  scratch_ck_base_ = b + 1;
+}
+
+void IncrementalEvaluator::record_checkpoint(int k) {
+  (void)k;
+  scratch_checkpoints_.emplace_back();
+  Checkpoint& ck = scratch_checkpoints_.back();
+  ck.cur = eval_cur_;
+  ck.procs.resize(static_cast<std::size_t>(P_));
+  ck.pos = pos_;
+  for (int p = 0; p < P_; ++p) {
+    ProcCheckpoint& pk = ck.procs[static_cast<std::size_t>(p)];
+    pk.cache = ec_list_[static_cast<std::size_t>(p)];
+    pk.weight = ec_weight_[static_cast<std::size_t>(p)];
+    const SlotAcc& acc = slot_acc(eval_cur_, p);
+    pk.comp_sum = acc.comp;
+    pk.save_sum = acc.save;
+    pk.load_sum = acc.load;
+    pk.any = acc.any;
+  }
+}
+
+double IncrementalEvaluator::evaluate_from(int b) {
+  cand_supersteps_ = index_.num_supersteps();
+  restore_boundary(b);
+  for (int k = b; k < cand_supersteps_; ++k) {
+    if (k > b) record_checkpoint(k);
+    for (;;) {
+      bool any_remaining = false;
+      for (int p = 0; p < P_; ++p) {
+        const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+        const std::int64_t pos = pos_[static_cast<std::size_t>(p)];
+        if (pos < static_cast<std::int64_t>(seq.size()) &&
+            seq[static_cast<std::size_t>(pos)].superstep == k) {
+          any_remaining = true;
+          break;
+        }
+      }
+      if (!any_remaining) break;
+      // Append the body slot of this round (slot count stays cur + 2).
+      ++num_slots_;
+      slot_accs_.resize(slot_accs_.size() + static_cast<std::size_t>(P_));
+      for (int p = 0; p < P_; ++p) {
+        const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+        const std::int64_t pos = pos_[static_cast<std::size_t>(p)];
+        if (pos >= static_cast<std::int64_t>(seq.size()) ||
+            seq[static_cast<std::size_t>(pos)].superstep != k) {
+          continue;
+        }
+        const bool planned = plan_segment(p, k);
+        assert(planned && "first compute of a segment must be schedulable");
+        (void)planned;
+        commit_segment(p, k);
+      }
+      // post_saves become loadable from the next round on.
+      for (NodeId v : pending_blue_) eval_blue_set(v, k);
+      pending_blue_.clear();
+      ++eval_cur_;
+    }
+  }
+  // Zero-length suffix (an erase shrank the superstep count to exactly
+  // b): the boundary checkpoint already is the end state — recording it
+  // would mislabel it as checkpoint b+1.
+  if (cand_supersteps_ > b) record_checkpoint(cand_supersteps_);
+  last_dirty_ = cand_supersteps_ - b;
+  return finalize_cost();
+}
+
+// ---------------------------------------------------------------------------
+// Completion: segment planning (the try_segment / plan_largest_segment
+// replica, with the prefix scan shared across growing counts).
+
+bool IncrementalEvaluator::plan_segment(int p, int superstep) {
+  const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+  const std::int64_t i0 = pos_[static_cast<std::size_t>(p)];
+  std::int64_t limit = 0;
+  while (i0 + limit < static_cast<std::int64_t>(seq.size()) &&
+         seq[static_cast<std::size_t>(i0 + limit)].superstep == superstep) {
+    ++limit;
+  }
+  assert(limit > 0);
+
+  ++seg_epoch_;
+  s_loads_.clear();
+  s_load_weight_ = 0;
+  bool best_found = false;
+  for (std::int64_t count = 1; count <= limit; ++count) {
+    // Extend the segment prefix state by entry count-1: upfront loads in
+    // first-encounter order, consumed start-cache values, produced set.
+    const NodeId v = seq[static_cast<std::size_t>(i0 + count - 1)].node;
+    bool loadable = true;
+    for (NodeId u : dag_.parents(v)) {
+      const std::size_t u_ = static_cast<std::size_t>(u);
+      if (s_produced_stamp_[u_] == seg_epoch_ ||
+          s_load_stamp_[u_] == seg_epoch_) {
+        continue;
+      }
+      if (eval_cache_member(p, u)) {
+        s_needed_stamp_[u_] = seg_epoch_;
+        continue;
+      }
+      if (!eval_blue(u)) {
+        loadable = false;
+        break;
+      }
+      s_load_stamp_[u_] = seg_epoch_;
+      s_loads_.push_back(u);
+      s_load_weight_ += dag_.mu(u);
+    }
+    if (!loadable) break;
+    s_produced_stamp_[static_cast<std::size_t>(v)] = seg_epoch_;
+    if (!run_phases(p, i0, count)) break;
+    std::swap(best_seg_, cur_seg_);
+    best_found = true;
+  }
+  return best_found;
+}
+
+bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
+                                      std::int64_t count) {
+  const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+  const auto& pp = index_.proc_positions(p);
+  ++try_epoch_;
+  t_list_ = ec_list_[static_cast<std::size_t>(p)];
+  for (NodeId v : t_list_) {
+    t_inlist_stamp_[static_cast<std::size_t>(v)] = try_epoch_;
+  }
+  t_weight_ = ec_weight_[static_cast<std::size_t>(p)];
+  Segment& seg = cur_seg_;
+  seg.loads.assign(s_loads_.begin(), s_loads_.end());
+  seg.pre_saves.clear();
+  seg.pre_deletes.clear();
+  seg.post_saves.clear();
+  seg.post_deletes.clear();
+  seg.ops.clear();
+  seg.count = count;
+
+  auto save_required = [&](NodeId v) {
+    return save_req_[static_cast<std::size_t>(v)] != 0;
+  };
+  auto choose_victim = [&](auto&& allowed, std::int64_t from) -> NodeId {
+    // Clairvoyant choice (farthest next use, node id tiebreak) over the
+    // tentative cache — a strict total order, so list order is free.
+    NodeId best = kInvalidNode;
+    std::int64_t best_next = -1;
+    for (NodeId v : t_list_) {
+      if (t_stamp_[static_cast<std::size_t>(v)] == try_epoch_ &&
+          !t_flag_[static_cast<std::size_t>(v)]) {
+        continue;  // evicted in this try
+      }
+      if (!allowed(v)) continue;
+      const std::int64_t need = effective_next_need(pp, v, from);
+      const std::int64_t next_use = need == kNever ? kNoNextUse : need;
+      if (best == kInvalidNode || next_use > best_next ||
+          (next_use == best_next && v < best)) {
+        best = v;
+        best_next = next_use;
+      }
+    }
+    return best;
+  };
+
+  // Phase A: upfront evictions so start cache + loads fit.
+  while (t_weight_ + s_load_weight_ > r_ + kMemEps) {
+    const NodeId victim = choose_victim(
+        [&](NodeId v) {
+          return s_needed_stamp_[static_cast<std::size_t>(v)] != seg_epoch_;
+        },
+        i0);
+    if (victim == kInvalidNode) return false;
+    const bool live = effective_next_need(pp, victim, i0) != kNever;
+    if (!try_blue(victim) && (live || save_required(victim))) {
+      seg.pre_saves.push_back(victim);
+      t_blue_stamp_[static_cast<std::size_t>(victim)] = try_epoch_;
+    }
+    seg.pre_deletes.push_back(victim);
+    try_set_member(victim, false);
+    t_weight_ -= dag_.mu(victim);
+  }
+
+  // Apply the upfront loads.
+  for (NodeId u : seg.loads) {
+    if (!try_member(p, u)) {
+      try_set_member(u, true);
+      t_weight_ += dag_.mu(u);
+    }
+  }
+
+  // Hoistable start-cache values: untouched by the segment (see
+  // memory_completion.cpp for why hoisting their eviction is sound).
+  for (NodeId v : t_list_) {
+    const std::size_t v_ = static_cast<std::size_t>(v);
+    t_hoist_stamp_[v_] = try_epoch_;
+    t_hoist_flag_[v_] = (try_member(p, v) &&
+                         s_needed_stamp_[v_] != seg_epoch_ &&
+                         s_load_stamp_[v_] != seg_epoch_)
+                            ? 1
+                            : 0;
+  }
+  auto hoistable = [&](NodeId v) {
+    return t_hoist_stamp_[static_cast<std::size_t>(v)] == try_epoch_ &&
+           t_hoist_flag_[static_cast<std::size_t>(v)] != 0;
+  };
+  auto remneed = [&](NodeId v) -> long {
+    return t_remneed_stamp_[static_cast<std::size_t>(v)] == try_epoch_
+               ? t_remneed_[static_cast<std::size_t>(v)]
+               : 0;
+  };
+  auto bump_remneed = [&](NodeId v, long delta) {
+    const std::size_t v_ = static_cast<std::size_t>(v);
+    if (t_remneed_stamp_[v_] != try_epoch_) {
+      t_remneed_stamp_[v_] = try_epoch_;
+      t_remneed_[v_] = 0;
+    }
+    t_remneed_[v_] += delta;
+  };
+  for (std::int64_t j = 0; j < count; ++j) {
+    for (NodeId u :
+         dag_.parents(seq[static_cast<std::size_t>(i0 + j)].node)) {
+      bump_remneed(u, +1);
+    }
+  }
+
+  // Phase B: replay the computes with mid-segment evictions.
+  for (std::int64_t j = 0; j < count; ++j) {
+    const NodeId v = seq[static_cast<std::size_t>(i0 + j)].node;
+    const std::int64_t gpos = i0 + j;
+    if (!try_member(p, v)) {
+      while (t_weight_ + dag_.mu(v) > r_ + kMemEps) {
+        const NodeId victim = choose_victim(
+            [&](NodeId c) {
+              if (remneed(c) > 0) return false;  // still a parent here
+              if (try_blue(c)) return true;
+              if (hoistable(c)) return true;
+              return effective_next_need(pp, c, gpos) == kNever &&
+                     !save_required(c);
+            },
+            gpos + 1);
+        if (victim == kInvalidNode) return false;
+        const bool dirty_live =
+            !try_blue(victim) &&
+            (effective_next_need(pp, victim, gpos) != kNever ||
+             save_required(victim));
+        if (dirty_live) {
+          // Hoist: evict before the segment, saving first.
+          seg.pre_saves.push_back(victim);
+          t_blue_stamp_[static_cast<std::size_t>(victim)] = try_epoch_;
+          seg.pre_deletes.push_back(victim);
+        } else {
+          seg.ops.push_back({0, victim});
+        }
+        try_set_member(victim, false);
+        t_weight_ -= dag_.mu(victim);
+      }
+      seg.ops.push_back({1, v});
+      try_set_member(v, true);
+      t_weight_ += dag_.mu(v);
+    }
+    // else: value already red; the occurrence is redundant, skip the op.
+    for (NodeId u : dag_.parents(v)) bump_remneed(u, -1);
+    // Eager cleanup: drop parents that just died (free DELETE ops).
+    for (NodeId u : dag_.parents(v)) {
+      if (!try_member(p, u) || remneed(u) > 0) continue;
+      if (effective_next_need(pp, u, gpos + 1) != kNever) continue;
+      if (!try_blue(u) && save_required(u)) continue;
+      seg.ops.push_back({0, u});
+      try_set_member(u, false);
+      t_weight_ -= dag_.mu(u);
+    }
+  }
+
+  // Post phase: save outputs that need a blue pebble, then drop dead
+  // values in ascending node order (matches the oracle's full scan).
+  for (std::int64_t j = 0; j < count; ++j) {
+    const NodeId v = seq[static_cast<std::size_t>(i0 + j)].node;
+    if (try_member(p, v) && !try_blue(v) && save_required(v)) {
+      seg.post_saves.push_back(v);
+      t_blue_stamp_[static_cast<std::size_t>(v)] = try_epoch_;
+    }
+  }
+  sorted_members_.clear();
+  for (NodeId v : t_list_) {
+    if (try_member(p, v)) sorted_members_.push_back(v);
+  }
+  std::sort(sorted_members_.begin(), sorted_members_.end());
+  const std::int64_t after = i0 + count;
+  for (NodeId v : sorted_members_) {
+    if (effective_next_need(pp, v, after) != kNever) continue;
+    if (!try_blue(v) && save_required(v)) continue;
+    seg.post_deletes.push_back(v);
+    try_set_member(v, false);
+    t_weight_ -= dag_.mu(v);
+  }
+
+  seg.final_cache.clear();
+  for (NodeId v : t_list_) {
+    if (try_member(p, v)) seg.final_cache.push_back(v);
+  }
+  seg.final_weight = t_weight_;
+  return true;
+}
+
+void IncrementalEvaluator::commit_segment(int p, int superstep) {
+  const Segment& seg = best_seg_;
+  SlotAcc& stage = slot_acc(eval_cur_, p);
+  for (NodeId v : seg.pre_saves) stage.save += g_ * dag_.mu(v);
+  for (NodeId v : seg.loads) stage.load += g_ * dag_.mu(v);
+  if (!seg.pre_saves.empty() || !seg.pre_deletes.empty() ||
+      !seg.loads.empty()) {
+    stage.any = 1;
+  }
+  SlotAcc& body = slot_acc(eval_cur_ + 1, p);
+  for (const auto& [is_compute, v] : seg.ops) {
+    if (is_compute) body.comp += dag_.omega(v);
+  }
+  for (NodeId v : seg.post_saves) body.save += g_ * dag_.mu(v);
+  if (!seg.ops.empty() || !seg.post_saves.empty() ||
+      !seg.post_deletes.empty()) {
+    body.any = 1;
+  }
+
+  // Fold the segment's end state into the eval-level processor state.
+  ++commit_stamp_epoch_;
+  for (NodeId v : seg.final_cache) {
+    commit_stamp_[static_cast<std::size_t>(v)] = commit_stamp_epoch_;
+  }
+  for (NodeId v : ec_list_[static_cast<std::size_t>(p)]) {
+    if (commit_stamp_[static_cast<std::size_t>(v)] != commit_stamp_epoch_) {
+      eval_cache_set(p, v, false);
+    }
+  }
+  for (NodeId v : seg.final_cache) eval_cache_set(p, v, true);
+  ec_list_[static_cast<std::size_t>(p)] = seg.final_cache;
+  ec_weight_[static_cast<std::size_t>(p)] = seg.final_weight;
+  pos_[static_cast<std::size_t>(p)] += seg.count;
+  for (NodeId v : seg.pre_saves) eval_blue_set(v, superstep);
+  for (NodeId v : seg.post_saves) pending_blue_.push_back(v);
+}
+
+double IncrementalEvaluator::finalize_cost() {
+  scratch_rows_.clear();
+  scratch_row_empty_.clear();
+  for (int slot = first_eval_slot_; slot < num_slots_; ++slot) {
+    SyncStepCost row;
+    char any = 0;
+    for (int p = 0; p < P_; ++p) {
+      const SlotAcc& acc = slot_acc(slot, p);
+      row.max_compute = std::max(row.max_compute, acc.comp);
+      row.max_save = std::max(row.max_save, acc.save);
+      row.max_load = std::max(row.max_load, acc.load);
+      any |= acc.any;
+    }
+    scratch_rows_.push_back(row);
+    scratch_row_empty_.push_back(any ? 0 : 1);
+  }
+  // Resume the accumulation from the cached prefix state (same doubles,
+  // same add order as a full front-to-back sweep — bitwise equal).
+  SyncCostBreakdown bd = first_eval_slot_ > 0
+                             ? row_prefix_[static_cast<std::size_t>(
+                                   first_eval_slot_ - 1)]
+                             : SyncCostBreakdown{};
+  for (std::size_t i = 0; i < scratch_rows_.size(); ++i) {
+    if (scratch_row_empty_[i]) continue;
+    const SyncStepCost& row = scratch_rows_[i];
+    bd.compute += row.max_compute;
+    bd.io += row.max_save + row.max_load;
+    bd.sync += L_;
+  }
+  return bd.total();
+}
+
+void IncrementalEvaluator::promote_eval() {
+  rows_.resize(static_cast<std::size_t>(num_slots_));
+  row_empty_.resize(static_cast<std::size_t>(num_slots_));
+  row_prefix_.resize(static_cast<std::size_t>(num_slots_));
+  SyncCostBreakdown bd = first_eval_slot_ > 0
+                             ? row_prefix_[static_cast<std::size_t>(
+                                   first_eval_slot_ - 1)]
+                             : SyncCostBreakdown{};
+  for (std::size_t i = 0; i < scratch_rows_.size(); ++i) {
+    const std::size_t at = static_cast<std::size_t>(first_eval_slot_) + i;
+    rows_[at] = scratch_rows_[i];
+    row_empty_[at] = scratch_row_empty_[i];
+    if (!scratch_row_empty_[i]) {
+      bd.compute += scratch_rows_[i].max_compute;
+      bd.io += scratch_rows_[i].max_save + scratch_rows_[i].max_load;
+      bd.sync += L_;
+    }
+    row_prefix_[at] = bd;
+  }
+  checkpoints_.resize(static_cast<std::size_t>(cand_supersteps_) + 1);
+  for (std::size_t i = 0; i < scratch_checkpoints_.size(); ++i) {
+    checkpoints_[static_cast<std::size_t>(scratch_ck_base_) + i] =
+        std::move(scratch_checkpoints_[i]);
+  }
+  // Blue timestamps: drop the old suffix, install the new one.
+  for (int k = eval_b_; k < static_cast<int>(blued_in_step_.size()); ++k) {
+    for (NodeId v : blued_in_step_[static_cast<std::size_t>(k)]) {
+      if (blue_step_[static_cast<std::size_t>(v)] == k) {
+        blue_step_[static_cast<std::size_t>(v)] = INT_MAX;
+      }
+    }
+    blued_in_step_[static_cast<std::size_t>(k)].clear();
+  }
+  blued_in_step_.resize(static_cast<std::size_t>(cand_supersteps_));
+  for (const auto& [v, k] : eval_blued_) {
+    blue_step_[static_cast<std::size_t>(v)] = k;
+    blued_in_step_[static_cast<std::size_t>(k)].push_back(v);
+  }
+}
+
+}  // namespace mbsp

@@ -1,0 +1,248 @@
+#pragma once
+// Incremental evaluation engine for the holistic LNS: applies moves to a
+// ComputePlan *in place* as reversible PlanDelta ops and maintains plan
+// validity and schedule cost incrementally, so evaluating a move costs
+// O(delta) bookkeeping plus a *suffix* of the memory completion instead of
+// a full copy + validate + complete + cost pass.
+//
+// ## Dirty-superstep invariants
+//
+// The synchronous cost is separable per MBSP superstep (cost.hpp's
+// SyncStepCost rows), and the memory completion is a deterministic
+// left-to-right simulation over plan supersteps whose cross-processor
+// coupling is forward-only (the shared blue set only grows, and is only
+// read by later rounds). The engine therefore checkpoints the completion
+// state at every plan-superstep boundary and, per move, recompletes only
+// supersteps >= b, where b is a *provably safe* dirty bound:
+//
+//  * A move edits processor p around position i. Completion decisions
+//    before i on p consult the future only through
+//    effective_next_need(p, v, .) — whose answers, for every node not
+//    touched by the edit, are shifted uniformly (order-preserving), and
+//    for each touched node v (the moved occurrence's node and its
+//    parents) are unchanged for queries before d(v) = (v's last
+//    occurrence-or-use position on p before i) + 1. The eviction policy
+//    (clairvoyant) only *compares* next-need values, so every decision
+//    strictly before min_v d(v) is bitwise reproduced; b is the plan
+//    superstep containing that position.
+//  * save_required(v) is a global property (which processors compute /
+//    consume v); if a move flips it, supersteps from v's earliest
+//    occurrence on are dirty too.
+//  * Moves that change the superstep *structure* (merge / split / a gap
+//    close after a move emptied a superstep) relabel every superstep
+//    >= s but move no occurrence positions — and next-need lookahead is
+//    position-based — so they restart from b = s.
+//
+// Everything the suffix run reuses — boundary caches, blue timestamps,
+// per-slot cost rows, per-proc position indexes — is restored exactly as
+// a from-scratch run of the edited plan would have produced it, so the
+// incremental cost is *bitwise identical* to the full evaluator
+// (evaluate_plan), which remains the oracle: debug builds assert equality
+// after every move, and tests/test_incremental_eval.cpp drives randomized
+// apply/undo sequences against it.
+//
+// Restrictions: the incremental completion path requires the synchronous
+// cost model and the clairvoyant completion policy (the LNS defaults).
+// Other configurations still get in-place apply/undo and incremental
+// validation, but each candidate is costed by the full evaluator.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/holistic/lns.hpp"
+#include "src/model/cost.hpp"
+#include "src/twostage/compute_plan.hpp"
+
+namespace mbsp {
+
+class IncrementalEvaluator {
+ public:
+  IncrementalEvaluator(const MbspInstance& inst, const LnsOptions& options);
+
+  /// Attaches to `plan` (superstep indices must be dense 0..k-1) and fully
+  /// evaluates it. Returns the cost, bitwise equal to evaluate_plan's.
+  double attach(const ComputePlan& plan);
+
+  const ComputePlan& plan() const { return plan_; }
+  PlanOccurrenceIndex& index() { return index_; }
+  /// True when the incremental completion path is active (synchronous
+  /// cost + clairvoyant policy); other configurations cost each
+  /// candidate with the full evaluator, so callers should not batch
+  /// wall-clock polls around finish_move.
+  bool incremental() const { return incremental_; }
+
+  struct Outcome {
+    bool valid = false;
+    double cost = 0;
+  };
+
+  /// Move protocol: begin_move(); apply_op(...) for each edit;
+  /// finish_move() validates and costs the edited plan. After
+  /// finish_move, call exactly one of commit() / rollback().
+  void begin_move();
+  void apply_op(const PlanDeltaOp& op);
+  Outcome finish_move();
+  /// Keeps the applied move; promotes the scratch evaluation state.
+  void commit();
+  /// Undoes the applied move; the plan and all caches return to the
+  /// pre-begin_move state bitwise.
+  void rollback();
+
+  /// Number of supersteps the last finish_move re-derived (the dirty
+  /// suffix; equals the superstep count on full fallbacks). Benches use
+  /// this to report how incremental the search actually is.
+  long last_dirty_supersteps() const { return last_dirty_; }
+
+ private:
+  struct ProcCheckpoint {
+    std::vector<NodeId> cache;  ///< red set at the boundary
+    double weight = 0;          ///< cache weight (historical fp trajectory)
+    // Partial phase-cost accumulators of the straddling slot (the body of
+    // the previous superstep's last round; the next superstep stages into
+    // the same slot).
+    double comp_sum = 0, save_sum = 0, load_sum = 0;
+    char any = 0;
+  };
+  struct Checkpoint {
+    int cur = 0;  ///< straddling slot index at the boundary
+    std::vector<ProcCheckpoint> procs;
+    std::vector<std::int64_t> pos;  ///< per-proc plan position
+  };
+  struct SlotAcc {
+    double comp = 0, save = 0, load = 0;
+    char any = 0;
+  };
+  struct Segment {
+    std::vector<NodeId> loads, pre_saves, pre_deletes, post_saves,
+        post_deletes;
+    std::vector<std::pair<char, NodeId>> ops;  ///< (is_compute, node)
+    std::int64_t count = 0;
+    std::vector<NodeId> final_cache;
+    double final_weight = 0;
+  };
+
+  // -- validation ----------------------------------------------------------
+  bool validate_candidate();
+  bool rescan_proc(int p);
+
+  // -- save_required maintenance ------------------------------------------
+  void bump_occurrence_counts(int p, NodeId v, int delta);
+  bool compute_save_required(NodeId v) const;
+  void refresh_save_required();
+
+  // -- completion ----------------------------------------------------------
+  double evaluate_from(int b);
+  void restore_boundary(int b);
+  void record_checkpoint(int k);
+  bool plan_segment(int p, int superstep);
+  bool run_phases(int p, std::int64_t i0, std::int64_t count);
+  void commit_segment(int p, int superstep);
+  std::int64_t effective_next_need(
+      const PlanOccurrenceIndex::ProcPositions& pp, NodeId v,
+      std::int64_t from) const;
+  int dirty_bound();
+  double finalize_cost();
+  void promote_eval();
+
+  // eval/try-local cache + blue reads (overlay over committed state)
+  bool eval_cache_member(int p, NodeId v) const;
+  void eval_cache_set(int p, NodeId v, bool in);
+  bool eval_blue(NodeId v) const;
+  void eval_blue_set(NodeId v, int step);
+  bool try_member(int p, NodeId v) const;
+  void try_set_member(NodeId v, bool in);
+  bool try_blue(NodeId v) const;
+
+  SlotAcc& slot_acc(int slot, int p);
+
+  const MbspInstance& inst_;
+  const ComputeDag& dag_;
+  LnsOptions options_;
+  bool incremental_;  ///< sync + clairvoyant: full machinery enabled
+  int P_ = 1;
+  std::size_t n_ = 0;
+  double r_ = 0, g_ = 0, L_ = 0;
+
+  ComputePlan plan_;
+  PlanOccurrenceIndex index_;
+
+  // -- committed state -----------------------------------------------------
+  std::vector<long> comp_cnt_, use_cnt_;  // [p * n + v]
+  std::vector<int> comp_proc_count_;      // [v]
+  std::vector<char> save_req_;            // [v]
+  std::vector<int> blue_step_;            // [v]: -1 sources, else first
+                                          // blue superstep, INT_MAX never
+  std::vector<std::vector<NodeId>> blued_in_step_;  // [k]
+  std::vector<SyncStepCost> rows_;
+  std::vector<char> row_empty_;
+  // row_prefix_[i]: the cost accumulator state after folding rows [0..i]
+  // (skipping empties) — finalize_cost resumes from it instead of
+  // rescanning the committed prefix, preserving the exact fp add order.
+  std::vector<SyncCostBreakdown> row_prefix_;
+  std::vector<Checkpoint> checkpoints_;  // [0..K]
+  // Validator: R_[p][v] = min superstep of an occurrence on p that needs v
+  // from another processor (INT_MAX if none); req_nodes_[p] lists v's with
+  // an entry (for sparse resets).
+  std::vector<std::vector<int>> R_, R_scratch_;
+  std::vector<std::vector<NodeId>> req_nodes_, req_nodes_scratch_;
+
+  // -- per-move scratch ----------------------------------------------------
+  bool in_move_ = false;
+  PlanDelta delta_;
+  std::vector<char> proc_touched_;
+  std::vector<int> touched_procs_;
+  std::vector<std::pair<NodeId, int>> ed_before_;  // (node, committed ed)
+  std::vector<NodeId> affected_nodes_;             // counts changed
+  std::vector<std::pair<NodeId, char>> save_req_before_;
+  long last_dirty_ = 0;
+
+  // -- per-eval scratch ----------------------------------------------------
+  int eval_epoch_ = 0;
+  int eval_b_ = 0;
+  std::vector<int> ec_stamp_;  // [p * n + v]
+  std::vector<char> ec_flag_;
+  std::vector<std::vector<NodeId>> ec_list_;
+  std::vector<double> ec_weight_;
+  std::vector<int> eb_stamp_;  // [v] blue overlay
+  std::vector<NodeId> pending_blue_;
+  std::vector<std::pair<NodeId, int>> eval_blued_;
+  std::vector<std::int64_t> pos_;
+  std::vector<SlotAcc> slot_accs_;  // [(slot - first_eval_slot_) * P + p]
+  int first_eval_slot_ = 0;
+  int num_slots_ = 0;
+  int eval_cur_ = 0;  ///< straddling slot index of the running completion
+  std::vector<SyncStepCost> scratch_rows_;  // slots >= first_eval_slot_
+  std::vector<char> scratch_row_empty_;
+  std::vector<Checkpoint> scratch_checkpoints_;  // [b+1 .. K_cand]
+  int scratch_ck_base_ = 0;
+  int cand_supersteps_ = 0;
+
+  // -- per-segment / per-try scratch --------------------------------------
+  int seg_epoch_ = 0;
+  std::vector<int> s_produced_stamp_, s_load_stamp_, s_needed_stamp_;
+  std::vector<NodeId> s_loads_;
+  double s_load_weight_ = 0;
+  int try_epoch_ = 0;
+  std::vector<int> t_stamp_;  // [v] membership overlay stamp
+  std::vector<char> t_flag_;
+  std::vector<int> t_inlist_stamp_;
+  std::vector<int> t_blue_stamp_;
+  std::vector<int> t_hoist_stamp_;
+  std::vector<char> t_hoist_flag_;
+  std::vector<int> t_remneed_stamp_;
+  std::vector<long> t_remneed_;
+  std::vector<NodeId> t_list_;
+  double t_weight_ = 0;
+  Segment cur_seg_, best_seg_;
+  std::vector<NodeId> sorted_members_;
+  int commit_stamp_epoch_ = 0;
+  std::vector<int> commit_stamp_;
+
+  // validator scratch
+  int scan_epoch_ = 0;
+  std::vector<int> scan_stamp_;
+  int affected_epoch_ = 0;
+  std::vector<int> affected_stamp_;
+};
+
+}  // namespace mbsp

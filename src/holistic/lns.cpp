@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "src/holistic/incremental_eval.hpp"
 #include "src/model/cost.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/timer.hpp"
@@ -41,6 +42,13 @@ std::pair<std::size_t, std::size_t> superstep_range(
   return {static_cast<std::size_t>(lo - seq.begin()),
           static_cast<std::size_t>(hi - seq.begin())};
 }
+
+// ---------------------------------------------------------------------------
+// Copy-based move implementations: the historical search kernel, kept
+// verbatim for improve_plan_reference (the differential oracle and the
+// bench_lns_throughput baseline). The delta-based generators further down
+// consume the RNG in exactly the same order, so both loops walk the same
+// trajectory for a fixed seed.
 
 bool move_to_other_proc(ComputePlan& plan, Rng& rng) {
   if (plan.num_procs < 2) return false;
@@ -161,7 +169,195 @@ bool remove_occurrence(const ComputeDag& dag, ComputePlan& plan, Rng& rng) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Delta-based move generators: identical semantics and RNG consumption as
+// the copy-based kernels above, but expressed as reversible PlanDeltaOps
+// applied through the IncrementalEvaluator. Each returns false only
+// before applying any op.
+
+PlanDeltaOp make_insert(int proc, std::size_t pos, PlannedCompute pc) {
+  PlanDeltaOp op;
+  op.kind = PlanDeltaOpKind::kInsert;
+  op.proc = proc;
+  op.pos = pos;
+  op.pc = pc;
+  return op;
+}
+
+PlanDeltaOp make_erase(int proc, std::size_t pos, PlannedCompute pc) {
+  PlanDeltaOp op;
+  op.kind = PlanDeltaOpKind::kErase;
+  op.proc = proc;
+  op.pos = pos;
+  op.pc = pc;
+  return op;
+}
+
+bool gen_move_proc(IncrementalEvaluator& ev, Rng& rng) {
+  const ComputePlan& plan = ev.plan();
+  if (plan.num_procs < 2) return false;
+  const auto ref = random_occurrence(plan, rng);
+  if (!ref) return false;
+  const PlannedCompute pc = plan.seq[ref->proc][ref->index];
+  int q = static_cast<int>(rng.index(plan.num_procs - 1));
+  if (q >= ref->proc) ++q;
+  ev.apply_op(make_erase(ref->proc, ref->index, pc));
+  const auto [lo, hi] = superstep_range(plan.seq[q], pc.superstep);
+  const std::size_t at = lo + rng.index(hi - lo + 1);
+  ev.apply_op(make_insert(q, at, pc));
+  return true;
+}
+
+bool gen_move_superstep(IncrementalEvaluator& ev, Rng& rng) {
+  const ComputePlan& plan = ev.plan();
+  const auto ref = random_occurrence(plan, rng);
+  if (!ref) return false;
+  PlannedCompute pc = plan.seq[ref->proc][ref->index];
+  const int delta = rng.chance(0.5) ? 1 : -1;
+  const int target = pc.superstep + delta;
+  if (target < 0) return false;
+  ev.apply_op(make_erase(ref->proc, ref->index, pc));
+  const auto [lo, hi] = superstep_range(plan.seq[ref->proc], target);
+  pc.superstep = target;
+  const std::size_t at = delta > 0 ? lo : hi;
+  ev.apply_op(make_insert(ref->proc, at, pc));
+  return true;
+}
+
+bool gen_swap_between_procs(IncrementalEvaluator& ev, Rng& rng) {
+  const ComputePlan& plan = ev.plan();
+  if (plan.num_procs < 2) return false;
+  const auto a = random_occurrence(plan, rng);
+  const auto b = random_occurrence(plan, rng);
+  if (!a || !b || a->proc == b->proc) return false;
+  const PlannedCompute pa = plan.seq[a->proc][a->index];
+  const PlannedCompute pb = plan.seq[b->proc][b->index];
+  if (pa.superstep != pb.superstep) return false;
+  PlanDeltaOp op;
+  op.kind = PlanDeltaOpKind::kSetNode;
+  op.proc = a->proc;
+  op.pos = a->index;
+  op.old_node = pa.node;
+  op.pc = {pb.node, pa.superstep};
+  ev.apply_op(op);
+  op.proc = b->proc;
+  op.pos = b->index;
+  op.old_node = pb.node;
+  op.pc = {pa.node, pb.superstep};
+  ev.apply_op(op);
+  return true;
+}
+
+bool gen_merge_supersteps(IncrementalEvaluator& ev, Rng& rng) {
+  const ComputePlan& plan = ev.plan();
+  const int k = plan.num_supersteps();
+  if (k < 2) return false;
+  const int s = static_cast<int>(rng.index(static_cast<std::size_t>(k - 1)));
+  PlanDeltaOp op;
+  op.kind = PlanDeltaOpKind::kMergeStep;
+  op.pc.superstep = s;
+  op.cuts.resize(static_cast<std::size_t>(plan.num_procs));
+  for (int p = 0; p < plan.num_procs; ++p) {
+    op.cuts[static_cast<std::size_t>(p)] =
+        superstep_range(plan.seq[p], s).second;
+  }
+  ev.apply_op(op);
+  return true;
+}
+
+bool gen_split_superstep(IncrementalEvaluator& ev, Rng& rng) {
+  const ComputePlan& plan = ev.plan();
+  const int k = plan.num_supersteps();
+  if (k == 0) return false;
+  const int s = static_cast<int>(rng.index(static_cast<std::size_t>(k)));
+  PlanDeltaOp op;
+  op.kind = PlanDeltaOpKind::kSplitStep;
+  op.pc.superstep = s;
+  op.cuts.resize(static_cast<std::size_t>(plan.num_procs));
+  bool any = false;
+  for (int p = 0; p < plan.num_procs; ++p) {
+    const auto& seq = plan.seq[p];
+    const auto [lo, hi] = superstep_range(seq, s);
+    const std::size_t cut = lo + rng.index(hi - lo + 1);
+    op.cuts[static_cast<std::size_t>(p)] = cut;
+    if (cut < seq.size()) any = true;
+  }
+  if (!any) return false;
+  ev.apply_op(op);
+  return true;
+}
+
+bool gen_add_recompute(const ComputeDag& dag, IncrementalEvaluator& ev,
+                       Rng& rng) {
+  const ComputePlan& plan = ev.plan();
+  const auto ref = random_occurrence(plan, rng);
+  if (!ref) return false;
+  const PlannedCompute pc = plan.seq[ref->proc][ref->index];
+  std::vector<NodeId> candidates;
+  for (NodeId u : dag.parents(pc.node)) {
+    if (dag.is_source(u)) continue;
+    if (!ev.index().has_local_comp_before(ref->proc, u, ref->index)) {
+      candidates.push_back(u);
+    }
+  }
+  if (candidates.empty()) return false;
+  const NodeId u = candidates[rng.index(candidates.size())];
+  ev.apply_op(make_insert(ref->proc, ref->index, {u, pc.superstep}));
+  return true;
+}
+
+bool gen_remove_occurrence(IncrementalEvaluator& ev, Rng& rng) {
+  const ComputePlan& plan = ev.plan();
+  const auto ref = random_occurrence(plan, rng);
+  if (!ref) return false;
+  const PlannedCompute pc = plan.seq[ref->proc][ref->index];
+  if (ev.index().node_count(pc.node) < 2) return false;
+  ev.apply_op(make_erase(ref->proc, ref->index, pc));
+  return true;
+}
+
+int move_class_index(unsigned move) {
+  int index = 0;
+  while ((move >> index) != 1u) ++index;
+  return index;
+}
+
 }  // namespace
+
+const char* lns_move_class_name(int index) {
+  static const char* kNames[kNumMoveClasses] = {
+      "proc", "step", "swap", "merge", "split", "recompute", "drop"};
+  return index >= 0 && index < kNumMoveClasses ? kNames[index] : "?";
+}
+
+bool parse_move_mask(const std::string& spec, unsigned* mask) {
+  unsigned out = 0;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string name = spec.substr(start, end - start);
+    if (name == "all") {
+      out |= kAllMoves;
+    } else if (name == "none" || name.empty()) {
+      // no-op
+    } else {
+      bool found = false;
+      for (int i = 0; i < kNumMoveClasses; ++i) {
+        if (name == lns_move_class_name(i)) {
+          out |= 1u << i;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  *mask = out;
+  return true;
+}
 
 double evaluate_plan(const MbspInstance& inst, const ComputePlan& plan,
                      const LnsOptions& options, MbspSchedule* out) {
@@ -174,8 +370,28 @@ double evaluate_plan(const MbspInstance& inst, const ComputePlan& plan,
   return cost;
 }
 
-LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
-                       const LnsOptions& options) {
+namespace {
+
+/// Enabled move classes under `options` (ablations can disable any
+/// subset; recompute moves additionally require allow_recompute).
+std::vector<unsigned> enabled_moves(const LnsOptions& options) {
+  std::vector<unsigned> moves;
+  for (unsigned m : {kMoveProc, kMoveSuperstep, kSwapProcs, kMergeSupersteps,
+                     kSplitSuperstep, kAddRecompute, kRemoveOccurrence}) {
+    const bool recompute_move = m == kAddRecompute || m == kRemoveOccurrence;
+    if ((options.move_mask & m) != 0 &&
+        (!recompute_move || options.allow_recompute)) {
+      moves.push_back(m);
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+LnsResult improve_plan_reference(const MbspInstance& inst,
+                                 const ComputePlan& initial,
+                                 const LnsOptions& options) {
   LnsResult result;
   result.plan = initial;
   result.initial_cost = evaluate_plan(inst, initial, options, &result.schedule);
@@ -190,23 +406,17 @@ LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
       std::max(1e-9, options.initial_temperature_frac * result.initial_cost);
   const double cooling = 0.9995;
 
-  // Enabled move classes (ablations can disable any subset).
-  std::vector<unsigned> moves;
-  for (unsigned m : {kMoveProc, kMoveSuperstep, kSwapProcs, kMergeSupersteps,
-                     kSplitSuperstep, kAddRecompute, kRemoveOccurrence}) {
-    const bool recompute_move = m == kAddRecompute || m == kRemoveOccurrence;
-    if ((options.move_mask & m) != 0 &&
-        (!recompute_move || options.allow_recompute)) {
-      moves.push_back(m);
-    }
-  }
+  const std::vector<unsigned> moves = enabled_moves(options);
   if (moves.empty()) return result;
 
   while (result.iterations < options.max_iterations && !deadline.expired()) {
     ++result.iterations;
     ComputePlan candidate = current;
+    const unsigned move = moves[rng.index(moves.size())];
+    const int class_index = move_class_index(move);
+    ++result.proposed_by_class[class_index];
     bool changed = false;
-    switch (moves[rng.index(moves.size())]) {
+    switch (move) {
       case kMoveProc: changed = move_to_other_proc(candidate, rng); break;
       case kMoveSuperstep: changed = move_superstep(candidate, rng); break;
       case kSwapProcs: changed = swap_between_procs(candidate, rng); break;
@@ -229,11 +439,100 @@ LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
     temperature = std::max(1e-9, temperature * cooling);
     if (!accept) continue;
     ++result.accepted;
+    ++result.accepted_by_class[class_index];
     current = std::move(candidate);
     current_cost = cost;
     if (cost < result.cost) {
       result.cost = cost;
       result.plan = current;
+    }
+  }
+  // Re-derive the best schedule (plan is stored; completion deterministic).
+  result.cost = evaluate_plan(inst, result.plan, options, &result.schedule);
+  return result;
+}
+
+LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
+                       const LnsOptions& options) {
+  // The incremental engine maintains dense superstep indices as an
+  // invariant; a gappy warm start would change move semantics, so it runs
+  // on the historical loop (whose per-candidate normalization tolerates
+  // gaps) to preserve behavior exactly.
+  if (!has_dense_supersteps(initial)) {
+    return improve_plan_reference(inst, initial, options);
+  }
+
+  LnsResult result;
+  result.plan = initial;
+  result.initial_cost = evaluate_plan(inst, initial, options, &result.schedule);
+  result.cost = result.initial_cost;
+
+  double current_cost = result.initial_cost;
+
+  Rng rng(options.seed);
+  Deadline deadline(options.budget_ms);
+  double temperature =
+      std::max(1e-9, options.initial_temperature_frac * result.initial_cost);
+  const double cooling = 0.9995;
+
+  const std::vector<unsigned> moves = enabled_moves(options);
+  if (moves.empty()) return result;
+
+  IncrementalEvaluator eval(inst, options);
+  eval.attach(initial);
+
+  // The deadline poll leaves the hot loop: the clock is only read every
+  // 256 iterations (iteration counts per poll window stay deterministic).
+  // Batching is only safe where iterations are O(delta)-cheap; the
+  // full-evaluation fallback configurations (async / LRU) poll every
+  // iteration so the budget cannot be overshot by a whole batch.
+  const long poll_mask = eval.incremental() ? 255 : 0;
+  while (result.iterations < options.max_iterations &&
+         ((result.iterations & poll_mask) != 0 || !deadline.expired())) {
+    ++result.iterations;
+    const unsigned move = moves[rng.index(moves.size())];
+    const int class_index = move_class_index(move);
+    ++result.proposed_by_class[class_index];
+    eval.begin_move();
+    bool changed = false;
+    switch (move) {
+      case kMoveProc: changed = gen_move_proc(eval, rng); break;
+      case kMoveSuperstep: changed = gen_move_superstep(eval, rng); break;
+      case kSwapProcs: changed = gen_swap_between_procs(eval, rng); break;
+      case kMergeSupersteps: changed = gen_merge_supersteps(eval, rng); break;
+      case kSplitSuperstep: changed = gen_split_superstep(eval, rng); break;
+      case kAddRecompute:
+        changed = gen_add_recompute(inst.dag, eval, rng);
+        break;
+      case kRemoveOccurrence:
+        changed = gen_remove_occurrence(eval, rng);
+        break;
+    }
+    if (!changed) {
+      eval.rollback();  // no ops applied; resets the move transaction
+      continue;
+    }
+    const IncrementalEvaluator::Outcome out = eval.finish_move();
+    if (!out.valid) {
+      eval.rollback();
+      continue;
+    }
+    const double cost = out.cost;
+    const double delta = cost - current_cost;
+    const bool accept =
+        delta <= 0 || rng.uniform01() < std::exp(-delta / temperature);
+    temperature = std::max(1e-9, temperature * cooling);
+    if (!accept) {
+      eval.rollback();
+      continue;
+    }
+    ++result.accepted;
+    ++result.accepted_by_class[class_index];
+    eval.commit();
+    current_cost = cost;
+    if (cost < result.cost) {
+      result.cost = cost;
+      result.plan = eval.plan();
     }
   }
   // Re-derive the best schedule (plan is stored; completion deterministic).

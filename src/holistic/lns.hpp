@@ -15,8 +15,23 @@
 // re-derived by the clairvoyant completion, and the exact synchronous or
 // asynchronous cost of the resulting schedule is the objective. The
 // returned schedule is therefore never worse than the warm start.
+//
+// ## Hot path
+//
+// improve_plan applies each move *in place* as a reversible PlanDelta and
+// costs it through the IncrementalEvaluator (incremental_eval.hpp): only
+// the supersteps a move dirtied are re-completed and re-costed, the
+// accept path keeps the applied plan (no copy), and the reject path
+// undoes the delta. The historical copy-normalize-validate-recomplete
+// loop is preserved verbatim as improve_plan_reference: it is the
+// bitwise oracle of the differential tests and the baseline of
+// bench_lns_throughput. For a fixed seed and options the two return
+// identical results; debug builds additionally assert, every iteration,
+// that the incremental candidate cost equals the full evaluator's.
 
+#include <array>
 #include <cstdint>
+#include <string>
 
 #include "src/cache/policy.hpp"
 #include "src/holistic/formulation.hpp"  // CostModel
@@ -36,6 +51,17 @@ enum LnsMove : unsigned {
   kRemoveOccurrence = 1u << 6,
   kAllMoves = (1u << 7) - 1,
 };
+
+/// Number of move classes (the bit count of kAllMoves).
+constexpr int kNumMoveClasses = 7;
+
+/// Stable short name of move class index 0..kNumMoveClasses-1 (bit order:
+/// proc, step, swap, merge, split, recompute, drop).
+const char* lns_move_class_name(int index);
+
+/// Parses a comma-separated list of move-class names (or "all") into a
+/// move mask; returns false on an unknown name. Used by CLI ablations.
+bool parse_move_mask(const std::string& spec, unsigned* mask);
 
 struct LnsOptions {
   double budget_ms = 2000;
@@ -58,6 +84,12 @@ struct LnsResult {
   double initial_cost = 0;   ///< cost of the warm start
   long iterations = 0;
   long accepted = 0;
+  /// Per-move-class proposal / acceptance counters, indexed like
+  /// lns_move_class_name. A proposal counts as soon as the class is
+  /// drawn (even if the move generator produced no change); acceptances
+  /// count SA-accepted candidates of that class.
+  std::array<long, kNumMoveClasses> proposed_by_class{};
+  std::array<long, kNumMoveClasses> accepted_by_class{};
 };
 
 /// Evaluates a plan: completes memory and returns the configured cost.
@@ -67,5 +99,13 @@ double evaluate_plan(const MbspInstance& inst, const ComputePlan& plan,
 /// Improves `initial` within the budget. `initial` must pass validate_plan.
 LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
                        const LnsOptions& options);
+
+/// The historical copy-and-reevaluate implementation (every candidate is a
+/// full plan copy, normalized, validated and costed from scratch). Same
+/// results as improve_plan for fixed seed and options; kept as the
+/// differential oracle and as the throughput-bench baseline.
+LnsResult improve_plan_reference(const MbspInstance& inst,
+                                 const ComputePlan& initial,
+                                 const LnsOptions& options);
 
 }  // namespace mbsp

@@ -5,22 +5,37 @@
 
 namespace mbsp {
 
-SyncCostBreakdown sync_cost_breakdown(const MbspInstance& inst,
-                                      const MbspSchedule& sched) {
+std::vector<SyncStepCost> sync_cost_table(const MbspInstance& inst,
+                                          const MbspSchedule& sched) {
   const ComputeDag& dag = inst.dag;
-  SyncCostBreakdown out;
+  std::vector<SyncStepCost> table;
+  table.reserve(sched.steps.size());
   for (const Superstep& step : sched.steps) {
-    double max_comp = 0, max_save = 0, max_load = 0;
+    SyncStepCost row;
     for (const ProcStep& ps : step.proc) {
-      max_comp = std::max(max_comp, ps.compute_cost(dag));
-      max_save = std::max(max_save, ps.save_cost(dag, inst.arch.g));
-      max_load = std::max(max_load, ps.load_cost(dag, inst.arch.g));
+      row.max_compute = std::max(row.max_compute, ps.compute_cost(dag));
+      row.max_save = std::max(row.max_save, ps.save_cost(dag, inst.arch.g));
+      row.max_load = std::max(row.max_load, ps.load_cost(dag, inst.arch.g));
     }
-    out.compute += max_comp;
-    out.io += max_save + max_load;
-    out.sync += inst.arch.L;
+    table.push_back(row);
+  }
+  return table;
+}
+
+SyncCostBreakdown sum_sync_cost_table(const std::vector<SyncStepCost>& table,
+                                      double L) {
+  SyncCostBreakdown out;
+  for (const SyncStepCost& row : table) {
+    out.compute += row.max_compute;
+    out.io += row.max_save + row.max_load;
+    out.sync += L;
   }
   return out;
+}
+
+SyncCostBreakdown sync_cost_breakdown(const MbspInstance& inst,
+                                      const MbspSchedule& sched) {
+  return sum_sync_cost_table(sync_cost_table(inst, sched), inst.arch.L);
 }
 
 double sync_cost(const MbspInstance& inst, const MbspSchedule& sched) {

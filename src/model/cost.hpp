@@ -17,13 +17,35 @@
 
 namespace mbsp {
 
-/// Per-superstep breakdown of the synchronous cost.
+/// One superstep's row of the synchronous cost: the per-phase maxima over
+/// processors. The synchronous objective is separable per superstep, which
+/// is what makes incremental (dirty-superstep) re-costing possible: the
+/// LNS evaluation engine caches these rows and re-derives only the rows a
+/// move invalidated.
+struct SyncStepCost {
+  double max_compute = 0;  ///< max_p compute-phase cost
+  double max_save = 0;     ///< max_p save-phase cost
+  double max_load = 0;     ///< max_p load-phase cost
+};
+
+/// Per-superstep table of the synchronous cost, one row per superstep of
+/// `sched` (in order).
+std::vector<SyncStepCost> sync_cost_table(const MbspInstance& inst,
+                                          const MbspSchedule& sched);
+
+/// Totals of the synchronous cost.
 struct SyncCostBreakdown {
   double compute = 0;  ///< sum of per-superstep max compute-phase costs
   double io = 0;       ///< sum of max save + max load costs
   double sync = 0;     ///< L * number of supersteps
   double total() const { return compute + io + sync; }
 };
+
+/// Folds a per-step table into the three totals (row order preserved, so
+/// the floating-point sums are reproducible: full and incremental
+/// evaluation agree bitwise).
+SyncCostBreakdown sum_sync_cost_table(const std::vector<SyncStepCost>& table,
+                                      double L);
 
 SyncCostBreakdown sync_cost_breakdown(const MbspInstance& inst,
                                       const MbspSchedule& sched);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/cache/policy.hpp"
 #include "src/holistic/lns.hpp"  // CostModel, LnsMove
@@ -57,6 +58,12 @@ struct ScheduleResult {
   double wall_ms = 0;      ///< wall time of run() (excluded from tables)
   std::size_t num_parts = 0;  ///< divide-and-conquer part count (else 0)
   bool optimal = false;    ///< exact solvers: optimum proven
+  /// LNS move statistics (size kNumMoveClasses for LNS runs, else empty):
+  /// proposals / SA acceptances per move class, indexed like
+  /// lns_move_class_name. Ablation benches report acceptance rates from
+  /// these instead of re-deriving them.
+  std::vector<long> lns_proposed;
+  std::vector<long> lns_accepted;
 };
 
 /// Polymorphic scheduler. Implementations are stateless and `run` is

@@ -111,6 +111,10 @@ class LnsAdapter final : public MbspScheduler {
     result.schedule = std::move(lns.schedule);
     result.plan = std::move(lns.plan);
     result.baseline_cost = lns.initial_cost;
+    result.lns_proposed.assign(lns.proposed_by_class.begin(),
+                               lns.proposed_by_class.end());
+    result.lns_accepted.assign(lns.accepted_by_class.begin(),
+                               lns.accepted_by_class.end());
     finalize(inst, options, timer, result);
     return result;
   }
