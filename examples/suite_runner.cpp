@@ -11,6 +11,8 @@
 //                [--L 10] [--cost sync|async] [--budget-ms 1500]
 //                [--moves proc,step,swap,merge,split,recompute,drop|all]
 //                [--lns-budget-ms x]
+//                [--workers K] [--epochs E] [--profile uniform|diverse]
+//                [--free-running]
 //                [--seed 2025] [--threads N] [--wall] [--csv path.csv]
 //
 // Examples:
@@ -19,11 +21,14 @@
 //   suite_runner --dag my.dag --P 1 --schedulers dfs+clairvoyant,exact-pebbler
 //   suite_runner --workload stencil2d:nx=8,ny=8 --workload fft:n=16
 //   suite_runner --schedulers lns --moves proc,swap --lns-budget-ms 500
+//   suite_runner --schedulers lns,lns-portfolio --workers 8 --epochs 4
 //
 // --moves restricts the LNS move classes (ablation sweeps without
 // recompiling); --lns-budget-ms overrides the optimization budget for the
-// LNS-family schedulers (lns / holistic / divide-conquer) only, so a grid
-// can mix fast baselines with a separately-budgeted anytime improver.
+// LNS-family schedulers (lns / lns-portfolio / holistic / divide-conquer)
+// only, so a grid can mix fast baselines with a separately-budgeted
+// anytime improver. --workers / --epochs / --profile / --free-running
+// shape the lns-portfolio scheduler (see docs/CLI.md).
 
 #include <cstdio>
 #include <cstring>
@@ -46,6 +51,8 @@ int usage(const char* argv0) {
                "          [--P n] [--r-factor x] [--g x] [--L x]\n"
                "          [--cost sync|async] [--budget-ms x] [--seed n]\n"
                "          [--moves a,b,...|all] [--lns-budget-ms x]\n"
+               "          [--workers k] [--epochs e]\n"
+               "          [--profile uniform|diverse] [--free-running]\n"
                "          [--max-iterations n] [--threads n] [--wall]\n"
                "          [--csv path.csv]\n",
                argv0);
@@ -114,9 +121,11 @@ int main(int argc, char** argv) {
       batch.scheduler.budget_ms = std::atof(value());
     } else if (arg == "--moves") {
       unsigned mask = 0;
-      if (!parse_move_mask(value(), &mask)) {
+      std::string unknown;
+      if (!parse_move_mask(value(), &mask, &unknown)) {
         std::fprintf(stderr,
-                     "unknown move class in --moves (known: all, none");
+                     "unknown move class '%s' in --moves (known: all, none",
+                     unknown.c_str());
         for (int m = 0; m < kNumMoveClasses; ++m) {
           std::fprintf(stderr, ", %s", lns_move_class_name(m));
         }
@@ -126,6 +135,18 @@ int main(int argc, char** argv) {
       batch.scheduler.move_mask = mask;
     } else if (arg == "--lns-budget-ms") {
       lns_budget_ms = std::atof(value());
+    } else if (arg == "--workers") {
+      batch.scheduler.workers = std::atoi(value());
+    } else if (arg == "--epochs") {
+      batch.scheduler.epochs = std::atoi(value());
+    } else if (arg == "--profile") {
+      if (!parse_portfolio_profile(value(),
+                                   &batch.scheduler.portfolio_profile)) {
+        std::fprintf(stderr, "unknown --profile (uniform | diverse)\n");
+        return 2;
+      }
+    } else if (arg == "--free-running") {
+      batch.scheduler.free_running = true;
     } else if (arg == "--max-iterations") {
       // With --budget-ms 0 this makes runs bit-for-bit reproducible.
       batch.scheduler.max_iterations = std::atol(value());
@@ -201,7 +222,8 @@ int main(int argc, char** argv) {
     for (const MbspInstance& inst : instances) {
       for (const std::string& name : schedulers) {
         SchedulerOptions options = batch.scheduler;
-        if (name == "lns" || name == "holistic" || name == "divide-conquer") {
+        if (name == "lns" || name == "lns-portfolio" || name == "holistic" ||
+            name == "divide-conquer") {
           options.budget_ms = lns_budget_ms;
         }
         specs.push_back({&inst, name, options});

@@ -330,7 +330,8 @@ const char* lns_move_class_name(int index) {
   return index >= 0 && index < kNumMoveClasses ? kNames[index] : "?";
 }
 
-bool parse_move_mask(const std::string& spec, unsigned* mask) {
+bool parse_move_mask(const std::string& spec, unsigned* mask,
+                     std::string* unknown) {
   unsigned out = 0;
   std::size_t start = 0;
   while (start <= spec.size()) {
@@ -350,7 +351,10 @@ bool parse_move_mask(const std::string& spec, unsigned* mask) {
           break;
         }
       }
-      if (!found) return false;
+      if (!found) {
+        if (unknown != nullptr) *unknown = name;
+        return false;
+      }
     }
     if (end == spec.size()) break;
     start = end + 1;

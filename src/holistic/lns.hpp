@@ -59,9 +59,12 @@ constexpr int kNumMoveClasses = 7;
 /// proc, step, swap, merge, split, recompute, drop).
 const char* lns_move_class_name(int index);
 
-/// Parses a comma-separated list of move-class names (or "all") into a
-/// move mask; returns false on an unknown name. Used by CLI ablations.
-bool parse_move_mask(const std::string& spec, unsigned* mask);
+/// Parses a comma-separated list of move-class names (or "all" / "none")
+/// into a move mask; returns false on an unknown name, copying the
+/// offending name into *unknown (when non-null) so CLIs can say which
+/// token was wrong. Used by CLI ablations.
+bool parse_move_mask(const std::string& spec, unsigned* mask,
+                     std::string* unknown = nullptr);
 
 struct LnsOptions {
   double budget_ms = 2000;

@@ -1,0 +1,138 @@
+#pragma once
+// Parallel portfolio LNS: K simulated-annealing LNS workers run
+// concurrently on a ThreadPool (one per improve() call; sized to the
+// worker count by default), each on its own deterministically
+// derived seed (SplitMix64 of the base seed and the worker index) and an
+// optional per-worker move-mask / temperature profile, exchanging the best
+// incumbent plan at fixed iteration-count epochs.
+//
+// ## Epoch model
+//
+// A worker's total iteration budget is divided into `epochs` equal slices.
+// Between slices the portfolio exchanges incumbents: the globally best
+// plan found so far (ties broken by lowest worker index) replaces a
+// worker's current plan whenever it is strictly cheaper, so good moves
+// propagate while the leading worker keeps its own trajectory.
+//
+// Two execution modes:
+//
+//  * Deterministic (default): epochs are synchronous barriers. All K
+//    epoch-slices run in parallel, the exchange happens only after every
+//    worker reached the barrier, and the incumbent scan is ordered by
+//    worker index. The outcome is bitwise reproducible for a fixed
+//    (seed, workers, epochs, profile) — independent of the pool's thread
+//    count and of thread timing — under the repo's reproducibility
+//    convention (budget_ms = 0 plus a finite max_iterations; a wall-clock
+//    budget cuts trajectories by elapsed time and is inherently timing-
+//    dependent, in the portfolio exactly as in improve_plan).
+//  * free_running: no barrier. Each worker runs all its slices back to
+//    back, publishing to / adopting from a mutex-protected shared
+//    incumbent at slice boundaries. Maximum wall-clock throughput, no
+//    run-to-run reproducibility guarantee.
+//
+// With workers = 1 and epochs = 1 both modes degenerate to a verbatim
+// improve_plan call: the result is bitwise identical to single-worker
+// LNS (enforced by tests/test_portfolio.cpp). In every configuration the
+// returned plan is never worse than the warm start, because each slice is
+// an improve_plan run and improve_plan never worsens its input.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/holistic/lns.hpp"
+
+namespace mbsp {
+
+class ThreadPool;
+
+/// Per-worker diversification of the portfolio.
+enum class PortfolioProfile {
+  /// Every worker runs the base LnsOptions; only the seed differs.
+  kUniform,
+  /// Worker 0 keeps the base options (so its first epoch reproduces the
+  /// single-worker run); workers 1.. cycle through hotter / colder
+  /// annealing temperatures and a placement-only move mask.
+  kDiverse,
+};
+
+/// Stable CLI name of a profile ("uniform" / "diverse").
+const char* portfolio_profile_name(PortfolioProfile profile);
+
+/// Parses a profile name; returns false on an unknown name.
+bool parse_portfolio_profile(const std::string& name,
+                             PortfolioProfile* profile);
+
+struct PortfolioOptions {
+  /// Base options of every worker. budget_ms and max_iterations are
+  /// *per-worker* totals; with threads >= workers (the default) the
+  /// workers run concurrently and the portfolio's wall-clock budget
+  /// equals the per-worker budget. With fewer threads, queued workers
+  /// serialize and the wall time grows accordingly.
+  LnsOptions lns;
+  int workers = 4;
+  int epochs = 4;
+  PortfolioProfile profile = PortfolioProfile::kDiverse;
+  /// Relax the deterministic epoch barrier (see file comment).
+  bool free_running = false;
+  /// Pool size; 0 means one thread per worker. The result of the
+  /// deterministic mode does not depend on this.
+  std::size_t threads = 0;
+};
+
+struct PortfolioResult {
+  ComputePlan plan;        ///< best plan found by any worker (or the input)
+  MbspSchedule schedule;   ///< completed schedule of `plan`
+  double cost = 0;         ///< cost of `schedule` under options.lns.cost
+  double initial_cost = 0; ///< cost of the warm start
+  long iterations = 0;     ///< summed over all workers and epochs
+  long accepted = 0;
+  /// Summed per-move-class counters (indexed like lns_move_class_name).
+  std::array<long, kNumMoveClasses> proposed_by_class{};
+  std::array<long, kNumMoveClasses> accepted_by_class{};
+  /// Which worker / epoch produced the returned incumbent (0/0 when the
+  /// warm start was never improved).
+  int best_worker = 0;
+  int best_epoch = 0;
+  /// Final per-worker incumbent costs (size = workers).
+  std::vector<double> worker_costs;
+};
+
+/// The seed of worker `worker`: the base seed itself for worker 0 (so a
+/// one-worker portfolio reproduces improve_plan bitwise), a SplitMix64
+/// derivation for the rest. Exposed so tests and benches can run a
+/// worker's solo trajectory.
+std::uint64_t portfolio_worker_seed(std::uint64_t seed, int worker);
+
+/// The effective LnsOptions of (worker, epoch): derived seed, per-epoch
+/// iteration slice, profile-adjusted temperature / move mask. Exposed for
+/// the solo-run comparisons in tests and bench_portfolio.
+LnsOptions portfolio_worker_options(const PortfolioOptions& options,
+                                    int worker, int epoch);
+
+/// Portfolio LNS driver. Stateless apart from its options; `improve` is
+/// const and may be called concurrently from different threads (each call
+/// spins up its own ThreadPool).
+class PortfolioLns {
+ public:
+  explicit PortfolioLns(PortfolioOptions options);
+
+  /// Improves `initial` (must pass validate_plan) with the configured
+  /// portfolio. Deterministic given (instance, options) in the default
+  /// mode under the budget_ms = 0 convention.
+  PortfolioResult improve(const MbspInstance& inst,
+                          const ComputePlan& initial) const;
+
+  const PortfolioOptions& options() const { return options_; }
+
+ private:
+  PortfolioResult improve_deterministic(const MbspInstance& inst,
+                                        const ComputePlan& initial) const;
+  PortfolioResult improve_free_running(const MbspInstance& inst,
+                                       const ComputePlan& initial) const;
+
+  PortfolioOptions options_;
+};
+
+}  // namespace mbsp

@@ -12,6 +12,7 @@
 
 #include "src/cache/policy.hpp"
 #include "src/holistic/lns.hpp"  // CostModel, LnsMove
+#include "src/holistic/portfolio.hpp"  // PortfolioProfile
 #include "src/model/instance.hpp"
 #include "src/model/schedule.hpp"
 #include "src/twostage/compute_plan.hpp"
@@ -44,6 +45,16 @@ struct SchedulerOptions {
   /// Holistic facade / divide-and-conquer sizing.
   int divide_conquer_threshold = 120;
   int max_part_size = 60;
+
+  /// Portfolio (lns-portfolio) sizing: concurrent LNS workers with
+  /// SplitMix-derived per-worker seeds, exchanging incumbents every
+  /// `epochs`-th slice of the iteration budget. Deterministic by default
+  /// (epoch barriers; reproducible for budget_ms = 0 regardless of thread
+  /// count); free_running trades that for wall-clock throughput.
+  int workers = 4;
+  int epochs = 4;
+  PortfolioProfile portfolio_profile = PortfolioProfile::kDiverse;
+  bool free_running = false;
 };
 
 /// One result row: the schedule plus the metrics every harness reports.

@@ -8,6 +8,7 @@
 #include "src/holistic/divide_conquer.hpp"
 #include "src/holistic/exact_pebbler.hpp"
 #include "src/holistic/formulation.hpp"
+#include "src/holistic/portfolio.hpp"
 #include "src/holistic/scheduler.hpp"
 #include "src/ilp/solver.hpp"
 #include "src/model/cost.hpp"
@@ -115,6 +116,42 @@ class LnsAdapter final : public MbspScheduler {
                                lns.proposed_by_class.end());
     result.lns_accepted.assign(lns.accepted_by_class.begin(),
                                lns.accepted_by_class.end());
+    finalize(inst, options, timer, result);
+    return result;
+  }
+};
+
+/// The parallel portfolio LNS: options.workers concurrent workers with
+/// derived seeds and (per the profile) diversified annealing, exchanging
+/// incumbents at options.epochs deterministic epoch barriers.
+class PortfolioAdapter final : public MbspScheduler {
+ public:
+  std::string name() const override { return "lns-portfolio"; }
+
+  ScheduleResult run(const MbspInstance& inst,
+                     const SchedulerOptions& options) const override {
+    const Timer timer;
+    const ComputePlan initial =
+        options.cold_start
+            ? trivial_plan(inst)
+            : run_baseline(inst, options.warm_start, options.stage1_budget_ms)
+                  .plan;
+    PortfolioOptions portfolio;
+    portfolio.lns = to_lns(options);
+    portfolio.workers = options.workers;
+    portfolio.epochs = options.epochs;
+    portfolio.profile = options.portfolio_profile;
+    portfolio.free_running = options.free_running;
+    PortfolioResult res = PortfolioLns(portfolio).improve(inst, initial);
+    ScheduleResult result;
+    result.scheduler = name();
+    result.schedule = std::move(res.schedule);
+    result.plan = std::move(res.plan);
+    result.baseline_cost = res.initial_cost;
+    result.lns_proposed.assign(res.proposed_by_class.begin(),
+                               res.proposed_by_class.end());
+    result.lns_accepted.assign(res.accepted_by_class.begin(),
+                               res.accepted_by_class.end());
     finalize(inst, options, timer, result);
     return result;
   }
@@ -277,6 +314,7 @@ void register_builtin_schedulers(SchedulerRegistry& registry) {
       "dfs+clairvoyant", BaselineKind::kDfsClairvoyant,
       PolicyKind::kClairvoyant));
   registry.add(std::make_unique<LnsAdapter>());
+  registry.add(std::make_unique<PortfolioAdapter>());
   registry.add(std::make_unique<HolisticAdapter>());
   registry.add(std::make_unique<DivideConquerAdapter>());
   registry.add(std::make_unique<ExactPebbleAdapter>());

@@ -8,6 +8,8 @@
 //   ilp-bsp+clairvoyant  strong two-stage baseline (refined stage 1)
 //   dfs+clairvoyant      P = 1 pebbling two-stage baseline
 //   lns                  holistic LNS improving a (configurable) warm start
+//   lns-portfolio        K-worker parallel portfolio LNS with deterministic
+//                        incumbent exchange at epoch barriers
 //   holistic             the facade: LNS on small DAGs, D&C on large ones
 //   divide-conquer       the divide-and-conquer pipeline, always
 //   exact-pebbler        exact P = 1 red-blue pebbling (small DAGs)
@@ -39,15 +41,21 @@ class SchedulerRegistry {
   /// of that name.
   void add(std::unique_ptr<MbspScheduler> scheduler);
 
+  /// Whether a scheduler of that exact name is registered (read-only,
+  /// thread-safe after registration).
   bool contains(const std::string& name) const;
 
-  /// nullptr when absent.
+  /// Looks a scheduler up by name; nullptr when absent. The returned
+  /// scheduler is stateless: run() is const, thread-safe, and
+  /// deterministic given (instance, options).
   const MbspScheduler* find(const std::string& name) const;
 
-  /// Throws std::out_of_range naming the missing scheduler.
+  /// Like find(), but throws std::out_of_range naming the missing
+  /// scheduler (the CLI-facing lookup).
   const MbspScheduler& at(const std::string& name) const;
 
-  /// All registered names, sorted.
+  /// All registered names, sorted (a deterministic listing regardless of
+  /// registration order).
   std::vector<std::string> names() const;
 
   std::size_t size() const { return schedulers_.size(); }
@@ -61,7 +69,8 @@ class SchedulerRegistry {
 void register_builtin_schedulers(SchedulerRegistry& registry);
 
 /// The trivial cold-start plan: every non-source node on processor 0 in one
-/// superstep, topological order (the LNS ablation's cold start).
+/// superstep, topological order (the LNS ablation's cold start). Pure
+/// function of the instance.
 ComputePlan trivial_plan(const MbspInstance& inst);
 
 }  // namespace mbsp

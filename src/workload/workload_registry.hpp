@@ -35,15 +35,21 @@ class WorkloadRegistry {
   /// Registers `family` under its name(); replaces any previous holder.
   void add(std::unique_ptr<WorkloadFamily> family);
 
+  /// Whether a family of that exact name is registered (read-only,
+  /// thread-safe after registration).
   bool contains(const std::string& name) const;
 
-  /// nullptr when absent.
+  /// Looks a family up by name; nullptr when absent. Families are
+  /// stateless: generate() is const, thread-safe, and deterministic given
+  /// (params, rng state).
   const WorkloadFamily* find(const std::string& name) const;
 
-  /// Throws std::out_of_range naming the missing family.
+  /// Like find(), but throws std::out_of_range naming the missing family
+  /// (the CLI-facing lookup).
   const WorkloadFamily& at(const std::string& name) const;
 
-  /// All registered names, sorted.
+  /// All registered names, sorted (a deterministic listing regardless of
+  /// registration order).
   std::vector<std::string> names() const;
 
   std::size_t size() const { return families_.size(); }

@@ -304,6 +304,19 @@ TEST(IncrementalEval, MoveMaskParsing) {
   EXPECT_FALSE(parse_move_mask("bogus", &mask));
 }
 
+TEST(IncrementalEval, MoveMaskParseErrorNamesUnknownToken) {
+  unsigned mask = 0;
+  std::string unknown;
+  EXPECT_FALSE(parse_move_mask("bogus", &mask, &unknown));
+  EXPECT_EQ(unknown, "bogus");
+  // The first unknown token of a mixed list is the one reported.
+  EXPECT_FALSE(parse_move_mask("proc,stepp,swap", &mask, &unknown));
+  EXPECT_EQ(unknown, "stepp");
+  // A trailing comma parses as an empty (ignored) item, not an error.
+  EXPECT_TRUE(parse_move_mask("proc,", &mask, &unknown));
+  EXPECT_EQ(mask, kMoveProc);
+}
+
 TEST(IncrementalEval, SyncCostTableMatchesBreakdown) {
   const MbspInstance inst = workload_instance(kFamilies[2]);
   const TwoStageResult base =

@@ -33,12 +33,12 @@ TEST(Registry, ListsAllBuiltinSchedulers) {
   const std::vector<std::string> names = SchedulerRegistry::global().names();
   for (const char* expected :
        {"bspg+clairvoyant", "bspg+lru", "cilk+lru", "ilp-bsp+clairvoyant",
-        "dfs+clairvoyant", "lns", "holistic", "divide-conquer",
-        "exact-pebbler", "ilp"}) {
+        "dfs+clairvoyant", "lns", "lns-portfolio", "holistic",
+        "divide-conquer", "exact-pebbler", "ilp"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected << " missing from registry";
   }
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 11u);
 }
 
 TEST(Registry, FindAndAt) {

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Fails on broken intra-repo markdown links (files and heading anchors).
+
+Scans every tracked *.md file (excluding build directories), extracts
+inline markdown links, and verifies that every non-external target
+resolves: the referenced file exists relative to the linking file, and a
+`#fragment` (same-file or cross-file) matches a GitHub-style heading slug
+in the target. External schemes (http/https/mailto) are ignored — CI
+must not fail on someone else's outage.
+
+Usage: tools/check_md_links.py [repo-root]   (exit 1 on any broken link)
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {"build", "build-asan", ".git", "_deps", "html"}
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor algorithm: strip formatting, lowercase, drop
+    punctuation, spaces to hyphens."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(path: str):
+    """(line number, target) pairs of inline links outside code fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def heading_slugs(path: str):
+    slugs = set()
+    seen = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                slug = github_slug(match.group(1))
+                count = seen.get(slug, 0)
+                seen[slug] = count + 1
+                slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for md in markdown_files(root):
+        rel_md = os.path.relpath(md, root)
+        for lineno, target in links_in(md):
+            if target.startswith(EXTERNAL) or target.startswith("<"):
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part))
+            else:
+                resolved = md  # same-file anchor
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_md}:{lineno}: broken link '{target}' "
+                              f"(no such file {path_part})")
+                continue
+            if fragment and resolved.endswith(".md"):
+                if fragment not in heading_slugs(resolved):
+                    errors.append(f"{rel_md}:{lineno}: broken anchor "
+                                  f"'#{fragment}' in '{target}'")
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} intra-repo links, {len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
