@@ -9,13 +9,18 @@
 //   corpus hash <file-or-spec> ...
 //   corpus convert <in> <out> [--text | --binary]
 //   corpus sweep --workload spec [--workload spec ...]
+//               [--machine spec ...] [--list-machines]
 //               [--schedulers a,b,...] [--P n] [--r-factor x] [--g x]
 //               [--L x] [--cost sync|async] [--seed n] [--budget-ms x]
 //               [--max-iterations n] [--threads n] [--wall] [--csv path]
 //
 // Specs are `family` or `family:key=value,...` (see `corpus describe`).
-// Sweeps default to budget_ms = 0 with a finite iteration cap, so the
-// result table is bitwise identical for any thread count and machine.
+// `--machine` runs every workload on each named machine model (shared
+// grammar, see docs/MACHINES.md; `sweep --list-machines` lists the
+// registered kinds); without it the legacy --P/--r-factor/--g/--L flags
+// build one ad-hoc uniform machine. Sweeps default to budget_ms = 0 with
+// a finite iteration cap, so the result table is bitwise identical for
+// any thread count and machine.
 //
 // Examples:
 //   corpus generate stencil2d:nx=16,ny=16,steps=4 -o stencil.dag --binary
@@ -49,6 +54,7 @@ int usage() {
       "  hash <file-or-spec> ...      canonical instance hashes\n"
       "  convert <in> <out> [--text | --binary]\n"
       "  sweep --workload spec [--workload spec ...]\n"
+      "        [--machine spec ...] [--list-machines]\n"
       "        [--schedulers a,b,...] [--P n] [--r-factor x] [--g x]\n"
       "        [--L x] [--cost sync|async] [--seed n] [--budget-ms x]\n"
       "        [--max-iterations n] [--threads n] [--wall] [--csv path]\n");
@@ -218,6 +224,7 @@ int cmd_convert(int argc, char** argv) {
 
 int cmd_sweep(int argc, char** argv) {
   std::vector<std::string> workloads;
+  std::vector<std::string> machines;
   std::vector<std::string> schedulers{"bspg+clairvoyant", "cilk+lru",
                                       "holistic"};
   std::string csv_path;
@@ -241,6 +248,13 @@ int cmd_sweep(int argc, char** argv) {
     };
     if (arg == "--workload") {
       workloads.push_back(value());
+    } else if (arg == "--machine") {
+      machines.push_back(value());
+    } else if (arg == "--list-machines") {
+      for (const std::string& name : MachineRegistry::global().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
     } else if (arg == "--schedulers") {
       schedulers = split_csv(value());
     } else if (arg == "--P") {
@@ -285,29 +299,56 @@ int cmd_sweep(int argc, char** argv) {
     }
   }
   std::vector<MbspInstance> instances;
-  instances.reserve(workloads.size());
+  instances.reserve(workloads.size() * std::max<std::size_t>(
+                                           1, machines.size()));
   for (const std::string& spec : workloads) {
+    if (machines.empty()) {
+      std::string error;
+      auto inst = WorkloadRegistry::global().make_instance(spec, seed, P,
+                                                           r_factor, g, L,
+                                                           &error);
+      if (!inst) {
+        std::fprintf(stderr, "cannot generate '%s': %s\n", spec.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      instances.push_back(std::move(*inst));
+      continue;
+    }
+    // One instance per (workload, machine): the DAG is generated once and
+    // sized per machine from its own min_memory_r0.
     std::string error;
-    auto inst = WorkloadRegistry::global().make_instance(spec, seed, P,
-                                                         r_factor, g, L,
-                                                         &error);
-    if (!inst) {
+    auto dag = WorkloadRegistry::global().make_dag(spec, seed, &error);
+    if (!dag) {
       std::fprintf(stderr, "cannot generate '%s': %s\n", spec.c_str(),
                    error.c_str());
       return 1;
     }
-    instances.push_back(std::move(*inst));
+    const double r0 = min_memory_r0(*dag);
+    for (const std::string& machine_spec : machines) {
+      auto machine = MachineRegistry::global().make_machine(machine_spec, r0,
+                                                            &error);
+      if (!machine) {
+        std::fprintf(stderr, "bad --machine '%s': %s\n", machine_spec.c_str(),
+                     error.c_str());
+        return 2;
+      }
+      instances.push_back({*dag, std::move(*machine)});
+    }
   }
   const std::vector<BatchCell> cells =
       BatchRunner(batch).run_grid(instances, schedulers);
   const Table table = batch_table(cells, wall, /*include_hash=*/true);
-  std::fputs(table
-                 .to_text("corpus sweep: " +
-                          std::to_string(instances.size()) + " workloads x " +
-                          std::to_string(schedulers.size()) + " schedulers" +
-                          " (P=" + std::to_string(P) + ")")
-                 .c_str(),
-             stdout);
+  const std::string title =
+      machines.empty()
+          ? "corpus sweep: " + std::to_string(instances.size()) +
+                " workloads x " + std::to_string(schedulers.size()) +
+                " schedulers (P=" + std::to_string(P) + ")"
+          : "corpus sweep: " + std::to_string(workloads.size()) +
+                " workloads x " + std::to_string(machines.size()) +
+                " machines x " + std::to_string(schedulers.size()) +
+                " schedulers";
+  std::fputs(table.to_text(title).c_str(), stdout);
   if (!csv_path.empty() && !table.write_csv(csv_path)) {
     std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
     return 1;

@@ -4,9 +4,10 @@
 // grid is data: adding a scheduler to the registry makes it available here
 // with no code changes.
 //
-//   suite_runner --list | --list-workloads
+//   suite_runner --list | --list-workloads | --list-machines
 //   suite_runner [--schedulers a,b,...] [--dataset tiny|small]
 //                [--dag file.dag ...] [--workload spec ...]
+//                [--machine spec ...]
 //                [--P 4] [--r-factor 3] [--g 1]
 //                [--L 10] [--cost sync|async] [--budget-ms 1500]
 //                [--moves proc,step,swap,merge,split,recompute,drop|all]
@@ -22,6 +23,13 @@
 //   suite_runner --workload stencil2d:nx=8,ny=8 --workload fft:n=16
 //   suite_runner --schedulers lns --moves proc,swap --lns-budget-ms 500
 //   suite_runner --schedulers lns,lns-portfolio --workers 8 --epochs 4
+//   suite_runner --workload fft:n=16 --machine uniform:P=8 \
+//                --machine "numa:groups=2x4,gin=1,gout=4"
+//
+// --machine runs every instance on each named machine model (see
+// docs/MACHINES.md and --list-machines); without it the legacy
+// --P/--r-factor/--g/--L flags build one ad-hoc uniform machine. The
+// result table gains a machine column whenever --machine is used.
 //
 // --moves restricts the LNS move classes (ablation sweeps without
 // recompiling); --lns-budget-ms overrides the optimization budget for the
@@ -45,9 +53,10 @@ using mbsp::cli::split_csv;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--list] [--list-workloads] [--schedulers a,b,...]\n"
+               "usage: %s [--list] [--list-workloads] [--list-machines]\n"
+               "          [--schedulers a,b,...]\n"
                "          [--dataset tiny|small] [--dag file ...]\n"
-               "          [--workload spec ...]\n"
+               "          [--workload spec ...] [--machine spec ...]\n"
                "          [--P n] [--r-factor x] [--g x] [--L x]\n"
                "          [--cost sync|async] [--budget-ms x] [--seed n]\n"
                "          [--moves a,b,...|all] [--lns-budget-ms x]\n"
@@ -68,6 +77,7 @@ int main(int argc, char** argv) {
   std::string dataset = "tiny";
   std::vector<std::string> dag_files;
   std::vector<std::string> workload_specs;
+  std::vector<std::string> machine_specs;
   std::string csv_path;
   int P = 4;
   double r_factor = 3.0, g = 1.0, L = 10.0;
@@ -96,6 +106,13 @@ int main(int argc, char** argv) {
         std::printf("%s\n", name.c_str());
       }
       return 0;
+    } else if (arg == "--list-machines") {
+      for (const std::string& name : MachineRegistry::global().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--machine") {
+      machine_specs.push_back(value());
     } else if (arg == "--schedulers") {
       schedulers = split_csv(value());
     } else if (arg == "--dataset") {
@@ -207,11 +224,31 @@ int main(int argc, char** argv) {
   }
 
   std::vector<MbspInstance> instances;
-  instances.reserve(dags.size());
-  for (ComputeDag& dag : dags) {
-    const double r0 = min_memory_r0(dag);
-    instances.push_back(
-        {std::move(dag), Architecture::make(P, r_factor * r0, g, L)});
+  if (machine_specs.empty()) {
+    instances.reserve(dags.size());
+    for (ComputeDag& dag : dags) {
+      const double r0 = min_memory_r0(dag);
+      instances.push_back(
+          {std::move(dag), Architecture::make(P, r_factor * r0, g, L)});
+    }
+  } else {
+    // One instance per (DAG, machine): each DAG runs on every named
+    // machine model, sized from its own min_memory_r0.
+    instances.reserve(dags.size() * machine_specs.size());
+    for (const ComputeDag& dag : dags) {
+      const double r0 = min_memory_r0(dag);
+      for (const std::string& spec : machine_specs) {
+        std::string error;
+        auto machine = MachineRegistry::global().make_machine(spec, r0,
+                                                              &error);
+        if (!machine) {
+          std::fprintf(stderr, "bad --machine '%s': %s\n", spec.c_str(),
+                       error.c_str());
+          return 2;
+        }
+        instances.push_back({dag, std::move(*machine)});
+      }
+    }
   }
 
   std::vector<BatchCell> cells;
@@ -234,13 +271,15 @@ int main(int argc, char** argv) {
     cells = BatchRunner(batch).run_grid(instances, schedulers);
   }
   const Table table = batch_table(cells, wall);
-  std::fputs(table
-                 .to_text("suite: " + std::to_string(instances.size()) +
-                          " instances x " +
-                          std::to_string(schedulers.size()) + " schedulers" +
-                          " (P=" + std::to_string(P) + ")")
-                 .c_str(),
-             stdout);
+  const std::string title =
+      machine_specs.empty()
+          ? "suite: " + std::to_string(instances.size()) + " instances x " +
+                std::to_string(schedulers.size()) + " schedulers (P=" +
+                std::to_string(P) + ")"
+          : "suite: " + std::to_string(dags.size()) + " instances x " +
+                std::to_string(machine_specs.size()) + " machines x " +
+                std::to_string(schedulers.size()) + " schedulers";
+  std::fputs(table.to_text(title).c_str(), stdout);
   if (!csv_path.empty() && !table.write_csv(csv_path)) {
     std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
     return 1;

@@ -24,8 +24,14 @@
 #include "src/graph/topology.hpp"
 
 // -- The MBSP model ---------------------------------------------------------
-// MbspInstance = ComputeDag + Architecture (P processors, r memory, g, L).
+// MbspInstance = ComputeDag + Machine (P processors, r memory, g, L —
+// optionally per-processor speeds/memories and NUMA-style comm groups).
 #include "src/model/instance.hpp"
+// Shared `head:key=value,...` spec grammar (workload + machine specs).
+#include "src/model/spec.hpp"
+// Name -> machine-kind registry (uniform / hetero / numa specs; canonical
+// names key batch cells; see docs/MACHINES.md).
+#include "src/model/machine_registry.hpp"
 // MbspSchedule: per-processor superstep streams of compute/load/save steps.
 #include "src/model/schedule.hpp"
 // validate(): full feasibility audit of a schedule; pure function.

@@ -123,10 +123,31 @@ DivideConquerResult divide_conquer_schedule(
       SubProblem sub = make_subproblem(dag, parts[q]);
       for (int k = 0; k < alloc[i]; ++k) sub.procs.push_back(next_proc++);
 
-      MbspInstance sub_inst{sub.dag,
-                            Architecture{static_cast<int>(sub.procs.size()),
-                                         inst.arch.fast_memory, inst.arch.g,
-                                         inst.arch.L}};
+      // The sub-machine keeps each assigned processor's speed, capacity
+      // and comm group (groups renumbered dense in first-appearance
+      // order), so part-local LNS optimizes against the true hardware.
+      Architecture sub_arch =
+          Architecture::make(static_cast<int>(sub.procs.size()),
+                             inst.arch.fast_memory, inst.arch.g, inst.arch.L);
+      if (!inst.arch.is_uniform()) {
+        sub_arch.g_in = inst.arch.g_in;
+        sub_arch.g_out = inst.arch.g_out;
+        sub_arch.L_group = inst.arch.L_group;
+        std::vector<int> dense_group(
+            static_cast<std::size_t>(inst.arch.num_groups()), -1);
+        int next_group = 0;
+        for (int gp : sub.procs) {
+          sub_arch.speeds.push_back(inst.arch.speed(gp));
+          sub_arch.memories.push_back(inst.arch.memory(gp));
+          if (!inst.arch.group_of.empty()) {
+            int& dense = dense_group[static_cast<std::size_t>(
+                inst.arch.group(gp))];
+            if (dense < 0) dense = next_group++;
+            sub_arch.group_of.push_back(dense);
+          }
+        }
+      }
+      MbspInstance sub_inst{sub.dag, std::move(sub_arch)};
       // Warm start: greedy two-stage on the subproblem, then LNS.
       GreedyBspScheduler greedy;
       const BspSchedule bsp = greedy.schedule(sub_inst.dag, sub_inst.arch);

@@ -24,9 +24,50 @@ IncrementalEvaluator::IncrementalEvaluator(const MbspInstance& inst,
                    options.completion_policy == PolicyKind::kClairvoyant),
       P_(inst.arch.num_processors),
       n_(static_cast<std::size_t>(inst.dag.num_nodes())),
-      r_(inst.arch.fast_memory),
       g_(inst.arch.g),
-      L_(inst.arch.L) {}
+      L_(inst.arch.sync_L()),
+      single_group_(inst.arch.group_of.empty()),
+      g_in_(inst.arch.g_in),
+      g_out_(inst.arch.g_out) {
+  mem_.resize(static_cast<std::size_t>(P_));
+  speed_.resize(static_cast<std::size_t>(P_));
+  grp_.resize(static_cast<std::size_t>(P_));
+  for (int p = 0; p < P_; ++p) {
+    mem_[static_cast<std::size_t>(p)] = inst.arch.memory(p);
+    speed_[static_cast<std::size_t>(p)] = inst.arch.speed(p);
+    grp_[static_cast<std::size_t>(p)] = inst.arch.group(p);
+  }
+}
+
+// Home groups mirror blue timestamps: committed entries are valid exactly
+// when the blue timestamp is committed-visible, the per-eval overlay is
+// epoch-stamped, and assignment happens at the value's first save in
+// blue-visibility order — which equals the oracle's slot-scan order for
+// every schedule the completion can produce (post-saves of a round are
+// priced at the round's drain so a same-round earlier-slot pre-save can
+// still claim the home first).
+
+int IncrementalEvaluator::eval_home(NodeId v) const {
+  if (eh_stamp_[static_cast<std::size_t>(v)] == eval_epoch_) {
+    return eval_home_ov_[static_cast<std::size_t>(v)];
+  }
+  if (blue_step_[static_cast<std::size_t>(v)] < eval_b_) {
+    return home_group_[static_cast<std::size_t>(v)];
+  }
+  return -1;
+}
+
+void IncrementalEvaluator::eval_assign_home(NodeId v, int grp) {
+  if (single_group_ || eval_home(v) >= 0) return;
+  eh_stamp_[static_cast<std::size_t>(v)] = eval_epoch_;
+  eval_home_ov_[static_cast<std::size_t>(v)] = grp;
+  eval_homes_.push_back({v, grp});
+}
+
+double IncrementalEvaluator::comm_cost(int p, int home) const {
+  if (single_group_) return g_;
+  return home == grp_[static_cast<std::size_t>(p)] ? g_in_ : g_out_;
+}
 
 double IncrementalEvaluator::attach(const ComputePlan& plan) {
   plan_ = plan;
@@ -80,6 +121,10 @@ double IncrementalEvaluator::attach(const ComputePlan& plan) {
   for (NodeId v = 0; v < static_cast<NodeId>(n_); ++v) {
     if (dag_.is_source(v)) blue_step_[static_cast<std::size_t>(v)] = -1;
   }
+  home_group_.assign(n_, -1);
+  eh_stamp_.assign(n_, 0);
+  eval_home_ov_.assign(n_, -1);
+  eval_homes_.clear();
   blued_in_step_.clear();
   rows_.clear();
   row_empty_.clear();
@@ -553,6 +598,7 @@ void IncrementalEvaluator::restore_boundary(int b) {
   }
   pending_blue_.clear();
   eval_blued_.clear();
+  eval_homes_.clear();
   scratch_checkpoints_.clear();
   scratch_ck_base_ = b + 1;
 }
@@ -608,8 +654,18 @@ double IncrementalEvaluator::evaluate_from(int b) {
         (void)planned;
         commit_segment(p, k);
       }
-      // post_saves become loadable from the next round on.
-      for (NodeId v : pending_blue_) eval_blue_set(v, k);
+      // post_saves become loadable from the next round on. Their transfer
+      // price is also settled here, not at commit time: a later processor
+      // of the *same* round can pre-save the value into the earlier slot
+      // and claim its home group first (matching the oracle's slot-scan
+      // home rule); by drain time every earlier save has been processed,
+      // so the home consulted below is final.
+      for (const auto& [v, p] : pending_blue_) {
+        eval_assign_home(v, grp_[static_cast<std::size_t>(p)]);
+        slot_acc(eval_cur_ + 1, p).save +=
+            comm_cost(p, eval_home(v)) * dag_.mu(v);
+        eval_blue_set(v, k);
+      }
       pending_blue_.clear();
       ++eval_cur_;
     }
@@ -717,7 +773,8 @@ bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
   };
 
   // Phase A: upfront evictions so start cache + loads fit.
-  while (t_weight_ + s_load_weight_ > r_ + kMemEps) {
+  const double r_p = mem_[static_cast<std::size_t>(p)];
+  while (t_weight_ + s_load_weight_ > r_p + kMemEps) {
     const NodeId victim = choose_victim(
         [&](NodeId v) {
           return s_needed_stamp_[static_cast<std::size_t>(v)] != seg_epoch_;
@@ -782,7 +839,7 @@ bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
     const NodeId v = seq[static_cast<std::size_t>(i0 + j)].node;
     const std::int64_t gpos = i0 + j;
     if (!try_member(p, v)) {
-      while (t_weight_ + dag_.mu(v) > r_ + kMemEps) {
+      while (t_weight_ + dag_.mu(v) > r_p + kMemEps) {
         const NodeId victim = choose_victim(
             [&](NodeId c) {
               if (remneed(c) > 0) return false;  // still a parent here
@@ -859,8 +916,16 @@ bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
 void IncrementalEvaluator::commit_segment(int p, int superstep) {
   const Segment& seg = best_seg_;
   SlotAcc& stage = slot_acc(eval_cur_, p);
-  for (NodeId v : seg.pre_saves) stage.save += g_ * dag_.mu(v);
-  for (NodeId v : seg.loads) stage.load += g_ * dag_.mu(v);
+  for (NodeId v : seg.pre_saves) {
+    // A pre-save is the slot-order-first save of a not-yet-blue value on
+    // this processor's slot, so it may claim the home group.
+    eval_assign_home(v, grp_[static_cast<std::size_t>(p)]);
+    stage.save += comm_cost(p, eval_home(v)) * dag_.mu(v);
+  }
+  for (NodeId v : seg.loads) {
+    // Loads require blue, so the home (if any) is already final.
+    stage.load += comm_cost(p, eval_home(v)) * dag_.mu(v);
+  }
   if (!seg.pre_saves.empty() || !seg.pre_deletes.empty() ||
       !seg.loads.empty()) {
     stage.any = 1;
@@ -869,7 +934,8 @@ void IncrementalEvaluator::commit_segment(int p, int superstep) {
   for (const auto& [is_compute, v] : seg.ops) {
     if (is_compute) body.comp += dag_.omega(v);
   }
-  for (NodeId v : seg.post_saves) body.save += g_ * dag_.mu(v);
+  // post_saves are priced at the round drain (see evaluate_from), where
+  // their home groups are final.
   if (!seg.ops.empty() || !seg.post_saves.empty() ||
       !seg.post_deletes.empty()) {
     body.any = 1;
@@ -890,7 +956,7 @@ void IncrementalEvaluator::commit_segment(int p, int superstep) {
   ec_weight_[static_cast<std::size_t>(p)] = seg.final_weight;
   pos_[static_cast<std::size_t>(p)] += seg.count;
   for (NodeId v : seg.pre_saves) eval_blue_set(v, superstep);
-  for (NodeId v : seg.post_saves) pending_blue_.push_back(v);
+  for (NodeId v : seg.post_saves) pending_blue_.push_back({v, p});
 }
 
 double IncrementalEvaluator::finalize_cost() {
@@ -901,7 +967,12 @@ double IncrementalEvaluator::finalize_cost() {
     char any = 0;
     for (int p = 0; p < P_; ++p) {
       const SlotAcc& acc = slot_acc(slot, p);
-      row.max_compute = std::max(row.max_compute, acc.comp);
+      // Raw work sums are divided by the processor speed only here, in
+      // the same order as the full evaluator (uniform: / 1.0, bitwise
+      // identity).
+      row.max_compute =
+          std::max(row.max_compute,
+                   acc.comp / speed_[static_cast<std::size_t>(p)]);
       row.max_save = std::max(row.max_save, acc.save);
       row.max_load = std::max(row.max_load, acc.load);
       any |= acc.any;
@@ -962,6 +1033,11 @@ void IncrementalEvaluator::promote_eval() {
   for (const auto& [v, k] : eval_blued_) {
     blue_step_[static_cast<std::size_t>(v)] = k;
     blued_in_step_[static_cast<std::size_t>(k)].push_back(v);
+  }
+  // Home groups ride on the blue timestamps: entries dropped above are
+  // invalidated by their blue reset; the new suffix installs its own.
+  for (const auto& [v, grp] : eval_homes_) {
+    home_group_[static_cast<std::size_t>(v)] = grp;
   }
 }
 

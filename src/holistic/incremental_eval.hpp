@@ -41,6 +41,21 @@
 // after every move, and tests/test_incremental_eval.cpp drives randomized
 // apply/undo sequences against it.
 //
+// ## Heterogeneous machines
+//
+// The engine prices per-processor compute speeds, per-processor memory
+// capacities and two-level communication groups (docs/MACHINES.md)
+// natively: per-slot accumulators keep *raw* per-processor work sums
+// (speed division happens once, at row-fold time, in the same order as
+// the full evaluator), transfer ops are priced per operation against the
+// value's home group, and home assignments (group of the first saver)
+// are tracked exactly like blue timestamps — committed per superstep,
+// overlaid per evaluation, restored bitwise on rollback. Completion
+// *decisions* depend only on capacities (static per processor), so the
+// dirty-bound proof is untouched; homes and speeds only reprice rows the
+// move already re-derives. On uniform machines every factor degenerates
+// to the historical scalars and results are bitwise unchanged.
+//
 // Restrictions: the incremental completion path requires the synchronous
 // cost model and the clairvoyant completion policy (the LNS defaults).
 // Other configurations still get in-place apply/undo and incremental
@@ -155,13 +170,23 @@ class IncrementalEvaluator {
 
   SlotAcc& slot_acc(int slot, int p);
 
+  // -- home-group bookkeeping (heterogeneous comm groups) ------------------
+  int eval_home(NodeId v) const;
+  void eval_assign_home(NodeId v, int grp);
+  double comm_cost(int p, int home) const;
+
   const MbspInstance& inst_;
   const ComputeDag& dag_;
   LnsOptions options_;
   bool incremental_;  ///< sync + clairvoyant: full machinery enabled
   int P_ = 1;
   std::size_t n_ = 0;
-  double r_ = 0, g_ = 0, L_ = 0;
+  double g_ = 0, L_ = 0;
+  bool single_group_ = true;
+  double g_in_ = 0, g_out_ = 0;
+  std::vector<double> mem_;    ///< per-proc capacity
+  std::vector<double> speed_;  ///< per-proc speed (divisor at row fold)
+  std::vector<int> grp_;       ///< per-proc comm group
 
   ComputePlan plan_;
   PlanOccurrenceIndex index_;
@@ -172,6 +197,8 @@ class IncrementalEvaluator {
   std::vector<char> save_req_;            // [v]
   std::vector<int> blue_step_;            // [v]: -1 sources, else first
                                           // blue superstep, INT_MAX never
+  std::vector<int> home_group_;           // [v]: first saver's group; valid
+                                          // exactly when blue_step_ is
   std::vector<std::vector<NodeId>> blued_in_step_;  // [k]
   std::vector<SyncStepCost> rows_;
   std::vector<char> row_empty_;
@@ -204,8 +231,11 @@ class IncrementalEvaluator {
   std::vector<std::vector<NodeId>> ec_list_;
   std::vector<double> ec_weight_;
   std::vector<int> eb_stamp_;  // [v] blue overlay
-  std::vector<NodeId> pending_blue_;
+  std::vector<int> eh_stamp_;  // [v] home overlay (set at first save)
+  std::vector<int> eval_home_ov_;  // [v] overlay home group
+  std::vector<std::pair<NodeId, int>> pending_blue_;  // (node, saver proc)
   std::vector<std::pair<NodeId, int>> eval_blued_;
+  std::vector<std::pair<NodeId, int>> eval_homes_;  // (node, home group)
   std::vector<std::int64_t> pos_;
   std::vector<SlotAcc> slot_accs_;  // [(slot - first_eval_slot_) * P + p]
   int first_eval_slot_ = 0;

@@ -5,17 +5,63 @@
 
 namespace mbsp {
 
+std::vector<int> home_groups(const MbspInstance& inst,
+                             const MbspSchedule& sched) {
+  std::vector<int> home(static_cast<std::size_t>(inst.dag.num_nodes()), -1);
+  const Machine& m = inst.arch;
+  for (const Superstep& step : sched.steps) {
+    for (std::size_t p = 0; p < step.proc.size(); ++p) {
+      for (NodeId v : step.proc[p].saves) {
+        if (home[static_cast<std::size_t>(v)] < 0) {
+          home[static_cast<std::size_t>(v)] = m.group(static_cast<int>(p));
+        }
+      }
+    }
+  }
+  return home;
+}
+
 std::vector<SyncStepCost> sync_cost_table(const MbspInstance& inst,
                                           const MbspSchedule& sched) {
   const ComputeDag& dag = inst.dag;
   std::vector<SyncStepCost> table;
   table.reserve(sched.steps.size());
+  if (inst.arch.is_uniform()) {
+    // The paper's machine — the historical path, preserved verbatim.
+    for (const Superstep& step : sched.steps) {
+      SyncStepCost row;
+      for (const ProcStep& ps : step.proc) {
+        row.max_compute = std::max(row.max_compute, ps.compute_cost(dag));
+        row.max_save = std::max(row.max_save, ps.save_cost(dag, inst.arch.g));
+        row.max_load = std::max(row.max_load, ps.load_cost(dag, inst.arch.g));
+      }
+      table.push_back(row);
+    }
+    return table;
+  }
+  // Heterogeneous machine: per-processor speed scaling, per-operation
+  // group-aware transfer costs against the home assignment. The home of a
+  // value is fixed by its first save, which always precedes every load of
+  // it (validity), so a single upfront pass prices every transfer exactly
+  // as an in-order scan would.
+  const Machine& m = inst.arch;
+  const std::vector<int> home = home_groups(inst, sched);
   for (const Superstep& step : sched.steps) {
     SyncStepCost row;
-    for (const ProcStep& ps : step.proc) {
-      row.max_compute = std::max(row.max_compute, ps.compute_cost(dag));
-      row.max_save = std::max(row.max_save, ps.save_cost(dag, inst.arch.g));
-      row.max_load = std::max(row.max_load, ps.load_cost(dag, inst.arch.g));
+    for (std::size_t p = 0; p < step.proc.size(); ++p) {
+      const ProcStep& ps = step.proc[p];
+      const int pi = static_cast<int>(p);
+      row.max_compute =
+          std::max(row.max_compute, ps.compute_cost(dag) / m.speed(pi));
+      double save = 0, load = 0;
+      for (NodeId v : ps.saves) {
+        save += m.comm_g(pi, home[static_cast<std::size_t>(v)]) * dag.mu(v);
+      }
+      for (NodeId v : ps.loads) {
+        load += m.comm_g(pi, home[static_cast<std::size_t>(v)]) * dag.mu(v);
+      }
+      row.max_save = std::max(row.max_save, save);
+      row.max_load = std::max(row.max_load, load);
     }
     table.push_back(row);
   }
@@ -35,7 +81,8 @@ SyncCostBreakdown sum_sync_cost_table(const std::vector<SyncStepCost>& table,
 
 SyncCostBreakdown sync_cost_breakdown(const MbspInstance& inst,
                                       const MbspSchedule& sched) {
-  return sum_sync_cost_table(sync_cost_table(inst, sched), inst.arch.L);
+  return sum_sync_cost_table(sync_cost_table(inst, sched),
+                             inst.arch.sync_L());
 }
 
 double sync_cost(const MbspInstance& inst, const MbspSchedule& sched) {
@@ -44,9 +91,19 @@ double sync_cost(const MbspInstance& inst, const MbspSchedule& sched) {
 
 double async_cost(const MbspInstance& inst, const MbspSchedule& sched) {
   const ComputeDag& dag = inst.dag;
-  const int P = inst.arch.num_processors;
-  const double g = inst.arch.g;
+  const Machine& m = inst.arch;
+  const int P = m.num_processors;
+  const double g = m.g;
+  const bool uniform = m.is_uniform();
   constexpr double kUnset = std::numeric_limits<double>::infinity();
+
+  // Per-op transfer prices on heterogeneous machines (g everywhere on
+  // uniform ones, where `home` stays empty and unread).
+  std::vector<int> home;
+  if (!uniform) home = home_groups(inst, sched);
+  const auto g_of = [&](int p, NodeId v) {
+    return uniform ? g : m.comm_g(p, home[static_cast<std::size_t>(v)]);
+  };
 
   std::vector<double> gets_blue(dag.num_nodes(), kUnset);
   std::vector<int> first_save_step(dag.num_nodes(), -1);
@@ -58,16 +115,21 @@ double async_cost(const MbspInstance& inst, const MbspSchedule& sched) {
 
   for (std::size_t s = 0; s < sched.steps.size(); ++s) {
     const Superstep& step = sched.steps[s];
-    // Compute phases (delete ops cost 0, computes cost omega).
+    // Compute phases (delete ops cost 0, computes cost omega / speed).
     for (int p = 0; p < P; ++p) {
       for (const PhaseOp& op : step.proc[p].compute_phase) {
-        if (op.kind == OpKind::kCompute) now[p] += dag.omega(op.node);
+        if (op.kind != OpKind::kCompute) continue;
+        if (uniform) {
+          now[p] += dag.omega(op.node);
+        } else {
+          now[p] += dag.omega(op.node) / m.speed(p);
+        }
       }
     }
     // Save phases: record Gamma candidates for the *first* saving superstep.
     for (int p = 0; p < P; ++p) {
       for (NodeId v : step.proc[p].saves) {
-        now[p] += g * dag.mu(v);
+        now[p] += g_of(p, v) * dag.mu(v);
         if (first_save_step[v] == -1) first_save_step[v] = static_cast<int>(s);
         if (first_save_step[v] == static_cast<int>(s)) {
           gets_blue[v] = std::min(gets_blue[v], now[p]);
@@ -77,7 +139,7 @@ double async_cost(const MbspInstance& inst, const MbspSchedule& sched) {
     // Delete phases are free. Load phases wait for availability.
     for (int p = 0; p < P; ++p) {
       for (NodeId v : step.proc[p].loads) {
-        now[p] = std::max(now[p], gets_blue[v]) + g * dag.mu(v);
+        now[p] = std::max(now[p], gets_blue[v]) + g_of(p, v) * dag.mu(v);
       }
     }
   }

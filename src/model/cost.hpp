@@ -1,14 +1,27 @@
 #pragma once
-// Cost functions of Section 3.3.
+// Cost functions of Section 3.3, generalized to heterogeneous machines
+// (docs/MACHINES.md specifies the exact semantics; uniform machines run
+// the historical code paths verbatim).
 //
 // Synchronous:   cost(S) = sum over supersteps of
-//                max_p comp + max_p save + max_p load + L.
+//                max_p comp(p)/speed(p) + max_p save + max_p load
+//                + sync_L.
+//                Transfer units are priced per operation: processor p
+//                saving or loading a value homed in group h pays
+//                comm_g(p, h) per data unit (g on uniform machines).
 // Asynchronous:  finishing-time recursion gamma over each processor's flat
 //                operation sequence; a LOAD of v additionally waits for
 //                Gamma(v), the finishing time of the earliest SAVE of v in
 //                the first superstep that saves v (0 for DAG sources, which
 //                start blue). Cost = max over processors of the last
-//                finishing time.
+//                finishing time. Computes scale by 1/speed(p), transfers
+//                by comm_g against the same home assignment.
+//
+// A value's *home group* is the communication group of its first saver:
+// scanning supersteps in order, processors 0..P-1 within a superstep,
+// each processor's save list in order, the first SAVE of v pins v to the
+// saver's group segment. Values never saved — DAG sources — live in far
+// memory and always transfer at g_out.
 
 #include <vector>
 
@@ -29,9 +42,18 @@ struct SyncStepCost {
 };
 
 /// Per-superstep table of the synchronous cost, one row per superstep of
-/// `sched` (in order).
+/// `sched` (in order). Machine-aware: rows carry per-processor speed
+/// scaling and group-aware transfer costs on heterogeneous machines.
 std::vector<SyncStepCost> sync_cost_table(const MbspInstance& inst,
                                           const MbspSchedule& sched);
+
+/// Home group of every value under `sched`: the group of its first saver
+/// (supersteps in order; processors 0..P-1 within a superstep; save-list
+/// order within a processor), or -1 for values never saved (DAG sources,
+/// which live in far memory). This is the assignment the group-aware
+/// transfer costs above are defined against.
+std::vector<int> home_groups(const MbspInstance& inst,
+                             const MbspSchedule& sched);
 
 /// Totals of the synchronous cost.
 struct SyncCostBreakdown {
@@ -43,7 +65,8 @@ struct SyncCostBreakdown {
 
 /// Folds a per-step table into the three totals (row order preserved, so
 /// the floating-point sums are reproducible: full and incremental
-/// evaluation agree bitwise).
+/// evaluation agree bitwise). `L` is the effective per-superstep latency
+/// (Machine::sync_L on heterogeneous machines).
 SyncCostBreakdown sum_sync_cost_table(const std::vector<SyncStepCost>& table,
                                       double L);
 

@@ -1,0 +1,324 @@
+#include "src/model/machine_registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mbsp {
+
+MachineRegistry& MachineRegistry::global() {
+  static MachineRegistry* registry = [] {
+    auto* r = new MachineRegistry();
+    register_builtin_machines(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void MachineRegistry::add(std::unique_ptr<MachineFamily> family) {
+  const std::string name = family->name();
+  for (auto& existing : families_) {
+    if (existing->name() == name) {
+      existing = std::move(family);
+      return;
+    }
+  }
+  families_.push_back(std::move(family));
+}
+
+bool MachineRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const MachineFamily* MachineRegistry::find(const std::string& name) const {
+  for (const auto& family : families_) {
+    if (family->name() == name) return family.get();
+  }
+  return nullptr;
+}
+
+const MachineFamily& MachineRegistry::at(const std::string& name) const {
+  const MachineFamily* family = find(name);
+  if (family == nullptr) {
+    throw std::out_of_range("no machine kind named '" + name + "'");
+  }
+  return *family;
+}
+
+std::vector<std::string> MachineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(families_.size());
+  for (const auto& family : families_) out.push_back(family->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+void fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::optional<Machine> MachineRegistry::make_machine(const std::string& spec,
+                                                     double base_memory,
+                                                     std::string* error) const {
+  std::string parse_error;
+  const auto parsed = SpecString::parse(spec, &parse_error, "machine kind");
+  if (!parsed) {
+    fail(error, parse_error);
+    return std::nullopt;
+  }
+  const MachineFamily* family = find(parsed->head);
+  if (family == nullptr) {
+    fail(error, spec_unknown_name_error(parsed->head, "machine kind",
+                                        names()));
+    return std::nullopt;
+  }
+  const auto declared = family->params();
+  for (const auto& [key, value] : parsed->params) {
+    const bool known =
+        std::any_of(declared.begin(), declared.end(),
+                    [&key](const MachineParamInfo& p) { return p.key == key; });
+    if (!known) {
+      std::vector<std::string> keys;
+      keys.reserve(declared.size());
+      for (const MachineParamInfo& p : declared) keys.push_back(p.key);
+      fail(error, spec_unknown_key_error(
+                      key, "machine kind '" + parsed->head + "'",
+                      std::move(keys)));
+      return std::nullopt;
+    }
+  }
+  try {
+    Machine machine = family->build(*parsed, base_memory);
+    // Canonical name: parameters sorted by key, entries that *textually*
+    // match the kind's declared default dropped — equal canonical
+    // spellings share one name and one batch-cell key (textual rule, as
+    // for workload specs: `speeds=1.0` is not folded into default `1`).
+    SpecString normalized = *parsed;
+    std::erase_if(normalized.params,
+                  [&](const std::pair<std::string, std::string>& kv) {
+                    return std::any_of(declared.begin(), declared.end(),
+                                       [&kv](const MachineParamInfo& p) {
+                                         return p.key == kv.first &&
+                                                p.default_value == kv.second;
+                                       });
+                  });
+    machine.name = normalized.canonical();
+    return machine;
+  } catch (const std::exception& e) {
+    fail(error, parsed->head + ": " + e.what());
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+// Parses a per-processor value list `entry ('+' entry)*` where entry is
+// `<value>x<count>` or a bare `<value>` (a single bare entry replicates
+// across all P processors). Counts must sum to P; values are validated
+// against `lo` (and > 0 when strictly_positive).
+std::vector<double> parse_counted_list(const std::string& key,
+                                       const std::string& text, int P,
+                                       double lo, bool strictly_positive) {
+  const auto bad = [&](const std::string& what) {
+    return std::invalid_argument("parameter '" + key + "': " + what);
+  };
+  std::vector<double> out;
+  std::size_t start = 0;
+  std::vector<std::pair<double, int>> entries;
+  while (start <= text.size()) {
+    std::size_t end = text.find('+', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(start, end - start);
+    if (item.empty()) throw bad("empty entry in '" + text + "'");
+    const std::size_t x = item.find('x');
+    const std::string value_text = item.substr(0, x);
+    char* parse_end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &parse_end);
+    if (parse_end == value_text.c_str() || *parse_end != '\0') {
+      throw bad("bad entry '" + item + "' (expected <value> or <value>x<count>)");
+    }
+    if (strictly_positive && value <= 0) {
+      throw bad("value " + value_text + " must be > 0");
+    }
+    if (value < lo) {
+      throw bad("value " + value_text + " is below the minimum " +
+                std::to_string(lo));
+    }
+    int count = 1;
+    if (x != std::string::npos) {
+      const std::string count_text = item.substr(x + 1);
+      char* count_end = nullptr;
+      const long parsed = std::strtol(count_text.c_str(), &count_end, 10);
+      if (count_end == count_text.c_str() || *count_end != '\0' ||
+          parsed < 1) {
+        throw bad("bad entry '" + item +
+                  "' (expected <value> or <value>x<count>)");
+      }
+      count = parsed > P ? P + 1 : static_cast<int>(parsed);
+    }
+    entries.emplace_back(value, count);
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  if (entries.size() == 1 && text.find('x') == std::string::npos) {
+    // A single bare value replicates across every processor.
+    entries[0].second = P;
+  }
+  // Validate the coverage before materializing, so a typo'd count is a
+  // clean error instead of a huge allocation (counts were clamped to
+  // P + 1 above, keeping the total exact-or-over without overflow).
+  long covered = 0;
+  for (const auto& [value, count] : entries) covered += count;
+  if (covered != P) {
+    throw bad("'" + text + "' covers " +
+              (covered > P ? "more than " + std::to_string(P)
+                           : std::to_string(covered)) +
+              " processors, expected " + std::to_string(P));
+  }
+  for (const auto& [value, count] : entries) {
+    for (int i = 0; i < count; ++i) out.push_back(value);
+  }
+  return out;
+}
+
+// Shared memory sizing: fast_memory = rf * base (rf >= 1 keeps every
+// processor schedulable whenever base >= min_memory_r0), memories[p] =
+// mems factor * fast_memory (factors >= 1 for the same reason).
+void apply_memory_and_speed(Machine& m, const SpecString& spec,
+                            double base_memory) {
+  const double rf = spec_get_double(spec.params, "rf", 3.0, 1.0);
+  m.fast_memory = rf * base_memory;
+  m.speeds = parse_counted_list(
+      "speeds", spec_get_string(spec.params, "speeds", "1"),
+      m.num_processors, 0.0, /*strictly_positive=*/true);
+  const std::vector<double> factors = parse_counted_list(
+      "mems", spec_get_string(spec.params, "mems", "1"), m.num_processors,
+      1.0, /*strictly_positive=*/true);
+  m.memories.resize(factors.size());
+  for (std::size_t p = 0; p < factors.size(); ++p) {
+    m.memories[p] = factors[p] * m.fast_memory;
+  }
+}
+
+class SimpleMachineFamily final : public MachineFamily {
+ public:
+  using BuildFn = Machine (*)(const SpecString&, double);
+
+  SimpleMachineFamily(std::string name, std::string description,
+                      std::vector<MachineParamInfo> params, BuildFn fn)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        params_(std::move(params)),
+        fn_(fn) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return description_; }
+  std::vector<MachineParamInfo> params() const override { return params_; }
+  Machine build(const SpecString& spec, double base_memory) const override {
+    return fn_(spec, base_memory);
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  std::vector<MachineParamInfo> params_;
+  BuildFn fn_;
+};
+
+Machine build_uniform(const SpecString& spec, double base_memory) {
+  const int P = spec_get_int(spec.params, "P", 4);
+  const double g = spec_get_double(spec.params, "g", 1.0);
+  const double L = spec_get_double(spec.params, "L", 10.0);
+  const double rf = spec_get_double(spec.params, "rf", 3.0, 1.0);
+  return Machine::make(P, rf * base_memory, g, L);
+}
+
+Machine build_hetero(const SpecString& spec, double base_memory) {
+  Machine m;
+  m.num_processors = spec_get_int(spec.params, "P", 4);
+  m.g = spec_get_double(spec.params, "g", 1.0);
+  m.L = spec_get_double(spec.params, "L", 10.0);
+  apply_memory_and_speed(m, spec, base_memory);
+  return m;
+}
+
+Machine build_numa(const SpecString& spec, double base_memory) {
+  const std::string groups_text =
+      spec_get_string(spec.params, "groups", "2x2");
+  const std::size_t x = groups_text.find('x');
+  int num_groups = 0, group_size = 0;
+  if (x != std::string::npos) {
+    char* end1 = nullptr;
+    char* end2 = nullptr;
+    const std::string a = groups_text.substr(0, x);
+    const std::string b = groups_text.substr(x + 1);
+    num_groups = static_cast<int>(std::strtol(a.c_str(), &end1, 10));
+    group_size = static_cast<int>(std::strtol(b.c_str(), &end2, 10));
+    if (end1 == a.c_str() || *end1 != '\0' || end2 == b.c_str() ||
+        *end2 != '\0') {
+      num_groups = 0;
+    }
+  }
+  if (num_groups < 1 || group_size < 1) {
+    throw std::invalid_argument("parameter 'groups': bad value '" +
+                                groups_text +
+                                "' (expected <groups>x<procs-per-group>)");
+  }
+  Machine m;
+  m.num_processors = num_groups * group_size;
+  m.g_in = spec_get_double(spec.params, "gin", 1.0);
+  m.g_out = spec_get_double(spec.params, "gout", 4.0);
+  m.g = m.g_in;  // what group-oblivious stage-1 heuristics see
+  m.L = spec_get_double(spec.params, "L", 10.0);
+  m.L_group = spec_get_double(spec.params, "Lg", 0.0);
+  m.group_of.resize(static_cast<std::size_t>(m.num_processors));
+  for (int p = 0; p < m.num_processors; ++p) {
+    m.group_of[static_cast<std::size_t>(p)] = p / group_size;
+  }
+  apply_memory_and_speed(m, spec, base_memory);
+  return m;
+}
+
+}  // namespace
+
+void register_builtin_machines(MachineRegistry& r) {
+  using P = MachineParamInfo;
+  r.add(std::make_unique<SimpleMachineFamily>(
+      "uniform", "the paper's flat machine: P identical processors",
+      std::vector<P>{{"P", "4", "processor count"},
+                     {"rf", "3", "fast memory as a factor of min_memory_r0"},
+                     {"g", "1", "cost per transferred data unit"},
+                     {"L", "10", "per-superstep synchronization cost"}},
+      &build_uniform));
+  r.add(std::make_unique<SimpleMachineFamily>(
+      "hetero",
+      "per-processor compute speeds and fast-memory capacities",
+      std::vector<P>{
+          {"P", "4", "processor count"},
+          {"speeds", "1", "per-proc speeds, e.g. 1x4+2x4 (sums to P)"},
+          {"mems", "1", "per-proc memory factors >= 1, e.g. 1x6+2x2"},
+          {"rf", "3", "base fast memory as a factor of min_memory_r0"},
+          {"g", "1", "cost per transferred data unit"},
+          {"L", "10", "per-superstep synchronization cost"}},
+      &build_hetero));
+  r.add(std::make_unique<SimpleMachineFamily>(
+      "numa",
+      "two-level communication hierarchy: processor groups with "
+      "intra/cross-group transfer costs",
+      std::vector<P>{
+          {"groups", "2x2", "topology <groups>x<procs-per-group>"},
+          {"gin", "1", "intra-group transfer cost"},
+          {"gout", "4", "cross-group / far-memory transfer cost"},
+          {"L", "10", "global per-superstep synchronization cost"},
+          {"Lg", "0", "extra latency contributed per group per superstep"},
+          {"speeds", "1", "per-proc speeds, e.g. 1x4+2x4 (sums to P)"},
+          {"mems", "1", "per-proc memory factors >= 1"},
+          {"rf", "3", "base fast memory as a factor of min_memory_r0"}},
+      &build_numa));
+}
+
+}  // namespace mbsp

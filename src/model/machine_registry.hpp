@@ -1,0 +1,108 @@
+#pragma once
+// Central registry of machine models — the architecture-side mirror of
+// SchedulerRegistry and WorkloadRegistry. A machine spec names one
+// Machine up to its memory scale, which is supplied at build time (the
+// workload's min_memory_r0, so machine specs compose with any DAG):
+//
+//   uniform  the paper's flat machine        uniform:P=8,g=1,L=10,rf=3
+//   hetero   per-processor speeds/memories   hetero:P=8,speeds=1x4+2x4
+//   numa     two-level comm hierarchy        numa:groups=2x4,gin=1,gout=4
+//
+// Specs use the shared `head:key=value,...` grammar (src/model/spec.*)
+// and canonicalize exactly like workload specs: parameters sorted by
+// key, entries whose value *textually* equals the declared default
+// dropped. Equal canonical spellings share one name, which
+// `make_machine` stores in Machine::name so batch cells and CSV
+// artifacts key results by machine (the rule is textual, as for
+// workloads: `speeds=1.0` is not recognized as the default `1` and
+// keeps its own name). The full grammar (EBNF) and the cost semantics
+// of each kind are specified in docs/MACHINES.md.
+//
+// Adding a kind is one `add(...)` call; `corpus sweep --machine` and
+// `suite_runner --machine/--list-machines` pick the newcomer up by name
+// with no CLI changes.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/model/arch.hpp"
+#include "src/model/spec.hpp"
+
+namespace mbsp {
+
+/// One declared parameter of a machine kind, for listings and unknown-key
+/// validation (mirrors WorkloadParamInfo).
+struct MachineParamInfo {
+  std::string key;
+  std::string default_value;
+  std::string help;
+};
+
+/// A named, parameterized machine kind. Implementations are stateless;
+/// `build` is const, thread-safe and a pure function of (spec,
+/// base_memory). Value errors are reported by throwing
+/// std::invalid_argument (converted to error strings by the registry).
+class MachineFamily {
+ public:
+  virtual ~MachineFamily() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  virtual std::vector<MachineParamInfo> params() const = 0;
+
+  /// Builds the machine. `spec.params` contains only declared keys (the
+  /// registry validates first); `base_memory` is the memory unit the
+  /// spec's `rf` factor scales (callers pass the workload's
+  /// min_memory_r0). The registry fills Machine::name afterwards.
+  virtual Machine build(const SpecString& spec, double base_memory) const = 0;
+};
+
+class MachineRegistry {
+ public:
+  /// Empty registry (tests); `global()` is the pre-populated one.
+  MachineRegistry() = default;
+
+  /// The process-wide registry with every built-in kind registered.
+  /// Register custom kinds before starting batch runs; lookups are not
+  /// synchronized against concurrent registration.
+  static MachineRegistry& global();
+
+  /// Registers `family` under its name(); replaces any previous holder.
+  void add(std::unique_ptr<MachineFamily> family);
+
+  /// Whether a kind of that exact name is registered (read-only,
+  /// thread-safe after registration).
+  bool contains(const std::string& name) const;
+
+  /// Looks a kind up by name; nullptr when absent.
+  const MachineFamily* find(const std::string& name) const;
+
+  /// Like find(), but throws std::out_of_range naming the missing kind.
+  const MachineFamily& at(const std::string& name) const;
+
+  /// All registered kind names, sorted (deterministic listing).
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return families_.size(); }
+
+  /// Builds the machine named by `spec` ("kind" or "kind:k=v,...") with
+  /// memory unit `base_memory` (callers pass min_memory_r0 of the DAG the
+  /// machine will run). The result's `name` is the canonical spec, so
+  /// equal scenarios key identically everywhere. Unknown kinds or
+  /// parameters and bad values fill *error — naming the offending token
+  /// and listing the valid alternatives — and return nullopt.
+  std::optional<Machine> make_machine(const std::string& spec,
+                                      double base_memory,
+                                      std::string* error = nullptr) const;
+
+ private:
+  std::vector<std::unique_ptr<MachineFamily>> families_;
+};
+
+/// Registers the built-in kinds (uniform / hetero / numa) — what
+/// `global()` does on first use; exposed for registry-local tests.
+void register_builtin_machines(MachineRegistry& registry);
+
+}  // namespace mbsp

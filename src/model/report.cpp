@@ -73,20 +73,19 @@ std::string schedule_report(const MbspInstance& inst,
       << stats.recomputed_nodes << " nodes recomputed; compute imbalance "
       << stats.compute_imbalance << "\n";
 
+  // Per-step maxima come from the cost table, so the report prices
+  // heterogeneous machines (speeds, comm groups) exactly like the cost.
+  const std::vector<SyncStepCost> rows = sync_cost_table(inst, sched);
   Table table({"superstep", "max comp", "max save", "max load", "ops"});
   for (std::size_t s = 0; s < sched.steps.size(); ++s) {
-    const Superstep& step = sched.steps[s];
-    double comp = 0, save = 0, load = 0;
     std::size_t ops = 0;
-    for (const ProcStep& ps : step.proc) {
-      comp = std::max(comp, ps.compute_cost(inst.dag));
-      save = std::max(save, ps.save_cost(inst.dag, inst.arch.g));
-      load = std::max(load, ps.load_cost(inst.dag, inst.arch.g));
+    for (const ProcStep& ps : sched.steps[s].proc) {
       ops += ps.compute_phase.size() + ps.saves.size() + ps.deletes.size() +
              ps.loads.size();
     }
-    table.add_row({std::to_string(s), fmt(comp, 1), fmt(save, 1),
-                   fmt(load, 1), std::to_string(ops)});
+    table.add_row({std::to_string(s), fmt(rows[s].max_compute, 1),
+                   fmt(rows[s].max_save, 1), fmt(rows[s].max_load, 1),
+                   std::to_string(ops)});
   }
   out << table.to_text();
   return out.str();

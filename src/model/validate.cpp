@@ -31,8 +31,12 @@ ValidationResult validate(const MbspInstance& inst,
                           const MbspSchedule& sched) {
   const ComputeDag& dag = inst.dag;
   const int P = inst.arch.num_processors;
-  const double r = inst.arch.fast_memory;
   const NodeId n = dag.num_nodes();
+  // Per-processor capacities (all equal to fast_memory on uniform machines).
+  std::vector<double> r(static_cast<std::size_t>(P));
+  for (int p = 0; p < P; ++p) {
+    r[static_cast<std::size_t>(p)] = inst.arch.memory(p);
+  }
 
   SimState st;
   st.red.assign(P, std::vector<char>(n, 0));
@@ -79,7 +83,7 @@ ValidationResult validate(const MbspInstance& inst,
         if (!st.red[p][v]) {
           st.red[p][v] = 1;
           st.red_weight[p] += dag.mu(v);
-          if (st.red_weight[p] > r + kMemEps) {
+          if (st.red_weight[p] > r[p] + kMemEps) {
             return fail(where(s, p) + "memory bound exceeded at COMPUTE " +
                         std::to_string(v));
           }
@@ -122,7 +126,7 @@ ValidationResult validate(const MbspInstance& inst,
         if (!st.red[p][v]) {
           st.red[p][v] = 1;
           st.red_weight[p] += dag.mu(v);
-          if (st.red_weight[p] > r + kMemEps) {
+          if (st.red_weight[p] > r[p] + kMemEps) {
             return fail(where(s, p) + "memory bound exceeded at LOAD " +
                         std::to_string(v));
           }

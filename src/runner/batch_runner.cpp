@@ -62,6 +62,7 @@ std::vector<BatchCell> BatchRunner::run_cells(
     BatchCell& cell = out[i];
     cell.instance = spec.instance->name();
     cell.dag_hash = hashes.at(spec.instance);
+    cell.machine = spec.instance->arch.name;
     cell.scheduler = spec.scheduler;
     cell.cost_model = spec.options.cost;
     const MbspScheduler& scheduler = *resolved[i];
@@ -90,20 +91,27 @@ std::vector<BatchCell> BatchRunner::run_cells(
 
 Table batch_table(const std::vector<BatchCell>& cells,
                   bool include_wall_time, bool include_hash) {
+  // The machine column appears whenever any cell ran on a named machine
+  // (a pure function of the cells, so tables stay bitwise reproducible).
+  bool include_machine = false;
+  for (const BatchCell& cell : cells) include_machine |= !cell.machine.empty();
   std::vector<std::string> header{"instance", "scheduler",  "model",
                                   "cost",     "ratio",      "io",
                                   "supersteps"};
+  if (include_machine) header.insert(header.begin() + 1, "machine");
   if (include_hash) header.push_back("dag_hash");
   if (include_wall_time) header.push_back("wall_ms");
   Table table(std::move(header));
-  // Ratio reference per instance: its first ok cell (the grid's first
-  // scheduler, by construction of run_grid's cell order).
+  // Ratio reference per (instance, machine): its first ok cell (the
+  // grid's first scheduler, by construction of run_grid's cell order).
   std::unordered_map<std::string, const BatchCell*> references;
   for (const BatchCell& cell : cells) {
-    if (cell.ok) references.try_emplace(cell.instance, &cell);
+    if (cell.ok) {
+      references.try_emplace(cell.instance + "\x1f" + cell.machine, &cell);
+    }
   }
   for (const BatchCell& cell : cells) {
-    const auto it = references.find(cell.instance);
+    const auto it = references.find(cell.instance + "\x1f" + cell.machine);
     const BatchCell* reference = it == references.end() ? nullptr : it->second;
     std::vector<std::string> row{cell.instance, cell.scheduler,
                                  cost_model_name(cell.cost_model)};
@@ -121,6 +129,13 @@ Table batch_table(const std::vector<BatchCell>& cells,
     if (include_hash) row.push_back(dag_hash_hex(cell.dag_hash));
     if (include_wall_time) {
       row.push_back(cell.ok ? fmt(cell.result.wall_ms, 1) : "-");
+    }
+    if (include_machine) {
+      // Inserted last so the error-row indices above stay column-stable.
+      // Ad-hoc architectures (no canonical name) render as "-" so they
+      // cannot collide with the registry's all-default "uniform" name.
+      row.insert(row.begin() + 1,
+                 cell.machine.empty() ? "-" : cell.machine);
     }
     table.add_row(std::move(row));
   }

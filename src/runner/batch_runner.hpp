@@ -17,11 +17,14 @@
 namespace mbsp {
 
 /// One completed grid cell. Cells are keyed by (instance name, canonical
-/// DAG hash): corpus-generated instances are named by their workload spec,
-/// and the hash pins the exact DAG the row was computed on.
+/// DAG hash, machine name): corpus-generated instances are named by their
+/// workload spec, the hash pins the exact DAG the row was computed on,
+/// and the machine name is the canonical machine spec the cell ran on
+/// ("" for ad-hoc uniform architectures — see docs/MACHINES.md).
 struct BatchCell {
   std::string instance;   ///< instance name (workload spec for corpus runs)
   std::uint64_t dag_hash = 0;  ///< dag_canonical_hash of the instance DAG
+  std::string machine;    ///< canonical machine name (Machine::name)
   std::string scheduler;  ///< scheduler name
   CostModel cost_model = CostModel::kSynchronous;
   bool ok = false;
@@ -68,10 +71,12 @@ class BatchRunner {
 };
 
 /// Renders cells as a table: instance, scheduler, cost model, cost, ratio
-/// vs the first ok cell of the same instance, I/O volume, supersteps —
-/// plus wall time when requested (non-deterministic; off by default) and
-/// the canonical DAG hash (deterministic; corpus sweeps turn it on so
-/// result rows are verifiable against the generating spec).
+/// vs the first ok cell of the same (instance, machine), I/O volume,
+/// supersteps — plus a machine column whenever any cell carries a named
+/// machine (a pure function of the cells, so tables stay bitwise
+/// reproducible), wall time when requested (non-deterministic; off by
+/// default) and the canonical DAG hash (deterministic; corpus sweeps turn
+/// it on so result rows are verifiable against the generating spec).
 Table batch_table(const std::vector<BatchCell>& cells,
                   bool include_wall_time = false, bool include_hash = false);
 

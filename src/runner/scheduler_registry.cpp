@@ -208,7 +208,11 @@ class ExactPebbleAdapter final : public MbspScheduler {
   std::string name() const override { return "exact-pebbler"; }
 
   bool supports(const MbspInstance& inst) const override {
-    return inst.arch.num_processors == 1 && inst.dag.num_nodes() <= 30;
+    // Uniform machines only: the pebbling state space prices transfers
+    // with the flat g, so optimality claims don't carry to heterogeneous
+    // cost models.
+    return inst.arch.num_processors == 1 && inst.dag.num_nodes() <= 30 &&
+           inst.arch.is_uniform();
   }
 
   ScheduleResult run(const MbspInstance& inst,
@@ -238,7 +242,9 @@ class IlpAdapter final : public MbspScheduler {
   std::string name() const override { return "ilp"; }
 
   bool supports(const MbspInstance& inst) const override {
-    return inst.dag.num_nodes() <= 30;
+    // Uniform machines only: the MILP objective encodes the flat
+    // (g, L) machine, so its optimality proof is machine-specific.
+    return inst.dag.num_nodes() <= 30 && inst.arch.is_uniform();
   }
 
   ScheduleResult run(const MbspInstance& inst,

@@ -36,7 +36,11 @@ class Completer {
   Completer(const MbspInstance& inst, const ComputePlan& plan,
             const EvictionPolicy& policy)
       : inst_(inst), dag_(inst.dag), plan_(plan), policy_(policy),
-        P_(plan.num_procs), r_(inst.arch.fast_memory) {
+        P_(plan.num_procs) {
+    r_.resize(static_cast<std::size_t>(P_));
+    for (int p = 0; p < P_; ++p) {
+      r_[static_cast<std::size_t>(p)] = inst.arch.memory(p);
+    }
     precompute();
   }
 
@@ -60,7 +64,7 @@ class Completer {
   const ComputePlan& plan_;
   const EvictionPolicy& policy_;
   const int P_;
-  const double r_;
+  std::vector<double> r_;  ///< per-proc capacity (uniform: all fast_memory)
 
   // Static plan indexes.
   std::vector<std::vector<std::vector<std::int64_t>>> use_pos_;   // [p][v]
@@ -180,7 +184,8 @@ std::optional<SegmentPlan> Completer::try_segment(int p,
   };
 
   // Phase A: upfront evictions so start cache + loads fit.
-  while (seg.cache_weight + load_weight > r_ + kMemEps) {
+  const double r_p = r_[static_cast<std::size_t>(p)];
+  while (seg.cache_weight + load_weight > r_p + kMemEps) {
     const auto victims = make_victims(
         seg.cache, [&](NodeId v) { return !needed_from_cache[v]; }, i0);
     if (victims.empty()) return std::nullopt;
@@ -224,7 +229,7 @@ std::optional<SegmentPlan> Completer::try_segment(int p,
     const NodeId v = seq[i0 + j].node;
     const std::int64_t gpos = i0 + j;
     if (!seg.cache[v]) {
-      while (seg.cache_weight + dag_.mu(v) > r_ + kMemEps) {
+      while (seg.cache_weight + dag_.mu(v) > r_p + kMemEps) {
         const auto victims = make_victims(
             seg.cache,
             [&](NodeId c) {

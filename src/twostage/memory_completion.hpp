@@ -19,7 +19,8 @@
 //  * dead values (no further use, considering upcoming recomputation) are
 //    deleted eagerly, as in the paper's implementation;
 //  * the per-processor memory bound holds after every operation, provided
-//    r >= r0 (min_memory_r0).
+//    every processor's capacity (Machine::memory(p); fast_memory on the
+//    uniform machine) is at least r0 (min_memory_r0).
 //
 // The eviction *choice* is delegated to an EvictionPolicy (clairvoyant or
 // LRU), which is stage 2's only degree of freedom in the paper.
@@ -34,7 +35,8 @@
 namespace mbsp {
 
 /// Completes `plan` into a full MBSP schedule. The plan must satisfy
-/// validate_plan(); r must be at least min_memory_r0(dag).
+/// validate_plan(); every processor's memory capacity must be at least
+/// min_memory_r0(dag).
 MbspSchedule complete_memory(const MbspInstance& inst, const ComputePlan& plan,
                              const EvictionPolicy& policy);
 

@@ -1,53 +1,20 @@
 #include "src/workload/workload.hpp"
 
-#include <algorithm>
-#include <cerrno>
-#include <climits>
-#include <cstdlib>
-#include <stdexcept>
+#include "src/model/spec.hpp"
 
 namespace mbsp {
 
-namespace {
-
-bool fail(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
-  return false;
-}
-
-}  // namespace
+// WorkloadSpec is the workload-facing view of the shared SpecString
+// grammar (src/model/spec.*): same parser, same canonicalization, same
+// error style as machine specs.
 
 std::optional<WorkloadSpec> WorkloadSpec::parse(const std::string& text,
                                                 std::string* error) {
+  auto parsed = SpecString::parse(text, error, "family name");
+  if (!parsed) return std::nullopt;
   WorkloadSpec spec;
-  const std::size_t colon = text.find(':');
-  spec.family = text.substr(0, colon);
-  if (spec.family.empty()) {
-    fail(error, "empty family name in spec '" + text + "'");
-    return std::nullopt;
-  }
-  if (colon == std::string::npos) return spec;
-  std::size_t start = colon + 1;
-  while (start <= text.size()) {
-    const std::size_t comma = text.find(',', start);
-    const std::size_t end = comma == std::string::npos ? text.size() : comma;
-    const std::string item = text.substr(start, end - start);
-    if (!item.empty()) {
-      const std::size_t eq = item.find('=');
-      if (eq == std::string::npos || eq == 0) {
-        fail(error, "bad parameter '" + item + "' (expected key=value)");
-        return std::nullopt;
-      }
-      const std::string key = item.substr(0, eq);
-      if (spec.find(key) != nullptr) {
-        fail(error, "duplicate parameter '" + key + "'");
-        return std::nullopt;
-      }
-      spec.params.emplace_back(key, item.substr(eq + 1));
-    }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
+  spec.family = std::move(parsed->head);
+  spec.params = std::move(parsed->params);
   return spec;
 }
 
@@ -59,59 +26,21 @@ const std::string* WorkloadSpec::find(const std::string& key) const {
 }
 
 std::string WorkloadSpec::canonical() const {
-  if (params.empty()) return family;
-  auto sorted = params;
-  std::sort(sorted.begin(), sorted.end());
-  std::string out = family + ":";
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    if (i > 0) out += ',';
-    out += sorted[i].first + "=" + sorted[i].second;
-  }
-  return out;
+  return SpecString{family, params}.canonical();
 }
 
 int WorkloadParams::get_int(const std::string& key, int def, int lo) const {
-  const std::string* value = spec_.find(key);
-  if (value == nullptr) return def;
-  char* end = nullptr;
-  errno = 0;
-  const long parsed = std::strtol(value->c_str(), &end, 10);
-  if (end == value->c_str() || *end != '\0') {
-    throw std::invalid_argument("parameter '" + key + "': '" + *value +
-                                "' is not an integer");
-  }
-  if (errno == ERANGE || parsed > INT_MAX) {
-    throw std::invalid_argument("parameter '" + key + "': " + *value +
-                                " is out of range");
-  }
-  if (parsed < lo) {
-    throw std::invalid_argument("parameter '" + key + "': " + *value +
-                                " is below the minimum " + std::to_string(lo));
-  }
-  return static_cast<int>(parsed);
+  return spec_get_int(spec_.params, key, def, lo);
 }
 
 double WorkloadParams::get_double(const std::string& key, double def,
                                   double lo) const {
-  const std::string* value = spec_.find(key);
-  if (value == nullptr) return def;
-  char* end = nullptr;
-  const double parsed = std::strtod(value->c_str(), &end);
-  if (end == value->c_str() || *end != '\0') {
-    throw std::invalid_argument("parameter '" + key + "': '" + *value +
-                                "' is not a number");
-  }
-  if (parsed < lo) {
-    throw std::invalid_argument("parameter '" + key + "': " + *value +
-                                " is below the minimum " + std::to_string(lo));
-  }
-  return parsed;
+  return spec_get_double(spec_.params, key, def, lo);
 }
 
 std::string WorkloadParams::get_string(const std::string& key,
                                        std::string def) const {
-  const std::string* value = spec_.find(key);
-  return value == nullptr ? std::move(def) : *value;
+  return spec_get_string(spec_.params, key, std::move(def));
 }
 
 }  // namespace mbsp

@@ -6,6 +6,7 @@
 #include "src/graph/dag_io.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/mtx_io.hpp"
+#include "src/model/spec.hpp"
 #include "src/workload/structured.hpp"
 
 namespace mbsp {
@@ -77,7 +78,8 @@ std::optional<ComputeDag> WorkloadRegistry::make_dag(const std::string& spec,
   }
   const WorkloadFamily* family = find(parsed->family);
   if (family == nullptr) {
-    fail(error, "unknown workload family '" + parsed->family + "'");
+    fail(error, spec_unknown_name_error(parsed->family, "workload family",
+                                        names()));
     return std::nullopt;
   }
   const auto declared = family->params();
@@ -87,8 +89,13 @@ std::optional<ComputeDag> WorkloadRegistry::make_dag(const std::string& spec,
         std::any_of(declared.begin(), declared.end(),
                     [&key](const WorkloadParamInfo& p) { return p.key == key; });
     if (!known) {
-      fail(error, "unknown parameter '" + key + "' for family '" +
-                      parsed->family + "'");
+      // Shared error style with the machine registry: name the offending
+      // token and list the valid keys (mu is accepted everywhere).
+      std::vector<std::string> keys{"mu"};
+      for (const WorkloadParamInfo& p : declared) keys.push_back(p.key);
+      fail(error, spec_unknown_key_error(
+                      key, "family '" + parsed->family + "'",
+                      std::move(keys)));
       return std::nullopt;
     }
   }
