@@ -12,7 +12,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "include/mbsp/mbsp.hpp"
 #include "src/util/env.hpp"
@@ -96,6 +101,117 @@ inline void emit(const Table& table, const std::string& title,
     table.write_csv(config.csv_prefix + "_" + name + ".csv");
   }
 }
+
+/// Peak resident set size of this process in MiB (0 where unsupported).
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Machine-readable perf-trajectory report: one BENCH_<name>.json per
+/// bench binary, compared against the committed baseline in
+/// bench/baselines/ by tools/bench_compare.py (the CI perf gate — see
+/// docs/PERFORMANCE.md). Each metric declares its direction and whether a
+/// regression beyond the comparator's noise threshold fails the build:
+/// machine-relative metrics (speedups, cost ratios) gate; absolute ones
+/// (iters/s, RSS) are informational because they track the host, not the
+/// code. Peak RSS is sampled at write() time automatically.
+class PerfReport {
+ public:
+  explicit PerfReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Top-level summary metric (e.g. a geomean across families).
+  void add_metric(const std::string& name, double value,
+                  bool higher_is_better, bool gated) {
+    metrics_.push_back({name, value, higher_is_better, gated});
+  }
+
+  /// Per-family detail row; families and their metrics keep insertion
+  /// order so the JSON diffs cleanly run-to-run.
+  void add_family(const std::string& family, const std::string& metric,
+                  double value) {
+    for (auto& [name, values] : families_) {
+      if (name == family) {
+        values.emplace_back(metric, value);
+        return;
+      }
+    }
+    families_.push_back({family, {{metric, value}}});
+  }
+
+  /// Writes BENCH_<bench>.json into the working directory (the CI job
+  /// uploads it and feeds it to the comparator).
+  void write() const { write_to("BENCH_" + bench_ + ".json"); }
+
+  void write_to(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::abort();
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
+    std::fprintf(f, "  \"peak_rss_mb\": %s,\n", num(peak_rss_mb()).c_str());
+    std::fprintf(f, "  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f,
+                   "%s\n    \"%s\": {\"value\": %s, \"higher_is_better\": %s, "
+                   "\"gated\": %s}",
+                   i == 0 ? "" : ",", m.name.c_str(), num(m.value).c_str(),
+                   m.higher_is_better ? "true" : "false",
+                   m.gated ? "true" : "false");
+    }
+    std::fprintf(f, "\n  },\n  \"families\": {");
+    for (std::size_t i = 0; i < families_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": {", i == 0 ? "" : ",",
+                   families_[i].name.c_str());
+      const auto& values = families_[i].values;
+      for (std::size_t j = 0; j < values.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                     values[j].first.c_str(), num(values[j].second).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("perf report written to %s\n", path.c_str());
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    bool higher_is_better;
+    bool gated;
+  };
+  struct Family {
+    std::string name;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  /// JSON number: shortest round-trip-safe formatting, never NaN/Inf
+  /// (both are invalid JSON — clamp to 0 so a degenerate run still
+  /// produces a parseable report the comparator can then reject).
+  static std::string num(double v) {
+    if (!(v == v) || v > 1e308 || v < -1e308) v = 0;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+
+  std::string bench_;
+  std::vector<Metric> metrics_;
+  std::vector<Family> families_;
+};
 
 /// Runs `fn(i)` for each instance index in parallel and waits.
 inline void for_each_instance(std::size_t count,

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <climits>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 namespace mbsp {
@@ -20,8 +22,10 @@ IncrementalEvaluator::IncrementalEvaluator(const MbspInstance& inst,
     : inst_(inst),
       dag_(inst.dag),
       options_(options),
-      incremental_(options.cost == CostModel::kSynchronous &&
-                   options.completion_policy == PolicyKind::kClairvoyant),
+      async_(options.cost == CostModel::kAsynchronous),
+      sync_(options.cost != CostModel::kAsynchronous),
+      lru_(options.completion_policy == PolicyKind::kLru),
+      uniform_(inst.arch.is_uniform()),
       P_(inst.arch.num_processors),
       n_(static_cast<std::size_t>(inst.dag.num_nodes())),
       g_(inst.arch.g),
@@ -37,21 +41,23 @@ IncrementalEvaluator::IncrementalEvaluator(const MbspInstance& inst,
     speed_[static_cast<std::size_t>(p)] = inst.arch.speed(p);
     grp_[static_cast<std::size_t>(p)] = inst.arch.group(p);
   }
+  const char* mode = std::getenv("MBSP_ARENA_MODE");
+  eval_arena_.set_paranoid(options.arena_paranoid ||
+                           (mode != nullptr && std::strcmp(mode, "heap") == 0));
 }
 
-// Home groups mirror blue timestamps: committed entries are valid exactly
-// when the blue timestamp is committed-visible, the per-eval overlay is
-// epoch-stamped, and assignment happens at the value's first save in
-// blue-visibility order — which equals the oracle's slot-scan order for
-// every schedule the completion can produce (post-saves of a round are
-// priced at the round's drain so a same-round earlier-slot pre-save can
-// still claim the home first).
+// Home groups mirror blue rounds: committed entries are valid exactly when
+// the blue round is committed-visible, the per-eval overlay is a FlatMap,
+// and assignment happens at the value's first save in blue-visibility
+// order — which equals the oracle's slot-scan order for every schedule the
+// completion can produce (post-saves of a round are priced at the round's
+// drain so a same-round earlier-slot pre-save can still claim the home
+// first).
 
 int IncrementalEvaluator::eval_home(NodeId v) const {
-  if (eh_stamp_[static_cast<std::size_t>(v)] == eval_epoch_) {
-    return eval_home_ov_[static_cast<std::size_t>(v)];
-  }
-  if (blue_step_[static_cast<std::size_t>(v)] < eval_b_) {
+  const int* ov = eh_map_.find(v);
+  if (ov != nullptr) return *ov;
+  if (blue_round_[static_cast<std::size_t>(v)] < eval_b_) {
     return home_group_[static_cast<std::size_t>(v)];
   }
   return -1;
@@ -59,8 +65,7 @@ int IncrementalEvaluator::eval_home(NodeId v) const {
 
 void IncrementalEvaluator::eval_assign_home(NodeId v, int grp) {
   if (single_group_ || eval_home(v) >= 0) return;
-  eh_stamp_[static_cast<std::size_t>(v)] = eval_epoch_;
-  eval_home_ov_[static_cast<std::size_t>(v)] = grp;
+  eh_map_.get_or_insert(v, grp);
   eval_homes_.push_back({v, grp});
 }
 
@@ -89,72 +94,93 @@ double IncrementalEvaluator::attach(const ComputePlan& plan) {
   }
 
   // Validator committed rows.
-  R_.assign(static_cast<std::size_t>(P_), std::vector<int>(n_, INT_MAX));
-  R_scratch_.assign(static_cast<std::size_t>(P_),
-                    std::vector<int>(n_, INT_MAX));
-  req_nodes_.assign(static_cast<std::size_t>(P_), {});
-  req_nodes_scratch_.assign(static_cast<std::size_t>(P_), {});
+  R_map_.assign(static_cast<std::size_t>(P_), FlatMap<NodeId, int>{});
+  R_scratch_map_.assign(static_cast<std::size_t>(P_), FlatMap<NodeId, int>{});
   scan_stamp_.assign(n_, 0);
   scan_epoch_ = 0;
   affected_stamp_.assign(n_, 0);
   affected_epoch_ = 0;
   for (int p = 0; p < P_; ++p) {
     rescan_proc(p);  // attached plans are valid; this just fills the rows
-    std::swap(R_[static_cast<std::size_t>(p)],
-              R_scratch_[static_cast<std::size_t>(p)]);
-    std::swap(req_nodes_[static_cast<std::size_t>(p)],
-              req_nodes_scratch_[static_cast<std::size_t>(p)]);
+    std::swap(R_map_[static_cast<std::size_t>(p)],
+              R_scratch_map_[static_cast<std::size_t>(p)]);
   }
 
   in_move_ = false;
-  delta_.clear();
+  delta_ops_.clear();
+  delta_size_ = 0;
   proc_touched_.assign(static_cast<std::size_t>(P_), 0);
   touched_procs_.clear();
+  inserts_on_proc_.assign(static_cast<std::size_t>(P_), 0);
   ed_before_.clear();
   affected_nodes_.clear();
   save_req_before_.clear();
+  relabel_fixups_.clear();
 
-  if (!incremental_) return evaluate_plan(inst_, plan_, options_);
-
-  // Completion scratch.
-  blue_step_.assign(n_, INT_MAX);
+  // Committed completion state at boundary 0 (nothing completed yet).
+  blue_round_.assign(n_, INT_MAX);
   for (NodeId v = 0; v < static_cast<NodeId>(n_); ++v) {
-    if (dag_.is_source(v)) blue_step_[static_cast<std::size_t>(v)] = -1;
+    if (dag_.is_source(v)) blue_round_[static_cast<std::size_t>(v)] = -1;
   }
   home_group_.assign(n_, -1);
-  eh_stamp_.assign(n_, 0);
-  eval_home_ov_.assign(n_, -1);
-  eval_homes_.clear();
-  blued_in_step_.clear();
+  blued_nodes_.clear();
+  blued_start_.assign(1, 0);
   rows_.clear();
   row_empty_.clear();
-  checkpoints_.assign(1, Checkpoint{});
-  checkpoints_[0].cur = 0;
-  checkpoints_[0].procs.assign(static_cast<std::size_t>(P_), ProcCheckpoint{});
-  checkpoints_[0].pos.assign(static_cast<std::size_t>(P_), 0);
   row_prefix_.clear();
-  ec_stamp_.assign(pn, 0);
-  ec_flag_.assign(pn, 0);
+  committed_rounds_ = 0;
+  committed_steps_ = 0;
+  ck_pos_.assign(static_cast<std::size_t>(P_), 0);
+  ck_weight_.assign(static_cast<std::size_t>(P_), 0.0);
+  if (sync_) {
+    ck_comp_.assign(static_cast<std::size_t>(P_), 0.0);
+    ck_save_.assign(static_cast<std::size_t>(P_), 0.0);
+    ck_load_.assign(static_cast<std::size_t>(P_), 0.0);
+    ck_any_.assign(static_cast<std::size_t>(P_), 0);
+  }
+  ck_cache_start_.assign(static_cast<std::size_t>(P_) + 1, 0);
+  ck_cache_nodes_.clear();
+  ck_step_.clear();
+  step_first_round_.assign(1, 0);
+  if (async_) {
+    as_comp_nodes_.clear();
+    as_save_nodes_.clear();
+    as_load_nodes_.clear();
+    as_comp_start_.assign(static_cast<std::size_t>(P_) + 1, 0);
+    as_save_start_.assign(static_cast<std::size_t>(P_) + 1, 0);
+    as_load_start_.assign(static_cast<std::size_t>(P_) + 1, 0);
+    as_save_prefix_.assign(static_cast<std::size_t>(P_), 0);
+    async_cur_.assign(static_cast<std::size_t>(P_), SlotOps{});
+    async_next_.assign(static_cast<std::size_t>(P_), SlotOps{});
+    fs_stamp_.assign(n_, 0);
+    first_save_.assign(n_, 0);
+    gets_blue_.assign(n_, 0.0);
+    now_.assign(static_cast<std::size_t>(P_), 0.0);
+    async_epoch_ = 0;
+  }
+
+  // Per-eval / per-try scratch (epoch 1 + zeroed stamps = all empty).
+  nn_stamp_.assign(static_cast<std::size_t>(P_) * n_, 0);
+  nn_epoch_.assign(static_cast<std::size_t>(P_), 1);
+  nn_from_.assign(static_cast<std::size_t>(P_) * n_, 0);
+  nn_use_.assign(static_cast<std::size_t>(P_) * n_, 0);
+  nn_comp_.assign(static_cast<std::size_t>(P_) * n_, 0);
+  ec_stamp_.assign(static_cast<std::size_t>(P_) * n_, 0);
+  ec_epoch_.assign(static_cast<std::size_t>(P_), 1);
   ec_list_.assign(static_cast<std::size_t>(P_), {});
   ec_weight_.assign(static_cast<std::size_t>(P_), 0.0);
-  eb_stamp_.assign(n_, 0);
   pos_.assign(static_cast<std::size_t>(P_), 0);
-  eval_epoch_ = 0;
-  s_produced_stamp_.assign(n_, 0);
-  s_load_stamp_.assign(n_, 0);
-  s_needed_stamp_.assign(n_, 0);
-  seg_epoch_ = 0;
-  t_stamp_.assign(n_, 0);
-  t_flag_.assign(n_, 0);
-  t_inlist_stamp_.assign(n_, 0);
-  t_blue_stamp_.assign(n_, 0);
-  t_hoist_stamp_.assign(n_, 0);
-  t_hoist_flag_.assign(n_, 0);
-  t_remneed_stamp_.assign(n_, 0);
-  t_remneed_.assign(n_, 0);
-  try_epoch_ = 0;
-  commit_stamp_.assign(n_, 0);
-  commit_stamp_epoch_ = 0;
+  eb_stamp_.assign(n_, 0);
+  eb_epoch_ = 1;
+  eh_map_.clear();
+  pending_blue_.clear();
+  s_ov_.assign(n_, SegOv{});
+  s_epoch_ = 1;
+  t_ov_.assign(n_, TryOv{});
+  t_epoch_ = 1;
+  t_added_.clear();
+
+  reserve_from_attached();
 
   const double cost = evaluate_from(0);
   promote_eval();
@@ -162,6 +188,58 @@ double IncrementalEvaluator::attach(const ComputePlan& plan) {
   assert(cost == evaluate_plan(inst_, plan_, options_));
 #endif
   return cost;
+}
+
+void IncrementalEvaluator::reserve_from_attached() {
+  // Steady-state sizing from (n, P, K): rounds track supersteps closely
+  // (one round per superstep unless segments split), so 2K + 8 rows of
+  // headroom absorbs typical structural churn without mid-search growth.
+  const std::size_t P = static_cast<std::size_t>(P_);
+  const std::size_t K =
+      static_cast<std::size_t>(std::max(plan_.num_supersteps(), 1));
+  const std::size_t rows = 2 * K + 8;
+  ck_pos_.reserve(rows * P);
+  ck_weight_.reserve(rows * P);
+  ck_cache_start_.reserve(rows * P + 1);
+  ck_cache_nodes_.reserve(2 * n_);
+  ck_step_.reserve(rows);
+  step_first_round_.reserve(K + 2);
+  blued_nodes_.reserve(n_);
+  blued_start_.reserve(rows + 1);
+  if (sync_) {
+    ck_comp_.reserve(rows * P);
+    ck_save_.reserve(rows * P);
+    ck_load_.reserve(rows * P);
+    ck_any_.reserve(rows * P);
+    rows_.reserve(rows + 1);
+    row_empty_.reserve(rows + 1);
+    row_prefix_.reserve(rows + 1);
+    scratch_rows_.reserve(rows + 1);
+    scratch_row_empty_.reserve(rows + 1);
+    slot_comp_.reserve(rows * P);
+    slot_save_.reserve(rows * P);
+    slot_load_.reserve(rows * P);
+    slot_any_.reserve(rows * P);
+  }
+  if (async_) {
+    as_comp_nodes_.reserve(2 * n_);
+    as_save_nodes_.reserve(2 * n_);
+    as_load_nodes_.reserve(2 * n_);
+    as_comp_start_.reserve(rows * P + 1);
+    as_save_start_.reserve(rows * P + 1);
+    as_load_start_.reserve(rows * P + 1);
+    as_save_prefix_.reserve(rows * P);
+  }
+  pending_blue_.reserve(4 * P);
+  sorted_members_.reserve(64);
+  t_added_.reserve(64);
+  s_loads_.reserve(64);
+  delta_ops_.reserve(16);
+  touched_procs_.reserve(P);
+  ed_before_.reserve(16);
+  affected_nodes_.reserve(32);
+  save_req_before_.reserve(32);
+  relabel_fixups_.reserve(4);
 }
 
 // ---------------------------------------------------------------------------
@@ -188,8 +266,8 @@ bool IncrementalEvaluator::compute_save_required(NodeId v) const {
   if (dag_.is_sink(v)) return true;
   const int cc = comp_proc_count_[static_cast<std::size_t>(v)];
   for (int p = 0; p < P_; ++p) {
-    const std::size_t at = static_cast<std::size_t>(p) * n_ +
-                           static_cast<std::size_t>(v);
+    const std::size_t at =
+        static_cast<std::size_t>(p) * n_ + static_cast<std::size_t>(v);
     if (use_cnt_[at] > 0 && (cc > 1 || comp_cnt_[at] == 0)) return true;
   }
   return false;
@@ -197,8 +275,7 @@ bool IncrementalEvaluator::compute_save_required(NodeId v) const {
 
 void IncrementalEvaluator::refresh_save_required() {
   for (NodeId v : affected_nodes_) {
-    save_req_[static_cast<std::size_t>(v)] =
-        compute_save_required(v) ? 1 : 0;
+    save_req_[static_cast<std::size_t>(v)] = compute_save_required(v) ? 1 : 0;
   }
 }
 
@@ -209,12 +286,13 @@ void IncrementalEvaluator::begin_move() {
   assert(!in_move_);
   in_move_ = true;
   index_.begin_move();
-  delta_.clear();
+  delta_size_ = 0;
   std::fill(proc_touched_.begin(), proc_touched_.end(), 0);
   touched_procs_.clear();
   ed_before_.clear();
   affected_nodes_.clear();
   save_req_before_.clear();
+  relabel_fixups_.clear();
   ++affected_epoch_;
 }
 
@@ -230,8 +308,7 @@ void IncrementalEvaluator::apply_op(const PlanDeltaOp& op) {
     if (affected_stamp_[static_cast<std::size_t>(v)] != affected_epoch_) {
       affected_stamp_[static_cast<std::size_t>(v)] = affected_epoch_;
       affected_nodes_.push_back(v);
-      save_req_before_.push_back(
-          {v, save_req_[static_cast<std::size_t>(v)]});
+      save_req_before_.push_back({v, save_req_[static_cast<std::size_t>(v)]});
     }
   };
   auto note_node = [&](NodeId v) {
@@ -260,13 +337,14 @@ void IncrementalEvaluator::apply_op(const PlanDeltaOp& op) {
       break;
     case PlanDeltaOpKind::kMergeStep:
     case PlanDeltaOpKind::kSplitStep:
-      delta_.structural = true;
       for (int p = 0; p < P_; ++p) touch_proc(p);
       break;
   }
   apply_delta_op(plan_, op);
   index_.on_apply(op);
-  delta_.ops.push_back(op);
+  // Pooled move log: reuse slots (and their cuts capacity) across moves.
+  if (delta_size_ == delta_ops_.size()) delta_ops_.emplace_back();
+  delta_ops_[delta_size_++] = op;
 }
 
 IncrementalEvaluator::Outcome IncrementalEvaluator::finish_move() {
@@ -275,9 +353,13 @@ IncrementalEvaluator::Outcome IncrementalEvaluator::finish_move() {
   // strictly below the top is followed by a gap-closing merge (this is
   // exactly what normalize_supersteps would have done).
   for (int gap = index_.gap_step(); gap != -1; gap = index_.gap_step()) {
-    PlanDeltaOp close;
+    PlanDeltaOp& close = scratch_op_;
     close.kind = PlanDeltaOpKind::kMergeStep;
+    close.proc = 0;
+    close.pos = 0;
+    close.pc = PlannedCompute{};
     close.pc.superstep = gap;
+    close.old_node = kInvalidNode;
     close.cuts.resize(static_cast<std::size_t>(P_));
     for (int p = 0; p < P_; ++p) {
       const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
@@ -293,41 +375,65 @@ IncrementalEvaluator::Outcome IncrementalEvaluator::finish_move() {
   refresh_save_required();
   if (!validate_candidate()) return {false, 0};
 
-  double cost;
-  if (incremental_) {
-    int b = dirty_bound();
-    b = std::min(b, static_cast<int>(checkpoints_.size()) - 1);
-    cost = evaluate_from(b);
-#ifndef NDEBUG
-    // Differential oracle check: the incremental cost must equal the full
-    // evaluator's bitwise, every iteration.
-    assert(cost == evaluate_plan(inst_, plan_, options_) &&
-           "incremental cost diverged from the full evaluator");
-#endif
-  } else {
-    cost = evaluate_plan(inst_, plan_, options_);
-    last_dirty_ = index_.num_supersteps();
-  }
+  // Touched processors' candidate-frame occurrence positions changed;
+  // drop their memoized lookahead (untouched rows stay warm).
+  for (int p : touched_procs_) nn_invalidate(p);
+
+  const int b = std::max(std::min(dirty_bound(), committed_rounds_), 0);
+  const double cost = evaluate_from(b);
+  // Differential oracle check: the incremental cost must equal the full
+  // evaluator's bitwise, every iteration.
+  assert(cost == evaluate_plan(inst_, plan_, options_) &&
+         "incremental cost diverged from the full evaluator");
   return {true, cost};
 }
 
 void IncrementalEvaluator::commit() {
   assert(in_move_);
-  if (incremental_) promote_eval();
+  promote_eval();
   for (int p : touched_procs_) {
-    std::swap(R_[static_cast<std::size_t>(p)],
-              R_scratch_[static_cast<std::size_t>(p)]);
-    std::swap(req_nodes_[static_cast<std::size_t>(p)],
-              req_nodes_scratch_[static_cast<std::size_t>(p)]);
+    std::swap(R_map_[static_cast<std::size_t>(p)],
+              R_scratch_map_[static_cast<std::size_t>(p)]);
   }
   index_.commit_move();
   in_move_ = false;
+#ifndef NDEBUG
+  // MBSP_CK_VERIFY=1 re-derives every checkpoint from scratch after each
+  // commit and requires the promoted rows to match. The per-move cost
+  // oracle above cannot see *cost-silent* state drift (evictions are
+  // free, so a wrong cache can coast for many rounds before it prices a
+  // reload); this check catches the drift at the commit that caused it.
+  if (std::getenv("MBSP_CK_VERIFY") != nullptr) {
+    evaluate_from(0);
+    const std::size_t P = static_cast<std::size_t>(P_);
+    const std::size_t nrec = scr_pos_.size() / P;
+    assert(nrec == static_cast<std::size_t>(committed_rounds_) &&
+           "promoted round count diverges from a fresh evaluation");
+    for (std::size_t r = 0; r + 1 < nrec; ++r) {
+      for (std::size_t p = 0; p < P; ++p) {
+        const std::size_t si = r * P + p;        // fresh boundary r+1
+        const std::size_t ci = (r + 1) * P + p;  // promoted boundary r+1
+        assert(ck_pos_[ci] == scr_pos_[si] &&
+               ck_weight_[ci] == scr_weight_[si] &&
+               "promoted checkpoint scalars diverge from a fresh evaluation");
+        const std::int64_t cn = ck_cache_start_[ci + 1] - ck_cache_start_[ci];
+        assert(cn == scr_cache_start_[si + 1] - scr_cache_start_[si] &&
+               "promoted cache size diverges from a fresh evaluation");
+        for (std::int64_t j = 0; j < cn; ++j) {
+          assert(ck_cache_nodes_[ck_cache_start_[ci] + j] ==
+                     scr_cache_nodes_[scr_cache_start_[si] + j] &&
+                 "promoted cache row diverges from a fresh evaluation");
+        }
+      }
+    }
+  }
+#endif
 }
 
 void IncrementalEvaluator::rollback() {
   assert(in_move_);
-  for (auto it = delta_.ops.rbegin(); it != delta_.ops.rend(); ++it) {
-    const PlanDeltaOp& op = *it;
+  for (std::size_t i = delta_size_; i-- > 0;) {
+    const PlanDeltaOp& op = delta_ops_[i];
     switch (op.kind) {
       case PlanDeltaOpKind::kInsert:
         bump_occurrence_counts(op.proc, op.pc.node, -1);
@@ -349,6 +455,9 @@ void IncrementalEvaluator::rollback() {
   for (const auto& [v, req] : save_req_before_) {
     save_req_[static_cast<std::size_t>(v)] = req;
   }
+  // The plan reverts to the committed frame: memo rows filled from the
+  // rolled-back candidate frame must not survive.
+  for (int p : touched_procs_) nn_invalidate(p);
   index_.rollback_move();
   in_move_ = false;
 }
@@ -362,21 +471,16 @@ bool IncrementalEvaluator::rescan_proc(int p) {
   // this processor's remote-requirement row (min superstep per needed
   // node), which guards untouched processors against later earliest_done
   // changes.
-  auto& row = R_scratch_[static_cast<std::size_t>(p)];
-  auto& reqs = req_nodes_scratch_[static_cast<std::size_t>(p)];
-  for (NodeId v : reqs) row[static_cast<std::size_t>(v)] = INT_MAX;
-  reqs.clear();
+  auto& row = R_scratch_map_[static_cast<std::size_t>(p)];
+  row.clear();
   ++scan_epoch_;
   const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
   for (std::size_t i = 0; i < seq.size(); ++i) {
     const PlannedCompute& pc = seq[i];
     for (NodeId u : dag_.parents(pc.node)) {
       if (dag_.is_source(u)) continue;
-      const bool local_earlier =
-          scan_stamp_[static_cast<std::size_t>(u)] == scan_epoch_;
-      if (local_earlier) continue;
-      int& entry = row[static_cast<std::size_t>(u)];
-      if (entry == INT_MAX) reqs.push_back(u);
+      if (scan_stamp_[static_cast<std::size_t>(u)] == scan_epoch_) continue;
+      int& entry = row.get_or_insert(u, INT_MAX);
       entry = std::min(entry, pc.superstep);
       const int ed = index_.earliest_done(u);
       const bool remote_earlier = ed >= 0 && ed < pc.superstep;
@@ -400,19 +504,90 @@ bool IncrementalEvaluator::validate_candidate() {
     if (ed < 0) return false;  // never computed (cannot happen for moves)
     for (int q = 0; q < P_; ++q) {
       if (proc_touched_[static_cast<std::size_t>(q)]) continue;
-      if (R_[static_cast<std::size_t>(q)][static_cast<std::size_t>(v)] <= ed) {
-        return false;
-      }
+      const int* entry = R_map_[static_cast<std::size_t>(q)].find(v);
+      if (entry != nullptr && *entry <= ed) return false;
     }
   }
   return true;
 }
 
 // ---------------------------------------------------------------------------
-// Dirty bound.
+// Round-table helpers (committed frame).
+
+int IncrementalEvaluator::first_round_of(int superstep) const {
+  const int s = std::clamp(superstep, 0, committed_steps_);
+  return step_first_round_[static_cast<std::size_t>(s)];
+}
+
+int IncrementalEvaluator::round_of_pos(int p, std::int64_t pos) const {
+  // Smallest committed round whose segment on p contains position pos
+  // (boundary positions are per-proc nondecreasing in r).
+  int lo = 0, hi = committed_rounds_;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (ck_pos_[static_cast<std::size_t>(mid + 1) * static_cast<std::size_t>(P_) +
+                static_cast<std::size_t>(p)] > pos) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+int IncrementalEvaluator::crossing_round(int p, std::int64_t cut) const {
+  // Smallest committed round boundary at which p has consumed >= cut
+  // positions (the round whose segment first reaches the old block
+  // boundary starts at the previous boundary).
+  int lo = 0, hi = committed_rounds_;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (ck_pos_[static_cast<std::size_t>(mid) * static_cast<std::size_t>(P_) +
+                static_cast<std::size_t>(p)] >= cut) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+// ---------------------------------------------------------------------------
+// Dirty bound (in committed rounds; see the header's invariants).
 
 int IncrementalEvaluator::dirty_bound() {
   int b = INT_MAX;
+  int structural = 0;
+  int num_splits = 0;
+  for (std::size_t i = 0; i < delta_size_; ++i) {
+    const PlanDeltaOpKind k = delta_ops_[i].kind;
+    if (k == PlanDeltaOpKind::kMergeStep) ++structural;
+    if (k == PlanDeltaOpKind::kSplitStep) {
+      ++structural;
+      ++num_splits;
+    }
+  }
+  for (int p : touched_procs_) {
+    inserts_on_proc_[static_cast<std::size_t>(p)] = 0;
+  }
+  for (std::size_t i = 0; i < delta_size_; ++i) {
+    if (delta_ops_[i].kind == PlanDeltaOpKind::kInsert) {
+      ++inserts_on_proc_[static_cast<std::size_t>(delta_ops_[i].proc)];
+    }
+  }
+  // Candidate-frame superstep labels under-shoot committed ones only via
+  // splits (each raises labels by one); subtracting the move's split
+  // count keeps label-keyed round lookups conservative.
+  const auto safe_first = [&](int s) { return first_round_of(s - num_splits); };
+  const auto first_at = [](const std::vector<PlannedCompute>& seq, int s) {
+    return static_cast<std::size_t>(
+        std::lower_bound(seq.begin(), seq.end(), s,
+                         [](const PlannedCompute& pc, int step) {
+                           return pc.superstep < step;
+                         }) -
+        seq.begin());
+  };
+
   // For each node whose occurrence/use pattern on a processor changed,
   // completion decisions on that processor are provably unchanged before
   // (the node's last event strictly before the edit position) + 1; an
@@ -430,37 +605,121 @@ int IncrementalEvaluator::dirty_bound() {
       const auto hi =
           items.begin() +
           static_cast<std::ptrdiff_t>(start[static_cast<std::size_t>(a) + 1]);
-      const auto it =
-          std::lower_bound(lo, hi, static_cast<std::int64_t>(pos));
+      const auto it = std::lower_bound(lo, hi, static_cast<std::int64_t>(pos));
       if (it != lo) last = std::max(last, *(it - 1));
     };
     find_last(pp.comp_start, pp.comp_items);
     find_last(pp.use_start, pp.use_items);
-    // Queries with from == last+1 can be issued by the segment *ending*
-    // there, which runs in the superstep of position `last` — so the
-    // restart must cover that superstep, not the one containing last+1.
-    int s;
     if (last >= 0) {
-      s = seq[static_cast<std::size_t>(last)].superstep;
-    } else if (!seq.empty()) {
-      // No prior event: the earliest divergent query (from == 0) is
-      // issued by this processor's first segment — in the *edited* plan
-      // that's seq[0]'s superstep, but the edit may have removed an even
-      // earlier first segment (e.g. erasing the lone occurrence of the
-      // first superstep), so the op's own superstep bounds it too.
-      s = std::min(seq[0].superstep, op_superstep);
-    } else {
-      s = op_superstep;
+      // Queries with from == last+1 can be issued by the segment *ending*
+      // there, which runs in the round containing position `last` — so
+      // the restart must cover that round. `last` is a candidate-frame
+      // position; shifting it down by the move's insert count on p
+      // under-approximates its committed image (erases only shift it up,
+      // and inserts behind the event do not shift it at all — hence the
+      // clamp to 0 rather than a jump to the block fallback, which would
+      // unsoundly skip the rounds holding the event).
+      const std::int64_t last_c = std::max<std::int64_t>(
+          last - inserts_on_proc_[static_cast<std::size_t>(p)], 0);
+      b = std::min(b, round_of_pos(p, last_c));
+      return;
     }
-    b = std::min(b, s);
+    // No usable prior event: `a` cannot sit in p's cache before the edit
+    // position (membership requires a comp or use event), so no earlier
+    // round ever queries it. Positional effects of the edit are confined
+    // to the superstep block containing it: segment planning reads items
+    // (weights, labels) only within its own block — the length search
+    // can reach the whole block, so every round of the block is suspect —
+    // plus the boundary label of the next block, whose block-end test is
+    // label-agnostic. Rounds before the block's first replay identically.
+    (void)seq;
+    b = std::min(b, safe_first(op_superstep));
   };
-  for (const PlanDeltaOp& op : delta_.ops) {
-    if (op.kind == PlanDeltaOpKind::kMergeStep ||
-        op.kind == PlanDeltaOpKind::kSplitStep) {
-      // Merge/split only relabel supersteps >= s; occurrence positions —
-      // and with them every next-need lookahead — are untouched, so the
-      // completion is bitwise unchanged below superstep s.
-      b = std::min(b, op.pc.superstep);
+
+  for (std::size_t i = 0; i < delta_size_; ++i) {
+    const PlanDeltaOp& op = delta_ops_[i];
+    if (op.kind == PlanDeltaOpKind::kMergeStep) {
+      const int s = op.pc.superstep;
+      relabel_fixups_.push_back({s + 1, -1});
+      // Tight analysis reads candidate labels against the op's apply-time
+      // cuts; both frames coincide only when this is the move's sole
+      // structural op and no node op follows it (gap closes are appended
+      // last; generator merges are single-op moves).
+      if (structural > 1 || i + 1 != delta_size_) {
+        b = std::min(b, safe_first(s));
+        continue;
+      }
+      bool any_s = false, any_s1 = false;
+      for (int p = 0; p < P_; ++p) {
+        const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+        const std::size_t cut =
+            std::min(op.cuts[static_cast<std::size_t>(p)], seq.size());
+        const std::size_t lo = first_at(seq, s);
+        any_s |= lo < cut;
+        any_s1 |= cut < seq.size() && seq[cut].superstep == s;
+      }
+      if (!any_s || !any_s1) {
+        // One side globally empty (every gap-closing merge lands here):
+        // no block boundary moved on any processor, so the completion is
+        // a pure relabel — the fixup pushed above patches the kept round
+        // table at promote, and nothing needs re-running for this op.
+        continue;
+      }
+      for (int p = 0; p < P_; ++p) {
+        const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+        const std::size_t cut =
+            std::min(op.cuts[static_cast<std::size_t>(p)], seq.size());
+        const bool had_s1 = cut < seq.size() && seq[cut].superstep == s;
+        if (!had_s1) continue;  // nothing joined s on this processor
+        const std::size_t lo = first_at(seq, s);
+        if (lo >= cut) {
+          // s was empty on p: its first segment of the merged block is
+          // brand new — dirty from the first round of s on.
+          b = std::min(b, first_round_of(s));
+          continue;
+        }
+        // p had work on both sides: every committed segment of s that
+        // ended on a feasibility failure replays identically; only the
+        // one that first *reached* the old boundary (ended on the block
+        // limit) can now grow across it.
+        const std::int64_t cut_c = std::max<std::int64_t>(
+            static_cast<std::int64_t>(cut) -
+                inserts_on_proc_[static_cast<std::size_t>(p)],
+            0);
+        b = std::min(b, std::max(first_round_of(s), crossing_round(p, cut_c) - 1));
+      }
+      continue;
+    }
+    if (op.kind == PlanDeltaOpKind::kSplitStep) {
+      const int s = op.pc.superstep;
+      relabel_fixups_.push_back({s + 1, +1});
+      if (structural > 1 || i + 1 != delta_size_) {
+        b = std::min(b, safe_first(s));
+        continue;
+      }
+      bool any_moved = false;
+      for (int p = 0; p < P_; ++p) {
+        const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+        const std::size_t cut =
+            std::min(op.cuts[static_cast<std::size_t>(p)], seq.size());
+        const bool moved = cut < seq.size() && seq[cut].superstep == s + 1;
+        if (!moved) continue;  // p's block of s is untouched (or empty)
+        any_moved = true;
+        const std::size_t lo = first_at(seq, s);
+        if (cut == lo) {
+          // The whole block moved into the new step: label change only
+          // for p, but other processors' s-blocks now end a superstep
+          // earlier — conservative restart from s.
+          b = std::min(b, first_round_of(s));
+          continue;
+        }
+        const std::int64_t cut_c = std::max<std::int64_t>(
+            static_cast<std::int64_t>(cut) -
+                inserts_on_proc_[static_cast<std::size_t>(p)],
+            0);
+        b = std::min(b, std::max(first_round_of(s), crossing_round(p, cut_c) - 1));
+      }
+      (void)any_moved;  // none moved: pure relabel, fixup only
       continue;
     }
     const int s_op =
@@ -484,7 +743,7 @@ int IncrementalEvaluator::dirty_bound() {
     }
   }
   // save_required is global: if a move flipped it for some node, every
-  // superstep from that node's earliest occurrence on is dirty.
+  // round from that node's earliest occurrence's superstep on is dirty.
   for (const auto& [v, before] : save_req_before_) {
     if (save_req_[static_cast<std::size_t>(v)] == before) continue;
     int earliest = index_.earliest_done(v);
@@ -493,140 +752,267 @@ int IncrementalEvaluator::dirty_bound() {
         earliest = earliest < 0 ? ed_old : std::min(earliest, ed_old);
       }
     }
-    if (earliest >= 0) b = std::min(b, earliest);
+    if (earliest >= 0) b = std::min(b, safe_first(earliest));
   }
-  return std::max(b == INT_MAX ? 0 : b, 0);
+  // INT_MAX (no-op move / pure relabel) is clamped by the caller to
+  // committed_rounds_: a zero-round rerun that reuses every checkpoint.
+  return b;
 }
 
 // ---------------------------------------------------------------------------
 // Completion: eval-level state.
 
-bool IncrementalEvaluator::eval_cache_member(int p, NodeId v) const {
-  const std::size_t at = static_cast<std::size_t>(p) * n_ +
-                         static_cast<std::size_t>(v);
-  return ec_stamp_[at] == eval_epoch_ && ec_flag_[at];
-}
-
-void IncrementalEvaluator::eval_cache_set(int p, NodeId v, bool in) {
-  const std::size_t at = static_cast<std::size_t>(p) * n_ +
-                         static_cast<std::size_t>(v);
-  ec_stamp_[at] = eval_epoch_;
-  ec_flag_[at] = in ? 1 : 0;
-}
-
-bool IncrementalEvaluator::eval_blue(NodeId v) const {
-  if (eb_stamp_[static_cast<std::size_t>(v)] == eval_epoch_) return true;
-  return blue_step_[static_cast<std::size_t>(v)] < eval_b_;
-}
-
-void IncrementalEvaluator::eval_blue_set(NodeId v, int step) {
-  if (eb_stamp_[static_cast<std::size_t>(v)] == eval_epoch_) return;
-  eb_stamp_[static_cast<std::size_t>(v)] = eval_epoch_;
-  eval_blued_.push_back({v, step});
-}
-
-bool IncrementalEvaluator::try_member(int p, NodeId v) const {
-  if (t_stamp_[static_cast<std::size_t>(v)] == try_epoch_) {
-    return t_flag_[static_cast<std::size_t>(v)] != 0;
+// Memoized per (proc, node). A cached (use, comp) lower-bound pair
+// computed at nn_from_ stays exact for any later query from >= nn_from_:
+// a cached position >= from is still the first one >= from (nothing can
+// exist between the old query point and it), and kNever at an earlier
+// point is kNever forever after. choose_victim re-scans every cache
+// member per eviction at (near-)monotone positions, so almost all probes
+// take the store-free inline hit path; only a side the query point has
+// passed goes through the out-of-line refill.
+inline std::int64_t IncrementalEvaluator::effective_next_need(
+    int p, const PlanOccurrenceIndex::ProcPositions& pp, NodeId v,
+    std::int64_t from) {
+  const std::size_t at =
+      static_cast<std::size_t>(p) * n_ + static_cast<std::size_t>(v);
+  if (nn_stamp_[at] == nn_epoch_[static_cast<std::size_t>(p)] &&
+      from >= nn_from_[at]) {
+    const std::int64_t use = nn_use_[at];
+    if (use == kNever) return kNever;
+    if (use >= from) {
+      const std::int64_t comp = nn_comp_[at];
+      if (comp == kNever || comp >= from) {
+        return comp < use ? kNever : use;  // kNever compares greatest
+      }
+    }
   }
-  return eval_cache_member(p, v);
+  return next_need_refill(p, pp, v, from);
 }
 
-void IncrementalEvaluator::try_set_member(NodeId v, bool in) {
-  t_stamp_[static_cast<std::size_t>(v)] = try_epoch_;
-  t_flag_[static_cast<std::size_t>(v)] = in ? 1 : 0;
-  if (in && t_inlist_stamp_[static_cast<std::size_t>(v)] != try_epoch_) {
-    t_inlist_stamp_[static_cast<std::size_t>(v)] = try_epoch_;
-    t_list_.push_back(v);
-  }
-}
-
-bool IncrementalEvaluator::try_blue(NodeId v) const {
-  if (t_blue_stamp_[static_cast<std::size_t>(v)] == try_epoch_) return true;
-  return eval_blue(v);
-}
-
-IncrementalEvaluator::SlotAcc& IncrementalEvaluator::slot_acc(int slot,
-                                                              int p) {
-  return slot_accs_[static_cast<std::size_t>(slot - first_eval_slot_) *
-                        static_cast<std::size_t>(P_) +
-                    static_cast<std::size_t>(p)];
-}
-
-std::int64_t IncrementalEvaluator::effective_next_need(
-    const PlanOccurrenceIndex::ProcPositions& pp, NodeId v,
-    std::int64_t from) const {
+std::int64_t IncrementalEvaluator::next_need_refill(
+    int p, const PlanOccurrenceIndex::ProcPositions& pp, NodeId v,
+    std::int64_t from) {
   const std::size_t v_ = static_cast<std::size_t>(v);
-  const auto ub = pp.use_items.begin() +
-                  static_cast<std::ptrdiff_t>(pp.use_start[v_]);
-  const auto ue = pp.use_items.begin() +
-                  static_cast<std::ptrdiff_t>(pp.use_start[v_ + 1]);
-  const auto uit = std::lower_bound(ub, ue, from);
-  if (uit == ue) return kNever;
-  const auto cb = pp.comp_items.begin() +
-                  static_cast<std::ptrdiff_t>(pp.comp_start[v_]);
-  const auto ce = pp.comp_items.begin() +
-                  static_cast<std::ptrdiff_t>(pp.comp_start[v_ + 1]);
-  const auto cit = std::lower_bound(cb, ce, from);
-  if (cit != ce && *cit < *uit) return kNever;  // recomputed first
-  return *uit;
+  const std::size_t at = static_cast<std::size_t>(p) * n_ + v_;
+  const bool live = nn_stamp_[at] == nn_epoch_[static_cast<std::size_t>(p)] &&
+                    from >= nn_from_[at];
+  std::int64_t use = live ? nn_use_[at] : 0;
+  if (!live || (use != kNever && use < from)) {
+    const auto ub =
+        pp.use_items.begin() + static_cast<std::ptrdiff_t>(pp.use_start[v_]);
+    const auto ue = pp.use_items.begin() +
+                    static_cast<std::ptrdiff_t>(pp.use_start[v_ + 1]);
+    const auto uit = std::lower_bound(ub, ue, from);
+    use = uit == ue ? kNever : *uit;
+  }
+  std::int64_t comp = live ? nn_comp_[at] : 0;
+  if (use == kNever) {
+    comp = kNever;  // never consulted while use stays kNever
+  } else if (!live || (comp != kNever && comp < from)) {
+    const auto cb =
+        pp.comp_items.begin() + static_cast<std::ptrdiff_t>(pp.comp_start[v_]);
+    const auto ce = pp.comp_items.begin() +
+                    static_cast<std::ptrdiff_t>(pp.comp_start[v_ + 1]);
+    const auto cit = std::lower_bound(cb, ce, from);
+    comp = cit == ce ? kNever : *cit;
+  }
+  nn_stamp_[at] = nn_epoch_[static_cast<std::size_t>(p)];
+  nn_from_[at] = from;
+  nn_use_[at] = use;
+  nn_comp_[at] = comp;
+  if (use == kNever) return kNever;
+  if (comp != kNever && comp < use) return kNever;  // recomputed first
+  return use;
+}
+
+std::int64_t IncrementalEvaluator::committed_last_active(
+    const PlanOccurrenceIndex::ProcPositions& pp, NodeId v,
+    std::int64_t before) const {
+  // The completion's committed last_active of a cached value is always
+  // the position of its last compute-or-use event strictly before the
+  // query point (loads are recorded at the segment start but every load
+  // feeds an in-segment use that overwrites the entry), so two binary
+  // searches over the occurrence index recover it exactly; -1 = never.
+  const std::size_t v_ = static_cast<std::size_t>(v);
+  std::int64_t last = -1;
+  {
+    const auto lo =
+        pp.comp_items.begin() + static_cast<std::ptrdiff_t>(pp.comp_start[v_]);
+    const auto hi = pp.comp_items.begin() +
+                    static_cast<std::ptrdiff_t>(pp.comp_start[v_ + 1]);
+    const auto it = std::lower_bound(lo, hi, before);
+    if (it != lo) last = std::max(last, *(it - 1));
+  }
+  {
+    const auto lo =
+        pp.use_items.begin() + static_cast<std::ptrdiff_t>(pp.use_start[v_]);
+    const auto hi =
+        pp.use_items.begin() + static_cast<std::ptrdiff_t>(pp.use_start[v_ + 1]);
+    const auto it = std::lower_bound(lo, hi, before);
+    if (it != lo) last = std::max(last, *(it - 1));
+  }
+  return last;
 }
 
 // ---------------------------------------------------------------------------
 // Completion: boundary restore / checkpoint / main loop.
 
 void IncrementalEvaluator::restore_boundary(int b) {
-  ++eval_epoch_;
+  // All per-eval append-only scratch lives in the arena; one reset makes
+  // the previous evaluation's blocks reusable at once.
+  eval_arena_.reset();
+  scr_pos_.attach(&eval_arena_);
+  scr_weight_.attach(&eval_arena_);
+  scr_comp_.attach(&eval_arena_);
+  scr_save_.attach(&eval_arena_);
+  scr_load_.attach(&eval_arena_);
+  scr_any_.attach(&eval_arena_);
+  scr_cache_start_.attach(&eval_arena_);
+  scr_cache_nodes_.attach(&eval_arena_);
+  scr_round_steps_.attach(&eval_arena_);
+  eval_blued_.attach(&eval_arena_);
+  eval_homes_.attach(&eval_arena_);
+  scr_as_comp_nodes_.attach(&eval_arena_);
+  scr_as_save_nodes_.attach(&eval_arena_);
+  scr_as_load_nodes_.attach(&eval_arena_);
+  scr_as_comp_start_.attach(&eval_arena_);
+  scr_as_save_start_.attach(&eval_arena_);
+  scr_as_load_start_.attach(&eval_arena_);
+  scr_as_save_prefix_.attach(&eval_arena_);
+
   eval_b_ = b;
-  const Checkpoint& ck = checkpoints_[static_cast<std::size_t>(b)];
-  eval_cur_ = ck.cur;
-  first_eval_slot_ = ck.cur;
-  num_slots_ = ck.cur + 1;
-  slot_accs_.clear();
-  slot_accs_.resize(static_cast<std::size_t>(P_));
-  for (int p = 0; p < P_; ++p) {
-    const ProcCheckpoint& pk = ck.procs[static_cast<std::size_t>(p)];
-    SlotAcc& acc = slot_acc(ck.cur, p);
-    acc.comp = pk.comp_sum;
-    acc.save = pk.save_sum;
-    acc.load = pk.load_sum;
-    acc.any = pk.any;
-    ec_list_[static_cast<std::size_t>(p)] = pk.cache;
-    for (NodeId v : pk.cache) eval_cache_set(p, v, true);
-    ec_weight_[static_cast<std::size_t>(p)] = pk.weight;
-    pos_[static_cast<std::size_t>(p)] = ck.pos[static_cast<std::size_t>(p)];
+  eval_cur_ = b;
+  first_eval_slot_ = b;
+  num_slots_ = b + 1;
+  scr_cache_start_.push_back(0);
+
+  const std::size_t row =
+      static_cast<std::size_t>(b) * static_cast<std::size_t>(P_);
+  if (sync_) {
+    slot_comp_.assign(ck_comp_.begin() + static_cast<std::ptrdiff_t>(row),
+                      ck_comp_.begin() + static_cast<std::ptrdiff_t>(row) + P_);
+    slot_save_.assign(ck_save_.begin() + static_cast<std::ptrdiff_t>(row),
+                      ck_save_.begin() + static_cast<std::ptrdiff_t>(row) + P_);
+    slot_load_.assign(ck_load_.begin() + static_cast<std::ptrdiff_t>(row),
+                      ck_load_.begin() + static_cast<std::ptrdiff_t>(row) + P_);
+    slot_any_.assign(ck_any_.begin() + static_cast<std::ptrdiff_t>(row),
+                     ck_any_.begin() + static_cast<std::ptrdiff_t>(row) + P_);
   }
+  for (int p = 0; p < P_; ++p) {
+    const std::size_t at = row + static_cast<std::size_t>(p);
+    auto& list = ec_list_[static_cast<std::size_t>(p)];
+    ec_clear(p);
+    const std::int64_t c0 = ck_cache_start_[at];
+    const std::int64_t c1 = ck_cache_start_[at + 1];
+    list.assign(ck_cache_nodes_.begin() + static_cast<std::ptrdiff_t>(c0),
+                ck_cache_nodes_.begin() + static_cast<std::ptrdiff_t>(c1));
+    for (NodeId v : list) ec_insert(p, v);
+    ec_weight_[static_cast<std::size_t>(p)] = ck_weight_[at];
+    pos_[static_cast<std::size_t>(p)] = ck_pos_[at];
+  }
+  eb_clear();
+  eh_map_.clear();
   pending_blue_.clear();
-  eval_blued_.clear();
-  eval_homes_.clear();
-  scratch_checkpoints_.clear();
-  scratch_ck_base_ = b + 1;
+  if (async_) {
+    scr_as_comp_start_.push_back(0);
+    scr_as_save_start_.push_back(0);
+    scr_as_load_start_.push_back(0);
+    for (int p = 0; p < P_; ++p) {
+      const std::size_t at = row + static_cast<std::size_t>(p);
+      SlotOps& cur = async_cur_[static_cast<std::size_t>(p)];
+      SlotOps& nxt = async_next_[static_cast<std::size_t>(p)];
+      nxt.reset();
+      // Straddling slot b at the boundary: the body ops of round b-1 are
+      // final; of its saves only the post-save prefix exists (stage
+      // pre-saves of round b are re-derived); loads are stage-only.
+      cur.comp.assign(
+          as_comp_nodes_.begin() + static_cast<std::ptrdiff_t>(as_comp_start_[at]),
+          as_comp_nodes_.begin() +
+              static_cast<std::ptrdiff_t>(as_comp_start_[at + 1]));
+      const std::int64_t s0 = as_save_start_[at];
+      cur.save.assign(
+          as_save_nodes_.begin() + static_cast<std::ptrdiff_t>(s0),
+          as_save_nodes_.begin() +
+              static_cast<std::ptrdiff_t>(s0 + as_save_prefix_[at]));
+      cur.load.clear();
+    }
+  }
 }
 
-void IncrementalEvaluator::record_checkpoint(int k) {
-  (void)k;
-  scratch_checkpoints_.emplace_back();
-  Checkpoint& ck = scratch_checkpoints_.back();
-  ck.cur = eval_cur_;
-  ck.procs.resize(static_cast<std::size_t>(P_));
-  ck.pos = pos_;
+void IncrementalEvaluator::record_checkpoint() {
+  // Boundary eval_cur_: state before round eval_cur_, including the
+  // straddling slot's partial accumulators / op lists.
   for (int p = 0; p < P_; ++p) {
-    ProcCheckpoint& pk = ck.procs[static_cast<std::size_t>(p)];
-    pk.cache = ec_list_[static_cast<std::size_t>(p)];
-    pk.weight = ec_weight_[static_cast<std::size_t>(p)];
-    const SlotAcc& acc = slot_acc(eval_cur_, p);
-    pk.comp_sum = acc.comp;
-    pk.save_sum = acc.save;
-    pk.load_sum = acc.load;
-    pk.any = acc.any;
+    scr_pos_.push_back(pos_[static_cast<std::size_t>(p)]);
+  }
+  for (int p = 0; p < P_; ++p) {
+    scr_weight_.push_back(ec_weight_[static_cast<std::size_t>(p)]);
+  }
+  if (sync_) {
+    const std::size_t base =
+        static_cast<std::size_t>(eval_cur_ - first_eval_slot_) *
+        static_cast<std::size_t>(P_);
+    for (int p = 0; p < P_; ++p) {
+      scr_comp_.push_back(slot_comp_[base + static_cast<std::size_t>(p)]);
+    }
+    for (int p = 0; p < P_; ++p) {
+      scr_save_.push_back(slot_save_[base + static_cast<std::size_t>(p)]);
+    }
+    for (int p = 0; p < P_; ++p) {
+      scr_load_.push_back(slot_load_[base + static_cast<std::size_t>(p)]);
+    }
+    for (int p = 0; p < P_; ++p) {
+      scr_any_.push_back(slot_any_[base + static_cast<std::size_t>(p)]);
+    }
+  }
+  for (int p = 0; p < P_; ++p) {
+    const auto& list = ec_list_[static_cast<std::size_t>(p)];
+    scr_cache_nodes_.append(list.data(), list.size());
+    scr_cache_start_.push_back(
+        static_cast<std::int64_t>(scr_cache_nodes_.size()));
+  }
+  if (async_) {
+    for (int p = 0; p < P_; ++p) {
+      scr_as_save_prefix_.push_back(static_cast<std::int32_t>(
+          async_cur_[static_cast<std::size_t>(p)].save.size()));
+    }
   }
 }
 
 double IncrementalEvaluator::evaluate_from(int b) {
-  cand_supersteps_ = index_.num_supersteps();
+  cand_steps_ = index_.num_supersteps();
   restore_boundary(b);
-  for (int k = b; k < cand_supersteps_; ++k) {
-    if (k > b) record_checkpoint(k);
+
+  // Flushes the completed straddling slot's op lists into the scratch
+  // CSR pool (same layout as the committed pool, rebased at slot b).
+  const auto flush_async_slot = [&] {
+    for (int p = 0; p < P_; ++p) {
+      SlotOps& cur = async_cur_[static_cast<std::size_t>(p)];
+      scr_as_comp_nodes_.append(cur.comp.data(), cur.comp.size());
+      scr_as_comp_start_.push_back(
+          static_cast<std::int64_t>(scr_as_comp_nodes_.size()));
+      scr_as_save_nodes_.append(cur.save.data(), cur.save.size());
+      scr_as_save_start_.push_back(
+          static_cast<std::int64_t>(scr_as_save_nodes_.size()));
+      scr_as_load_nodes_.append(cur.load.data(), cur.load.size());
+      scr_as_load_start_.push_back(
+          static_cast<std::int64_t>(scr_as_load_nodes_.size()));
+    }
+  };
+
+  // Rounds < b consumed a prefix of every sequence; the first remaining
+  // superstep is the minimum label at the restored positions (equal to
+  // the superstep a full run would be processing at this boundary).
+  int k_start = cand_steps_;
+  for (int p = 0; p < P_; ++p) {
+    const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
+    const std::int64_t pos = pos_[static_cast<std::size_t>(p)];
+    if (pos < static_cast<std::int64_t>(seq.size())) {
+      k_start = std::min(k_start, seq[static_cast<std::size_t>(pos)].superstep);
+    }
+  }
+
+  for (int k = k_start; k < cand_steps_; ++k) {
     for (;;) {
       bool any_remaining = false;
       for (int p = 0; p < P_; ++p) {
@@ -639,9 +1025,17 @@ double IncrementalEvaluator::evaluate_from(int b) {
         }
       }
       if (!any_remaining) break;
+      if (eval_cur_ > eval_b_) record_checkpoint();
+      scr_round_steps_.push_back(k);
       // Append the body slot of this round (slot count stays cur + 2).
+      if (sync_) {
+        slot_comp_.insert(slot_comp_.end(), static_cast<std::size_t>(P_), 0.0);
+        slot_save_.insert(slot_save_.end(), static_cast<std::size_t>(P_), 0.0);
+        slot_load_.insert(slot_load_.end(), static_cast<std::size_t>(P_), 0.0);
+        slot_any_.insert(slot_any_.end(), static_cast<std::size_t>(P_),
+                         static_cast<char>(0));
+      }
       ++num_slots_;
-      slot_accs_.resize(slot_accs_.size() + static_cast<std::size_t>(P_));
       for (int p = 0; p < P_; ++p) {
         const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
         const std::int64_t pos = pos_[static_cast<std::size_t>(p)];
@@ -652,7 +1046,7 @@ double IncrementalEvaluator::evaluate_from(int b) {
         const bool planned = plan_segment(p, k);
         assert(planned && "first compute of a segment must be schedulable");
         (void)planned;
-        commit_segment(p, k);
+        commit_segment(p);
       }
       // post_saves become loadable from the next round on. Their transfer
       // price is also settled here, not at commit time: a later processor
@@ -662,20 +1056,34 @@ double IncrementalEvaluator::evaluate_from(int b) {
       // so the home consulted below is final.
       for (const auto& [v, p] : pending_blue_) {
         eval_assign_home(v, grp_[static_cast<std::size_t>(p)]);
-        slot_acc(eval_cur_ + 1, p).save +=
-            comm_cost(p, eval_home(v)) * dag_.mu(v);
-        eval_blue_set(v, k);
+        if (sync_) {
+          const std::size_t at =
+              static_cast<std::size_t>(eval_cur_ + 1 - first_eval_slot_) *
+                  static_cast<std::size_t>(P_) +
+              static_cast<std::size_t>(p);
+          slot_save_[at] += comm_cost(p, eval_home(v)) * dag_.mu(v);
+        }
+        eval_blue_set(v);
       }
       pending_blue_.clear();
+      if (async_) {
+        flush_async_slot();
+        std::swap(async_cur_, async_next_);
+        for (int p = 0; p < P_; ++p) {
+          async_next_[static_cast<std::size_t>(p)].reset();
+        }
+      }
       ++eval_cur_;
     }
   }
-  // Zero-length suffix (an erase shrank the superstep count to exactly
-  // b): the boundary checkpoint already is the end state — recording it
-  // would mislabel it as checkpoint b+1.
-  if (cand_supersteps_ > b) record_checkpoint(cand_supersteps_);
-  last_dirty_ = cand_supersteps_ - b;
-  return finalize_cost();
+  // Zero-length suffix (an erase shrank the plan so that no round runs):
+  // the boundary checkpoint already is the end state — recording it again
+  // would mislabel it as boundary b+1.
+  if (eval_cur_ > eval_b_) record_checkpoint();
+  if (async_) flush_async_slot();  // final straddling slot (complete)
+  cand_rounds_ = eval_cur_;
+  last_dirty_ = cand_rounds_ - b;
+  return sync_ ? finalize_cost() : finalize_async_cost();
 }
 
 // ---------------------------------------------------------------------------
@@ -692,7 +1100,7 @@ bool IncrementalEvaluator::plan_segment(int p, int superstep) {
   }
   assert(limit > 0);
 
-  ++seg_epoch_;
+  clear_seg_overlay();
   s_loads_.clear();
   s_load_weight_ = 0;
   bool best_found = false;
@@ -702,25 +1110,22 @@ bool IncrementalEvaluator::plan_segment(int p, int superstep) {
     const NodeId v = seq[static_cast<std::size_t>(i0 + count - 1)].node;
     bool loadable = true;
     for (NodeId u : dag_.parents(v)) {
-      const std::size_t u_ = static_cast<std::size_t>(u);
-      if (s_produced_stamp_[u_] == seg_epoch_ ||
-          s_load_stamp_[u_] == seg_epoch_) {
-        continue;
-      }
+      SegOv& ov = seg_ov(u);
+      if (ov.produced || ov.load) continue;
       if (eval_cache_member(p, u)) {
-        s_needed_stamp_[u_] = seg_epoch_;
+        ov.needed = 1;
         continue;
       }
       if (!eval_blue(u)) {
         loadable = false;
         break;
       }
-      s_load_stamp_[u_] = seg_epoch_;
+      ov.load = 1;
       s_loads_.push_back(u);
       s_load_weight_ += dag_.mu(u);
     }
     if (!loadable) break;
-    s_produced_stamp_[static_cast<std::size_t>(v)] = seg_epoch_;
+    seg_ov(v).produced = 1;
     if (!run_phases(p, i0, count)) break;
     std::swap(best_seg_, cur_seg_);
     best_found = true;
@@ -732,11 +1137,8 @@ bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
                                       std::int64_t count) {
   const auto& seq = plan_.seq[static_cast<std::size_t>(p)];
   const auto& pp = index_.proc_positions(p);
-  ++try_epoch_;
-  t_list_ = ec_list_[static_cast<std::size_t>(p)];
-  for (NodeId v : t_list_) {
-    t_inlist_stamp_[static_cast<std::size_t>(v)] = try_epoch_;
-  }
+  clear_try_overlay();
+  t_added_.clear();
   t_weight_ = ec_weight_[static_cast<std::size_t>(p)];
   Segment& seg = cur_seg_;
   seg.loads.assign(s_loads_.begin(), s_loads_.end());
@@ -750,24 +1152,67 @@ bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
   auto save_required = [&](NodeId v) {
     return save_req_[static_cast<std::size_t>(v)] != 0;
   };
+  auto needed = [&](NodeId v) {
+    const SegOv* ov = seg_find(v);
+    return ov != nullptr && ov->needed;
+  };
+  auto in_load_set = [&](NodeId v) {
+    const SegOv* ov = seg_find(v);
+    return ov != nullptr && ov->load;
+  };
+  auto mark_blue = [&](NodeId v) { try_ov(v).blue = 1; };
+
+  // Both eviction policies are strict total orders over the candidates,
+  // so iterating the committed list then the additions is free. The LRU
+  // key is the committed last-active position *at the segment start*
+  // (frozen during a try, exactly like the completer's committed array).
   auto choose_victim = [&](auto&& allowed, std::int64_t from) -> NodeId {
-    // Clairvoyant choice (farthest next use, node id tiebreak) over the
-    // tentative cache — a strict total order, so list order is free.
     NodeId best = kInvalidNode;
     std::int64_t best_next = -1;
-    for (NodeId v : t_list_) {
-      if (t_stamp_[static_cast<std::size_t>(v)] == try_epoch_ &&
-          !t_flag_[static_cast<std::size_t>(v)]) {
-        continue;  // evicted in this try
-      }
-      if (!allowed(v)) continue;
-      const std::int64_t need = effective_next_need(pp, v, from);
+    std::int64_t best_la = -1;
+    bool best_dead = false;
+    auto consider = [&](NodeId v) {
+      if (!allowed(v)) return;
+      const std::int64_t need = effective_next_need(p, pp, v, from);
       const std::int64_t next_use = need == kNever ? kNoNextUse : need;
-      if (best == kInvalidNode || next_use > best_next ||
-          (next_use == best_next && v < best)) {
-        best = v;
-        best_next = next_use;
+      if (!lru_) {
+        if (best == kInvalidNode || next_use > best_next ||
+            (next_use == best_next && v < best)) {
+          best = v;
+          best_next = next_use;
+        }
+        return;
       }
+      const bool dead = next_use == kNoNextUse;
+      const std::int64_t la = committed_last_active(pp, v, i0);
+      if (best == kInvalidNode) {
+        best = v;
+        best_dead = dead;
+        best_la = la;
+        return;
+      }
+      if (dead != best_dead) {
+        if (dead) {
+          best = v;
+          best_dead = dead;
+          best_la = la;
+        }
+        return;
+      }
+      if (la < best_la || (la == best_la && v < best)) {
+        best = v;
+        best_la = la;
+      }
+    };
+    for (NodeId v : ec_list_[static_cast<std::size_t>(p)]) {
+      const TryOv* ov = try_find(v);
+      if (ov != nullptr && ov->member == 0) continue;  // evicted in this try
+      consider(v);
+    }
+    for (NodeId v : t_added_) {
+      const TryOv* ov = try_find(v);
+      if (ov == nullptr || ov->member != 1) continue;
+      consider(v);
     }
     return best;
   };
@@ -775,61 +1220,49 @@ bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
   // Phase A: upfront evictions so start cache + loads fit.
   const double r_p = mem_[static_cast<std::size_t>(p)];
   while (t_weight_ + s_load_weight_ > r_p + kMemEps) {
-    const NodeId victim = choose_victim(
-        [&](NodeId v) {
-          return s_needed_stamp_[static_cast<std::size_t>(v)] != seg_epoch_;
-        },
-        i0);
+    const NodeId victim =
+        choose_victim([&](NodeId v) { return !needed(v); }, i0);
     if (victim == kInvalidNode) return false;
-    const bool live = effective_next_need(pp, victim, i0) != kNever;
+    const bool live = effective_next_need(p, pp, victim, i0) != kNever;
     if (!try_blue(victim) && (live || save_required(victim))) {
       seg.pre_saves.push_back(victim);
-      t_blue_stamp_[static_cast<std::size_t>(victim)] = try_epoch_;
+      mark_blue(victim);
     }
     seg.pre_deletes.push_back(victim);
-    try_set_member(victim, false);
+    try_set_member(p, victim, false);
     t_weight_ -= dag_.mu(victim);
   }
 
   // Apply the upfront loads.
   for (NodeId u : seg.loads) {
     if (!try_member(p, u)) {
-      try_set_member(u, true);
+      try_set_member(p, u, true);
       t_weight_ += dag_.mu(u);
     }
   }
 
   // Hoistable start-cache values: untouched by the segment (see
   // memory_completion.cpp for why hoisting their eviction is sound).
-  for (NodeId v : t_list_) {
-    const std::size_t v_ = static_cast<std::size_t>(v);
-    t_hoist_stamp_[v_] = try_epoch_;
-    t_hoist_flag_[v_] = (try_member(p, v) &&
-                         s_needed_stamp_[v_] != seg_epoch_ &&
-                         s_load_stamp_[v_] != seg_epoch_)
-                            ? 1
-                            : 0;
+  // Snapshot once post-load; nodes added later (computes) stay
+  // non-hoistable, matching the oracle's one-time scan.
+  for (NodeId v : ec_list_[static_cast<std::size_t>(p)]) {
+    if (!try_member(p, v)) continue;
+    if (needed(v) || in_load_set(v)) continue;
+    try_ov(v).hoist = 1;
   }
   auto hoistable = [&](NodeId v) {
-    return t_hoist_stamp_[static_cast<std::size_t>(v)] == try_epoch_ &&
-           t_hoist_flag_[static_cast<std::size_t>(v)] != 0;
+    const TryOv* ov = try_find(v);
+    return ov != nullptr && ov->hoist != 0;
   };
-  auto remneed = [&](NodeId v) -> long {
-    return t_remneed_stamp_[static_cast<std::size_t>(v)] == try_epoch_
-               ? t_remneed_[static_cast<std::size_t>(v)]
-               : 0;
+  auto remneed = [&](NodeId v) -> std::int32_t {
+    const TryOv* ov = try_find(v);
+    return ov != nullptr ? ov->remneed : 0;
   };
-  auto bump_remneed = [&](NodeId v, long delta) {
-    const std::size_t v_ = static_cast<std::size_t>(v);
-    if (t_remneed_stamp_[v_] != try_epoch_) {
-      t_remneed_stamp_[v_] = try_epoch_;
-      t_remneed_[v_] = 0;
-    }
-    t_remneed_[v_] += delta;
+  auto bump_remneed = [&](NodeId v, std::int32_t delta) {
+    try_ov(v).remneed += delta;
   };
   for (std::int64_t j = 0; j < count; ++j) {
-    for (NodeId u :
-         dag_.parents(seq[static_cast<std::size_t>(i0 + j)].node)) {
+    for (NodeId u : dag_.parents(seq[static_cast<std::size_t>(i0 + j)].node)) {
       bump_remneed(u, +1);
     }
   }
@@ -845,28 +1278,28 @@ bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
               if (remneed(c) > 0) return false;  // still a parent here
               if (try_blue(c)) return true;
               if (hoistable(c)) return true;
-              return effective_next_need(pp, c, gpos) == kNever &&
+              return effective_next_need(p, pp, c, gpos) == kNever &&
                      !save_required(c);
             },
             gpos + 1);
         if (victim == kInvalidNode) return false;
         const bool dirty_live =
             !try_blue(victim) &&
-            (effective_next_need(pp, victim, gpos) != kNever ||
+            (effective_next_need(p, pp, victim, gpos) != kNever ||
              save_required(victim));
         if (dirty_live) {
           // Hoist: evict before the segment, saving first.
           seg.pre_saves.push_back(victim);
-          t_blue_stamp_[static_cast<std::size_t>(victim)] = try_epoch_;
+          mark_blue(victim);
           seg.pre_deletes.push_back(victim);
         } else {
           seg.ops.push_back({0, victim});
         }
-        try_set_member(victim, false);
+        try_set_member(p, victim, false);
         t_weight_ -= dag_.mu(victim);
       }
       seg.ops.push_back({1, v});
-      try_set_member(v, true);
+      try_set_member(p, v, true);
       t_weight_ += dag_.mu(v);
     }
     // else: value already red; the occurrence is redundant, skip the op.
@@ -874,10 +1307,10 @@ bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
     // Eager cleanup: drop parents that just died (free DELETE ops).
     for (NodeId u : dag_.parents(v)) {
       if (!try_member(p, u) || remneed(u) > 0) continue;
-      if (effective_next_need(pp, u, gpos + 1) != kNever) continue;
+      if (effective_next_need(p, pp, u, gpos + 1) != kNever) continue;
       if (!try_blue(u) && save_required(u)) continue;
       seg.ops.push_back({0, u});
-      try_set_member(u, false);
+      try_set_member(p, u, false);
       t_weight_ -= dag_.mu(u);
     }
   }
@@ -888,104 +1321,143 @@ bool IncrementalEvaluator::run_phases(int p, std::int64_t i0,
     const NodeId v = seq[static_cast<std::size_t>(i0 + j)].node;
     if (try_member(p, v) && !try_blue(v) && save_required(v)) {
       seg.post_saves.push_back(v);
-      t_blue_stamp_[static_cast<std::size_t>(v)] = try_epoch_;
+      mark_blue(v);
     }
   }
   sorted_members_.clear();
-  for (NodeId v : t_list_) {
+  for (NodeId v : ec_list_[static_cast<std::size_t>(p)]) {
     if (try_member(p, v)) sorted_members_.push_back(v);
+  }
+  for (NodeId v : t_added_) {
+    const TryOv* ov = try_find(v);
+    if (ov != nullptr && ov->member == 1) sorted_members_.push_back(v);
   }
   std::sort(sorted_members_.begin(), sorted_members_.end());
   const std::int64_t after = i0 + count;
   for (NodeId v : sorted_members_) {
-    if (effective_next_need(pp, v, after) != kNever) continue;
+    if (effective_next_need(p, pp, v, after) != kNever) continue;
     if (!try_blue(v) && save_required(v)) continue;
     seg.post_deletes.push_back(v);
-    try_set_member(v, false);
+    try_set_member(p, v, false);
     t_weight_ -= dag_.mu(v);
   }
 
+  // Final cache in committed-list-then-additions order — the same
+  // sequence the old per-try list produced, so committed ec_list_ rows
+  // (and with them every checkpoint cache row) are order-stable.
   seg.final_cache.clear();
-  for (NodeId v : t_list_) {
+  for (NodeId v : ec_list_[static_cast<std::size_t>(p)]) {
     if (try_member(p, v)) seg.final_cache.push_back(v);
+  }
+  for (NodeId v : t_added_) {
+    const TryOv* ov = try_find(v);
+    if (ov != nullptr && ov->member == 1) seg.final_cache.push_back(v);
   }
   seg.final_weight = t_weight_;
   return true;
 }
 
-void IncrementalEvaluator::commit_segment(int p, int superstep) {
+void IncrementalEvaluator::commit_segment(int p) {
   const Segment& seg = best_seg_;
-  SlotAcc& stage = slot_acc(eval_cur_, p);
-  for (NodeId v : seg.pre_saves) {
-    // A pre-save is the slot-order-first save of a not-yet-blue value on
-    // this processor's slot, so it may claim the home group.
-    eval_assign_home(v, grp_[static_cast<std::size_t>(p)]);
-    stage.save += comm_cost(p, eval_home(v)) * dag_.mu(v);
-  }
-  for (NodeId v : seg.loads) {
-    // Loads require blue, so the home (if any) is already final.
-    stage.load += comm_cost(p, eval_home(v)) * dag_.mu(v);
-  }
-  if (!seg.pre_saves.empty() || !seg.pre_deletes.empty() ||
-      !seg.loads.empty()) {
-    stage.any = 1;
-  }
-  SlotAcc& body = slot_acc(eval_cur_ + 1, p);
-  for (const auto& [is_compute, v] : seg.ops) {
-    if (is_compute) body.comp += dag_.omega(v);
-  }
-  // post_saves are priced at the round drain (see evaluate_from), where
-  // their home groups are final.
-  if (!seg.ops.empty() || !seg.post_saves.empty() ||
-      !seg.post_deletes.empty()) {
-    body.any = 1;
+  if (sync_) {
+    const std::size_t stage =
+        static_cast<std::size_t>(eval_cur_ - first_eval_slot_) *
+            static_cast<std::size_t>(P_) +
+        static_cast<std::size_t>(p);
+    const std::size_t body = stage + static_cast<std::size_t>(P_);
+    for (NodeId v : seg.pre_saves) {
+      // A pre-save is the slot-order-first save of a not-yet-blue value
+      // on this processor's slot, so it may claim the home group.
+      eval_assign_home(v, grp_[static_cast<std::size_t>(p)]);
+      slot_save_[stage] += comm_cost(p, eval_home(v)) * dag_.mu(v);
+    }
+    for (NodeId v : seg.loads) {
+      // Loads require blue, so the home (if any) is already final.
+      slot_load_[stage] += comm_cost(p, eval_home(v)) * dag_.mu(v);
+    }
+    if (!seg.pre_saves.empty() || !seg.pre_deletes.empty() ||
+        !seg.loads.empty()) {
+      slot_any_[stage] = 1;
+    }
+    for (const auto& [is_compute, v] : seg.ops) {
+      if (is_compute) slot_comp_[body] += dag_.omega(v);
+    }
+    // post_saves are priced at the round drain (see evaluate_from), where
+    // their home groups are final.
+    if (!seg.ops.empty() || !seg.post_saves.empty() ||
+        !seg.post_deletes.empty()) {
+      slot_any_[body] = 1;
+    }
+  } else {
+    // Async cost: record the op lists; pricing happens at finalize. Home
+    // groups are still claimed in oracle order (pre-saves at commit,
+    // post-saves at the round drain).
+    for (NodeId v : seg.pre_saves) eval_assign_home(v, grp_[static_cast<std::size_t>(p)]);
+    SlotOps& cur = async_cur_[static_cast<std::size_t>(p)];
+    SlotOps& nxt = async_next_[static_cast<std::size_t>(p)];
+    // Slot layout mirrors the oracle's chronological save list: the
+    // straddling slot's saves are [post-saves of round r-1, pre-saves of
+    // round r]; loads are stage-only; computes are body-only.
+    for (NodeId v : seg.pre_saves) cur.save.push_back(v);
+    for (NodeId v : seg.loads) cur.load.push_back(v);
+    for (const auto& [is_compute, v] : seg.ops) {
+      if (is_compute) nxt.comp.push_back(v);
+    }
+    for (NodeId v : seg.post_saves) nxt.save.push_back(v);
   }
 
   // Fold the segment's end state into the eval-level processor state.
-  ++commit_stamp_epoch_;
-  for (NodeId v : seg.final_cache) {
-    commit_stamp_[static_cast<std::size_t>(v)] = commit_stamp_epoch_;
-  }
-  for (NodeId v : ec_list_[static_cast<std::size_t>(p)]) {
-    if (commit_stamp_[static_cast<std::size_t>(v)] != commit_stamp_epoch_) {
-      eval_cache_set(p, v, false);
-    }
-  }
-  for (NodeId v : seg.final_cache) eval_cache_set(p, v, true);
-  ec_list_[static_cast<std::size_t>(p)] = seg.final_cache;
+  auto& list = ec_list_[static_cast<std::size_t>(p)];
+  ec_clear(p);
+  list = seg.final_cache;
+  for (NodeId v : list) ec_insert(p, v);
   ec_weight_[static_cast<std::size_t>(p)] = seg.final_weight;
   pos_[static_cast<std::size_t>(p)] += seg.count;
-  for (NodeId v : seg.pre_saves) eval_blue_set(v, superstep);
+  for (NodeId v : seg.pre_saves) eval_blue_set(v);
   for (NodeId v : seg.post_saves) pending_blue_.push_back({v, p});
 }
+
+// ---------------------------------------------------------------------------
+// Cost finalization.
 
 double IncrementalEvaluator::finalize_cost() {
   scratch_rows_.clear();
   scratch_row_empty_.clear();
-  for (int slot = first_eval_slot_; slot < num_slots_; ++slot) {
+  const int local_slots = num_slots_ - first_eval_slot_;
+  for (int ls = 0; ls < local_slots; ++ls) {
+    const std::size_t base =
+        static_cast<std::size_t>(ls) * static_cast<std::size_t>(P_);
+    // Structure-of-arrays row fold: one contiguous sweep per field (max
+    // over non-NaN doubles is order-free, so splitting the fold keeps the
+    // result bitwise; speeds divide in the same per-entry order as the
+    // full evaluator — uniform machines divide by 1.0, a bitwise
+    // identity).
+    const double* comp = slot_comp_.data() + base;
+    const double* save = slot_save_.data() + base;
+    const double* load = slot_load_.data() + base;
+    const char* any = slot_any_.data() + base;
     SyncStepCost row;
-    char any = 0;
     for (int p = 0; p < P_; ++p) {
-      const SlotAcc& acc = slot_acc(slot, p);
-      // Raw work sums are divided by the processor speed only here, in
-      // the same order as the full evaluator (uniform: / 1.0, bitwise
-      // identity).
-      row.max_compute =
-          std::max(row.max_compute,
-                   acc.comp / speed_[static_cast<std::size_t>(p)]);
-      row.max_save = std::max(row.max_save, acc.save);
-      row.max_load = std::max(row.max_load, acc.load);
-      any |= acc.any;
+      row.max_compute = std::max(
+          row.max_compute, comp[p] / speed_[static_cast<std::size_t>(p)]);
     }
+    for (int p = 0; p < P_; ++p) {
+      row.max_save = std::max(row.max_save, save[p]);
+    }
+    for (int p = 0; p < P_; ++p) {
+      row.max_load = std::max(row.max_load, load[p]);
+    }
+    char a = 0;
+    for (int p = 0; p < P_; ++p) a |= any[p];
     scratch_rows_.push_back(row);
-    scratch_row_empty_.push_back(any ? 0 : 1);
+    scratch_row_empty_.push_back(a ? 0 : 1);
   }
   // Resume the accumulation from the cached prefix state (same doubles,
   // same add order as a full front-to-back sweep — bitwise equal).
-  SyncCostBreakdown bd = first_eval_slot_ > 0
-                             ? row_prefix_[static_cast<std::size_t>(
-                                   first_eval_slot_ - 1)]
-                             : SyncCostBreakdown{};
+  SyncCostBreakdown bd =
+      first_eval_slot_ > 0
+          ? row_prefix_[static_cast<std::size_t>(first_eval_slot_ - 1)]
+          : SyncCostBreakdown{};
   for (std::size_t i = 0; i < scratch_rows_.size(); ++i) {
     if (scratch_row_empty_[i]) continue;
     const SyncStepCost& row = scratch_rows_[i];
@@ -996,48 +1468,242 @@ double IncrementalEvaluator::finalize_cost() {
   return bd.total();
 }
 
-void IncrementalEvaluator::promote_eval() {
-  rows_.resize(static_cast<std::size_t>(num_slots_));
-  row_empty_.resize(static_cast<std::size_t>(num_slots_));
-  row_prefix_.resize(static_cast<std::size_t>(num_slots_));
-  SyncCostBreakdown bd = first_eval_slot_ > 0
-                             ? row_prefix_[static_cast<std::size_t>(
-                                   first_eval_slot_ - 1)]
-                             : SyncCostBreakdown{};
-  for (std::size_t i = 0; i < scratch_rows_.size(); ++i) {
-    const std::size_t at = static_cast<std::size_t>(first_eval_slot_) + i;
-    rows_[at] = scratch_rows_[i];
-    row_empty_[at] = scratch_row_empty_[i];
-    if (!scratch_row_empty_[i]) {
-      bd.compute += scratch_rows_[i].max_compute;
-      bd.io += scratch_rows_[i].max_save + scratch_rows_[i].max_load;
-      bd.sync += L_;
+double IncrementalEvaluator::finalize_async_cost() {
+  // Exact replay of async_cost's slot sweep (cost.cpp): per slot, compute
+  // phase then save phase then load phase, processors ascending, ops in
+  // list order. Committed slots read the committed CSR pool; slots >=
+  // first_eval_slot_ read the scratch pool. Empty drained slots fold
+  // harmlessly (the oracle drops them, but an empty slot changes neither
+  // finishing times nor first-save slots' relative order).
+  ++async_epoch_;
+  std::fill(now_.begin(), now_.end(), 0.0);
+  for (int slot = 0; slot < num_slots_; ++slot) {
+    const bool committed = slot < first_eval_slot_;
+    const std::size_t crow = static_cast<std::size_t>(slot) *
+                             static_cast<std::size_t>(P_);
+    const std::size_t srow =
+        committed ? 0
+                  : static_cast<std::size_t>(slot - first_eval_slot_) *
+                        static_cast<std::size_t>(P_);
+    for (int p = 0; p < P_; ++p) {
+      const std::size_t at =
+          (committed ? crow : srow) + static_cast<std::size_t>(p);
+      const std::int64_t a0 =
+          committed ? as_comp_start_[at] : scr_as_comp_start_[at];
+      const std::int64_t a1 =
+          committed ? as_comp_start_[at + 1] : scr_as_comp_start_[at + 1];
+      const NodeId* pool =
+          committed ? as_comp_nodes_.data() : scr_as_comp_nodes_.data();
+      double t = now_[static_cast<std::size_t>(p)];
+      if (uniform_) {
+        for (std::int64_t i = a0; i < a1; ++i) t += dag_.omega(pool[i]);
+      } else {
+        for (std::int64_t i = a0; i < a1; ++i) {
+          t += dag_.omega(pool[i]) / speed_[static_cast<std::size_t>(p)];
+        }
+      }
+      now_[static_cast<std::size_t>(p)] = t;
     }
-    row_prefix_[at] = bd;
-  }
-  checkpoints_.resize(static_cast<std::size_t>(cand_supersteps_) + 1);
-  for (std::size_t i = 0; i < scratch_checkpoints_.size(); ++i) {
-    checkpoints_[static_cast<std::size_t>(scratch_ck_base_) + i] =
-        std::move(scratch_checkpoints_[i]);
-  }
-  // Blue timestamps: drop the old suffix, install the new one.
-  for (int k = eval_b_; k < static_cast<int>(blued_in_step_.size()); ++k) {
-    for (NodeId v : blued_in_step_[static_cast<std::size_t>(k)]) {
-      if (blue_step_[static_cast<std::size_t>(v)] == k) {
-        blue_step_[static_cast<std::size_t>(v)] = INT_MAX;
+    for (int p = 0; p < P_; ++p) {
+      const std::size_t at =
+          (committed ? crow : srow) + static_cast<std::size_t>(p);
+      const std::int64_t a0 =
+          committed ? as_save_start_[at] : scr_as_save_start_[at];
+      const std::int64_t a1 =
+          committed ? as_save_start_[at + 1] : scr_as_save_start_[at + 1];
+      const NodeId* pool =
+          committed ? as_save_nodes_.data() : scr_as_save_nodes_.data();
+      for (std::int64_t i = a0; i < a1; ++i) {
+        const NodeId v = pool[i];
+        const std::size_t v_ = static_cast<std::size_t>(v);
+        const double gv = uniform_ ? g_ : comm_cost(p, eval_home(v));
+        now_[static_cast<std::size_t>(p)] += gv * dag_.mu(v);
+        if (fs_stamp_[v_] != async_epoch_) {
+          fs_stamp_[v_] = async_epoch_;
+          first_save_[v_] = slot;
+          gets_blue_[v_] = now_[static_cast<std::size_t>(p)];
+        } else if (first_save_[v_] == slot) {
+          gets_blue_[v_] =
+              std::min(gets_blue_[v_], now_[static_cast<std::size_t>(p)]);
+        }
       }
     }
-    blued_in_step_[static_cast<std::size_t>(k)].clear();
+    for (int p = 0; p < P_; ++p) {
+      const std::size_t at =
+          (committed ? crow : srow) + static_cast<std::size_t>(p);
+      const std::int64_t a0 =
+          committed ? as_load_start_[at] : scr_as_load_start_[at];
+      const std::int64_t a1 =
+          committed ? as_load_start_[at + 1] : scr_as_load_start_[at + 1];
+      const NodeId* pool =
+          committed ? as_load_nodes_.data() : scr_as_load_nodes_.data();
+      for (std::int64_t i = a0; i < a1; ++i) {
+        const NodeId v = pool[i];
+        const std::size_t v_ = static_cast<std::size_t>(v);
+        assert(fs_stamp_[v_] == async_epoch_ || dag_.is_source(v));
+        const double gb = fs_stamp_[v_] == async_epoch_ ? gets_blue_[v_] : 0.0;
+        const double gv = uniform_ ? g_ : comm_cost(p, eval_home(v));
+        now_[static_cast<std::size_t>(p)] =
+            std::max(now_[static_cast<std::size_t>(p)], gb) + gv * dag_.mu(v);
+      }
+    }
   }
-  blued_in_step_.resize(static_cast<std::size_t>(cand_supersteps_));
-  for (const auto& [v, k] : eval_blued_) {
-    blue_step_[static_cast<std::size_t>(v)] = k;
-    blued_in_step_[static_cast<std::size_t>(k)].push_back(v);
+  double makespan = 0;
+  for (int p = 0; p < P_; ++p) {
+    makespan = std::max(makespan, now_[static_cast<std::size_t>(p)]);
   }
-  // Home groups ride on the blue timestamps: entries dropped above are
+  return makespan;
+}
+
+// ---------------------------------------------------------------------------
+// Promotion: install the scratch evaluation as the committed state.
+
+void IncrementalEvaluator::promote_eval() {
+  const int b = eval_b_;
+  const int old_rounds = committed_rounds_;
+  const std::size_t P = static_cast<std::size_t>(P_);
+  const std::size_t keep = static_cast<std::size_t>(b + 1) * P;
+
+  if (sync_) {
+    rows_.resize(static_cast<std::size_t>(num_slots_));
+    row_empty_.resize(static_cast<std::size_t>(num_slots_));
+    row_prefix_.resize(static_cast<std::size_t>(num_slots_));
+    SyncCostBreakdown bd =
+        first_eval_slot_ > 0
+            ? row_prefix_[static_cast<std::size_t>(first_eval_slot_ - 1)]
+            : SyncCostBreakdown{};
+    for (std::size_t i = 0; i < scratch_rows_.size(); ++i) {
+      const std::size_t at = static_cast<std::size_t>(first_eval_slot_) + i;
+      rows_[at] = scratch_rows_[i];
+      row_empty_[at] = scratch_row_empty_[i];
+      if (!scratch_row_empty_[i]) {
+        bd.compute += scratch_rows_[i].max_compute;
+        bd.io += scratch_rows_[i].max_save + scratch_rows_[i].max_load;
+        bd.sync += L_;
+      }
+      row_prefix_[at] = bd;
+    }
+  }
+
+  // Checkpoint SoA rows: truncate to the kept boundaries 0..b, append the
+  // re-derived boundaries b+1..cand_rounds_.
+  ck_pos_.resize(keep);
+  ck_pos_.insert(ck_pos_.end(), scr_pos_.begin(), scr_pos_.end());
+  ck_weight_.resize(keep);
+  ck_weight_.insert(ck_weight_.end(), scr_weight_.begin(), scr_weight_.end());
+  if (sync_) {
+    ck_comp_.resize(keep);
+    ck_comp_.insert(ck_comp_.end(), scr_comp_.begin(), scr_comp_.end());
+    ck_save_.resize(keep);
+    ck_save_.insert(ck_save_.end(), scr_save_.begin(), scr_save_.end());
+    ck_load_.resize(keep);
+    ck_load_.insert(ck_load_.end(), scr_load_.begin(), scr_load_.end());
+    ck_any_.resize(keep);
+    ck_any_.insert(ck_any_.end(), scr_any_.begin(), scr_any_.end());
+  }
+  {
+    const std::int64_t cut = ck_cache_start_[keep];
+    ck_cache_nodes_.resize(static_cast<std::size_t>(cut));
+    ck_cache_start_.resize(keep + 1);
+    ck_cache_nodes_.insert(ck_cache_nodes_.end(), scr_cache_nodes_.begin(),
+                           scr_cache_nodes_.end());
+    for (std::size_t i = 1; i < scr_cache_start_.size(); ++i) {
+      ck_cache_start_.push_back(cut + scr_cache_start_[i]);
+    }
+  }
+
+  // Round -> superstep labels: patch the kept rounds for pure-relabel
+  // merges/splits, then install the re-derived suffix labels.
+  for (const auto& [thr, delta] : relabel_fixups_) {
+    for (int r = 0; r < b; ++r) {
+      if (ck_step_[static_cast<std::size_t>(r)] >= thr) {
+        ck_step_[static_cast<std::size_t>(r)] += delta;
+      }
+    }
+  }
+  ck_step_.resize(static_cast<std::size_t>(cand_rounds_));
+  for (std::size_t i = 0; i < scr_round_steps_.size(); ++i) {
+    ck_step_[static_cast<std::size_t>(b) + i] = scr_round_steps_[i];
+  }
+  committed_rounds_ = cand_rounds_;
+  committed_steps_ = cand_steps_;
+  step_first_round_.assign(static_cast<std::size_t>(committed_steps_) + 1,
+                           committed_rounds_);
+  for (int r = committed_rounds_ - 1; r >= 0; --r) {
+    assert(ck_step_[static_cast<std::size_t>(r)] >= 0 &&
+           ck_step_[static_cast<std::size_t>(r)] < committed_steps_);
+    step_first_round_[static_cast<std::size_t>(
+        ck_step_[static_cast<std::size_t>(r)])] = r;
+  }
+  // Monotone sweep: first_round_of(s) = first round with label >= s, so
+  // label-keyed bounds stay valid even when a superstep owns no round.
+  for (int k = committed_steps_ - 1; k >= 0; --k) {
+    step_first_round_[static_cast<std::size_t>(k)] =
+        std::min(step_first_round_[static_cast<std::size_t>(k)],
+                 step_first_round_[static_cast<std::size_t>(k) + 1]);
+  }
+
+  if (async_) {
+    // Committed async op pools: keep slots 0..b-1 outright (boundary b's
+    // straddling slot is re-derived in scratch), rebase-append the rest.
+    const std::size_t keep_off = static_cast<std::size_t>(b) * P;
+    const std::int64_t cb = as_comp_start_[keep_off];
+    as_comp_nodes_.resize(static_cast<std::size_t>(cb));
+    as_comp_start_.resize(keep_off + 1);
+    as_comp_nodes_.insert(as_comp_nodes_.end(), scr_as_comp_nodes_.begin(),
+                          scr_as_comp_nodes_.end());
+    for (std::size_t i = 1; i < scr_as_comp_start_.size(); ++i) {
+      as_comp_start_.push_back(cb + scr_as_comp_start_[i]);
+    }
+    const std::int64_t sb = as_save_start_[keep_off];
+    as_save_nodes_.resize(static_cast<std::size_t>(sb));
+    as_save_start_.resize(keep_off + 1);
+    as_save_nodes_.insert(as_save_nodes_.end(), scr_as_save_nodes_.begin(),
+                          scr_as_save_nodes_.end());
+    for (std::size_t i = 1; i < scr_as_save_start_.size(); ++i) {
+      as_save_start_.push_back(sb + scr_as_save_start_[i]);
+    }
+    const std::int64_t lb = as_load_start_[keep_off];
+    as_load_nodes_.resize(static_cast<std::size_t>(lb));
+    as_load_start_.resize(keep_off + 1);
+    as_load_nodes_.insert(as_load_nodes_.end(), scr_as_load_nodes_.begin(),
+                          scr_as_load_nodes_.end());
+    for (std::size_t i = 1; i < scr_as_load_start_.size(); ++i) {
+      as_load_start_.push_back(lb + scr_as_load_start_[i]);
+    }
+    as_save_prefix_.resize(keep);
+    for (std::size_t i = 0; i < scr_as_save_prefix_.size(); ++i) {
+      as_save_prefix_.push_back(scr_as_save_prefix_[i]);
+    }
+  }
+
+  // Blue rounds: drop the old suffix slices, install the new ones.
+  for (int r = b; r < old_rounds; ++r) {
+    for (std::int64_t i = blued_start_[static_cast<std::size_t>(r)];
+         i < blued_start_[static_cast<std::size_t>(r) + 1]; ++i) {
+      const NodeId v = blued_nodes_[static_cast<std::size_t>(i)];
+      if (blue_round_[static_cast<std::size_t>(v)] == r) {
+        blue_round_[static_cast<std::size_t>(v)] = INT_MAX;
+      }
+    }
+  }
+  blued_nodes_.resize(
+      static_cast<std::size_t>(blued_start_[static_cast<std::size_t>(b)]));
+  blued_start_.resize(static_cast<std::size_t>(b) + 1);
+  for (const BlueRec& rec : eval_blued_) {
+    while (static_cast<int>(blued_start_.size()) <= rec.round) {
+      blued_start_.push_back(static_cast<std::int64_t>(blued_nodes_.size()));
+    }
+    blued_nodes_.push_back(rec.node);
+    blue_round_[static_cast<std::size_t>(rec.node)] = rec.round;
+  }
+  while (static_cast<int>(blued_start_.size()) < committed_rounds_ + 1) {
+    blued_start_.push_back(static_cast<std::int64_t>(blued_nodes_.size()));
+  }
+  // Home groups ride on the blue rounds: entries dropped above are
   // invalidated by their blue reset; the new suffix installs its own.
-  for (const auto& [v, grp] : eval_homes_) {
-    home_group_[static_cast<std::size_t>(v)] = grp;
+  for (const HomeRec& rec : eval_homes_) {
+    home_group_[static_cast<std::size_t>(rec.node)] = rec.grp;
   }
 }
 

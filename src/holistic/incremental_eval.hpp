@@ -5,68 +5,85 @@
 // O(delta) bookkeeping plus a *suffix* of the memory completion instead of
 // a full copy + validate + complete + cost pass.
 //
-// ## Dirty-superstep invariants
+// ## Dirty-round invariants
 //
-// The synchronous cost is separable per MBSP superstep (cost.hpp's
-// SyncStepCost rows), and the memory completion is a deterministic
-// left-to-right simulation over plan supersteps whose cross-processor
-// coupling is forward-only (the shared blue set only grows, and is only
-// read by later rounds). The engine therefore checkpoints the completion
-// state at every plan-superstep boundary and, per move, recompletes only
-// supersteps >= b, where b is a *provably safe* dirty bound:
+// The memory completion is a deterministic left-to-right simulation over
+// *rounds* (one maximal segment per participating processor per round;
+// memory_completion.cpp) whose cross-processor coupling is forward-only:
+// the shared blue set only grows and is only read by later rounds. The
+// engine checkpoints the completion state at every round boundary and,
+// per move, re-completes only rounds >= b, where b is a *provably safe*
+// dirty bound:
 //
 //  * A move edits processor p around position i. Completion decisions
-//    before i on p consult the future only through
-//    effective_next_need(p, v, .) — whose answers, for every node not
-//    touched by the edit, are shifted uniformly (order-preserving), and
-//    for each touched node v (the moved occurrence's node and its
-//    parents) are unchanged for queries before d(v) = (v's last
-//    occurrence-or-use position on p before i) + 1. The eviction policy
-//    (clairvoyant) only *compares* next-need values, so every decision
-//    strictly before min_v d(v) is bitwise reproduced; b is the plan
-//    superstep containing that position.
+//    before i on p consult the plan only through position-indexed
+//    lookahead (effective_next_need) and, under LRU, position-indexed
+//    lookback (last_active). For every node not touched by the edit the
+//    answers shift uniformly (order-preserving); for each touched node v
+//    they are unchanged for queries before d(v) = (v's last
+//    occurrence-or-use position on p strictly before i) + 1. Both
+//    eviction policies only *compare* those values, so every decision in
+//    rounds whose segments end at positions <= d(v) - 1 is bitwise
+//    reproduced; b is the committed round containing that position
+//    (conservatively shifted down by the move's insert count on p, so
+//    candidate-frame positions always under-approximate committed ones).
 //  * save_required(v) is a global property (which processors compute /
-//    consume v); if a move flips it, supersteps from v's earliest
-//    occurrence on are dirty too.
-//  * Moves that change the superstep *structure* (merge / split / a gap
-//    close after a move emptied a superstep) relabel every superstep
-//    >= s but move no occurrence positions — and next-need lookahead is
-//    position-based — so they restart from b = s.
+//    consume v); if a move flips it, rounds from v's earliest
+//    occurrence's superstep on are dirty too.
+//  * Merging superstep s with s+1 changes nothing below the first round
+//    of s, and on each processor the completion is bitwise identical up
+//    to the committed round whose segment first *reaches* the old block
+//    boundary (every earlier segment ended on a feasibility failure, not
+//    on the block limit, so its planning loop replays identically); b is
+//    the min over affected processors of that crossing round - 1. A merge
+//    where one side is empty on every processor (in particular every
+//    gap-closing merge after an erase) is a pure relabel: it costs *no*
+//    re-completion at all, only a label fixup of the kept round table.
+//    Splits are bounded symmetrically.
 //
-// Everything the suffix run reuses — boundary caches, blue timestamps,
-// per-slot cost rows, per-proc position indexes — is restored exactly as
-// a from-scratch run of the edited plan would have produced it, so the
-// incremental cost is *bitwise identical* to the full evaluator
-// (evaluate_plan), which remains the oracle: debug builds assert equality
-// after every move, and tests/test_incremental_eval.cpp drives randomized
-// apply/undo sequences against it.
+// Everything the suffix run reuses — boundary caches, blue rounds, home
+// groups, per-slot cost rows, per-(slot, proc) async op lists — is
+// restored exactly as a from-scratch run of the edited plan would have
+// produced it, so the incremental cost is *bitwise identical* to the full
+// evaluator (evaluate_plan), which remains the oracle: debug builds
+// assert equality after every move, and tests/test_incremental_eval.cpp
+// drives randomized apply/undo sequences against it.
 //
-// ## Heterogeneous machines
+// Every cost model / eviction policy combination runs incrementally:
+// synchronous cost folds per-slot accumulator rows (heterogeneous
+// speeds/memories/comm groups priced as in docs/MACHINES.md), the
+// asynchronous cost replays the finishing-time recursion over per-(slot,
+// proc) operation lists kept incrementally, and the LRU policy's
+// last-active timestamps are reconstructed from the occurrence index
+// (they are always the position of a committed compute-or-use, so a
+// binary search recovers them exactly).
 //
-// The engine prices per-processor compute speeds, per-processor memory
-// capacities and two-level communication groups (docs/MACHINES.md)
-// natively: per-slot accumulators keep *raw* per-processor work sums
-// (speed division happens once, at row-fold time, in the same order as
-// the full evaluator), transfer ops are priced per operation against the
-// value's home group, and home assignments (group of the first saver)
-// are tracked exactly like blue timestamps — committed per superstep,
-// overlaid per evaluation, restored bitwise on rollback. Completion
-// *decisions* depend only on capacities (static per processor), so the
-// dirty-bound proof is untouched; homes and speeds only reprice rows the
-// move already re-derives. On uniform machines every factor degenerates
-// to the historical scalars and results are bitwise unchanged.
+// ## Memory layout (docs/PERFORMANCE.md)
 //
-// Restrictions: the incremental completion path requires the synchronous
-// cost model and the clairvoyant completion policy (the LNS defaults).
-// Other configurations still get in-place apply/undo and incremental
-// validation, but each candidate is costed by the full evaluator.
+// The move loop runs millions of evaluations; its state is laid out to
+// make an evaluation allocation-free in steady state:
+//  * committed checkpoints are structure-of-arrays: flat per-(round,
+//    proc) position/weight/accumulator arrays plus one pooled cache-row
+//    array with offsets — no per-round vectors;
+//  * per-eval scratch (checkpoint rows, async op lists, blue/home logs)
+//    lives in a bump Arena (src/util/arena.hpp), reset per evaluation;
+//  * the hot per-node overlays (tentative membership, blue, hoist,
+//    remaining-need; the eval cache sets) are dense epoch-stamped arrays
+//    — one direct indexed load per probe, O(1) clears by epoch bump —
+//    while the sparse, rarely-touched validator remote-requirement rows
+//    stay open-addressing FlatMaps (src/util/flat_map.hpp);
+//  * slot cost accumulators are structure-of-arrays folded by contiguous
+//    per-field loops in finalize_cost (same fp order as the oracle).
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "src/holistic/lns.hpp"
 #include "src/model/cost.hpp"
 #include "src/twostage/compute_plan.hpp"
+#include "src/util/arena.hpp"
+#include "src/util/flat_map.hpp"
 
 namespace mbsp {
 
@@ -80,11 +97,10 @@ class IncrementalEvaluator {
 
   const ComputePlan& plan() const { return plan_; }
   PlanOccurrenceIndex& index() { return index_; }
-  /// True when the incremental completion path is active (synchronous
-  /// cost + clairvoyant policy); other configurations cost each
-  /// candidate with the full evaluator, so callers should not batch
-  /// wall-clock polls around finish_move.
-  bool incremental() const { return incremental_; }
+  /// The incremental completion path covers every cost model and
+  /// eviction policy; kept (always true) so callers and tests can assert
+  /// no configuration falls back to full evaluation.
+  bool incremental() const { return true; }
 
   struct Outcome {
     bool valid = false;
@@ -96,6 +112,11 @@ class IncrementalEvaluator {
   /// finish_move, call exactly one of commit() / rollback().
   void begin_move();
   void apply_op(const PlanDeltaOp& op);
+  /// Reusable op buffer for move generators: fill it, pass it to
+  /// apply_op (which copies it into the pooled move log). Its `cuts`
+  /// capacity is retained across proposals, so structural moves allocate
+  /// nothing in steady state.
+  PlanDeltaOp& scratch_op() { return scratch_op_; }
   Outcome finish_move();
   /// Keeps the applied move; promotes the scratch evaluation state.
   void commit();
@@ -103,30 +124,14 @@ class IncrementalEvaluator {
   /// pre-begin_move state bitwise.
   void rollback();
 
-  /// Number of supersteps the last finish_move re-derived (the dirty
-  /// suffix; equals the superstep count on full fallbacks). Benches use
-  /// this to report how incremental the search actually is.
-  long last_dirty_supersteps() const { return last_dirty_; }
+  /// Number of completion rounds the last finish_move re-derived (the
+  /// dirty suffix). Benches and tests use this to observe how
+  /// incremental the search actually is.
+  long last_dirty_rounds() const { return last_dirty_; }
+  /// Total committed completion rounds of the current plan.
+  long committed_rounds() const { return committed_rounds_; }
 
  private:
-  struct ProcCheckpoint {
-    std::vector<NodeId> cache;  ///< red set at the boundary
-    double weight = 0;          ///< cache weight (historical fp trajectory)
-    // Partial phase-cost accumulators of the straddling slot (the body of
-    // the previous superstep's last round; the next superstep stages into
-    // the same slot).
-    double comp_sum = 0, save_sum = 0, load_sum = 0;
-    char any = 0;
-  };
-  struct Checkpoint {
-    int cur = 0;  ///< straddling slot index at the boundary
-    std::vector<ProcCheckpoint> procs;
-    std::vector<std::int64_t> pos;  ///< per-proc plan position
-  };
-  struct SlotAcc {
-    double comp = 0, save = 0, load = 0;
-    char any = 0;
-  };
   struct Segment {
     std::vector<NodeId> loads, pre_saves, pre_deletes, post_saves,
         post_deletes;
@@ -134,6 +139,43 @@ class IncrementalEvaluator {
     std::int64_t count = 0;
     std::vector<NodeId> final_cache;
     double final_weight = 0;
+  };
+  /// Per-try overlay entry, one dense slot per node; live iff
+  /// stamp == t_epoch_ (one indexed load per probe, no hashing).
+  struct TryOv {
+    std::int8_t member = -1;  ///< -1 inherit from eval cache, else 0/1
+    std::int8_t blue = 0;     ///< made blue in this try
+    std::int8_t hoist = 0;    ///< hoistable snapshot (set once post-load)
+    std::int8_t in_added = 0; ///< already logged in t_added_
+    std::int32_t remneed = 0; ///< remaining in-segment parent uses
+    std::uint32_t stamp = 0;  ///< live iff == t_epoch_
+  };
+  /// Per-segment overlay entry (cleared per plan_segment, shared across
+  /// the growing try counts); live iff stamp == s_epoch_.
+  struct SegOv {
+    char produced = 0, load = 0, needed = 0;
+    std::uint32_t stamp = 0;  ///< live iff == s_epoch_
+  };
+  struct BlueRec {
+    NodeId node;
+    int round;
+  };
+  struct HomeRec {
+    NodeId node;
+    int grp;
+  };
+  struct PendRec {
+    NodeId node;
+    int proc;
+  };
+  /// Per-(slot, proc) async operation lists of the two active slots.
+  struct SlotOps {
+    std::vector<NodeId> comp, save, load;
+    void reset() {
+      comp.clear();
+      save.clear();
+      load.clear();
+    }
   };
 
   // -- validation ----------------------------------------------------------
@@ -148,27 +190,145 @@ class IncrementalEvaluator {
   // -- completion ----------------------------------------------------------
   double evaluate_from(int b);
   void restore_boundary(int b);
-  void record_checkpoint(int k);
+  void record_checkpoint();
   bool plan_segment(int p, int superstep);
   bool run_phases(int p, std::int64_t i0, std::int64_t count);
-  void commit_segment(int p, int superstep);
-  std::int64_t effective_next_need(
+  void commit_segment(int p);
+  std::int64_t effective_next_need(int p,
+                                   const PlanOccurrenceIndex::ProcPositions& pp,
+                                   NodeId v, std::int64_t from);
+  std::int64_t next_need_refill(int p,
+                                const PlanOccurrenceIndex::ProcPositions& pp,
+                                NodeId v, std::int64_t from);
+  std::int64_t committed_last_active(
       const PlanOccurrenceIndex::ProcPositions& pp, NodeId v,
-      std::int64_t from) const;
+      std::int64_t before) const;
   int dirty_bound();
   double finalize_cost();
+  double finalize_async_cost();
   void promote_eval();
+  void reserve_from_attached();
 
-  // eval/try-local cache + blue reads (overlay over committed state)
-  bool eval_cache_member(int p, NodeId v) const;
-  void eval_cache_set(int p, NodeId v, bool in);
-  bool eval_blue(NodeId v) const;
-  void eval_blue_set(NodeId v, int step);
-  bool try_member(int p, NodeId v) const;
-  void try_set_member(NodeId v, bool in);
-  bool try_blue(NodeId v) const;
+  // -- round-table helpers (committed frame) -------------------------------
+  int first_round_of(int superstep) const;
+  int round_of_pos(int p, std::int64_t pos) const;
+  int crossing_round(int p, std::int64_t cut) const;
 
-  SlotAcc& slot_acc(int slot, int p);
+  // eval/try-local cache + blue reads (overlay over committed state);
+  // defined in-class so the run_phases loops inline them (they run
+  // hundreds of millions of times per bench).
+  bool eval_cache_member(int p, NodeId v) const { return ec_member(p, v); }
+  bool eval_blue(NodeId v) const {
+    if (eb_contains(v)) return true;
+    return blue_round_[static_cast<std::size_t>(v)] < eval_b_;
+  }
+  void eval_blue_set(NodeId v) {
+    std::uint32_t& stamp = eb_stamp_[static_cast<std::size_t>(v)];
+    if (stamp == eb_epoch_) return;
+    stamp = eb_epoch_;
+    eval_blued_.push_back({v, eval_cur_});
+  }
+  bool try_member(int p, NodeId v) const {
+    const TryOv* ov = try_find(v);
+    if (ov != nullptr && ov->member >= 0) return ov->member != 0;
+    return ec_member(p, v);
+  }
+  void try_set_member(int p, NodeId v, bool in) {
+    TryOv& ov = try_ov(v);
+    ov.member = in ? 1 : 0;
+    if (in && !ov.in_added && !ec_member(p, v)) {
+      ov.in_added = 1;
+      t_added_.push_back(v);
+    }
+  }
+  bool try_blue(NodeId v) const {
+    const TryOv* ov = try_find(v);
+    if (ov != nullptr && ov->blue) return true;
+    return eval_blue(v);
+  }
+
+  // -- dense epoch-stamped overlay primitives ------------------------------
+  // A slot is live iff its stamp equals the overlay's epoch; bumping the
+  // epoch empties the overlay in O(1). On the (astronomically rare)
+  // uint32 wrap the stamps are zero-filled so stale slots cannot alias.
+  TryOv& try_ov(NodeId v) {
+    TryOv& o = t_ov_[static_cast<std::size_t>(v)];
+    if (o.stamp != t_epoch_) {
+      o = TryOv{};
+      o.stamp = t_epoch_;
+    }
+    return o;
+  }
+  const TryOv* try_find(NodeId v) const {
+    const TryOv& o = t_ov_[static_cast<std::size_t>(v)];
+    return o.stamp == t_epoch_ ? &o : nullptr;
+  }
+  void clear_try_overlay() {
+    if (++t_epoch_ == 0) {
+      for (TryOv& o : t_ov_) o.stamp = 0;
+      t_epoch_ = 1;
+    }
+  }
+  SegOv& seg_ov(NodeId v) {
+    SegOv& o = s_ov_[static_cast<std::size_t>(v)];
+    if (o.stamp != s_epoch_) {
+      o = SegOv{};
+      o.stamp = s_epoch_;
+    }
+    return o;
+  }
+  const SegOv* seg_find(NodeId v) const {
+    const SegOv& o = s_ov_[static_cast<std::size_t>(v)];
+    return o.stamp == s_epoch_ ? &o : nullptr;
+  }
+  void clear_seg_overlay() {
+    if (++s_epoch_ == 0) {
+      for (SegOv& o : s_ov_) o.stamp = 0;
+      s_epoch_ = 1;
+    }
+  }
+  bool ec_member(int p, NodeId v) const {
+    return ec_stamp_[static_cast<std::size_t>(p) * n_ +
+                     static_cast<std::size_t>(v)] ==
+           ec_epoch_[static_cast<std::size_t>(p)];
+  }
+  void ec_insert(int p, NodeId v) {
+    ec_stamp_[static_cast<std::size_t>(p) * n_ + static_cast<std::size_t>(v)] =
+        ec_epoch_[static_cast<std::size_t>(p)];
+  }
+  void ec_clear(int p) {
+    std::uint32_t& epoch = ec_epoch_[static_cast<std::size_t>(p)];
+    if (++epoch == 0) {
+      const std::ptrdiff_t base =
+          static_cast<std::ptrdiff_t>(static_cast<std::size_t>(p) * n_);
+      std::fill(ec_stamp_.begin() + base,
+                ec_stamp_.begin() + base + static_cast<std::ptrdiff_t>(n_),
+                0u);
+      epoch = 1;
+    }
+  }
+  bool eb_contains(NodeId v) const {
+    return eb_stamp_[static_cast<std::size_t>(v)] == eb_epoch_;
+  }
+  void eb_clear() {
+    if (++eb_epoch_ == 0) {
+      std::fill(eb_stamp_.begin(), eb_stamp_.end(), 0u);
+      eb_epoch_ = 1;
+    }
+  }
+  // Drops proc p's memoized next-need lookahead (its candidate-frame
+  // occurrence positions changed).
+  void nn_invalidate(int p) {
+    std::uint32_t& epoch = nn_epoch_[static_cast<std::size_t>(p)];
+    if (++epoch == 0) {
+      const std::ptrdiff_t base =
+          static_cast<std::ptrdiff_t>(static_cast<std::size_t>(p) * n_);
+      std::fill(nn_stamp_.begin() + base,
+                nn_stamp_.begin() + base + static_cast<std::ptrdiff_t>(n_),
+                0u);
+      epoch = 1;
+    }
+  }
 
   // -- home-group bookkeeping (heterogeneous comm groups) ------------------
   int eval_home(NodeId v) const;
@@ -178,7 +338,10 @@ class IncrementalEvaluator {
   const MbspInstance& inst_;
   const ComputeDag& dag_;
   LnsOptions options_;
-  bool incremental_;  ///< sync + clairvoyant: full machinery enabled
+  bool async_ = false;    ///< asynchronous cost model
+  bool sync_ = true;      ///< !async_: maintain per-slot sync cost rows
+  bool lru_ = false;      ///< LRU eviction (else clairvoyant)
+  bool uniform_ = true;   ///< flat (P, r, g, L) machine
   int P_ = 1;
   std::size_t n_ = 0;
   double g_ = 0, L_ = 0;
@@ -195,78 +358,134 @@ class IncrementalEvaluator {
   std::vector<long> comp_cnt_, use_cnt_;  // [p * n + v]
   std::vector<int> comp_proc_count_;      // [v]
   std::vector<char> save_req_;            // [v]
-  std::vector<int> blue_step_;            // [v]: -1 sources, else first
-                                          // blue superstep, INT_MAX never
+  std::vector<int> blue_round_;           // [v]: -1 sources, else first
+                                          // blue round, INT_MAX never
   std::vector<int> home_group_;           // [v]: first saver's group; valid
-                                          // exactly when blue_step_ is
-  std::vector<std::vector<NodeId>> blued_in_step_;  // [k]
-  std::vector<SyncStepCost> rows_;
+                                          // exactly when blue_round_ is
+  // blued-by-round pool: nodes first blued in round r are
+  // blued_nodes_[blued_start_[r] .. blued_start_[r+1]).
+  std::vector<NodeId> blued_nodes_;
+  std::vector<std::int64_t> blued_start_;  // [R + 1]
+  std::vector<SyncStepCost> rows_;         // per slot (sync only)
   std::vector<char> row_empty_;
   // row_prefix_[i]: the cost accumulator state after folding rows [0..i]
   // (skipping empties) — finalize_cost resumes from it instead of
   // rescanning the committed prefix, preserving the exact fp add order.
   std::vector<SyncCostBreakdown> row_prefix_;
-  std::vector<Checkpoint> checkpoints_;  // [0..K]
-  // Validator: R_[p][v] = min superstep of an occurrence on p that needs v
-  // from another processor (INT_MAX if none); req_nodes_[p] lists v's with
-  // an entry (for sparse resets).
-  std::vector<std::vector<int>> R_, R_scratch_;
-  std::vector<std::vector<NodeId>> req_nodes_, req_nodes_scratch_;
+
+  // Round-granular checkpoints, structure-of-arrays: row r (0..R) is the
+  // completion state at the boundary *before* round r; the straddling
+  // slot r holds the body of round r-1 so its partial accumulators are
+  // part of the boundary. All arrays are indexed [r * P + p].
+  int committed_rounds_ = 0;  // R
+  int committed_steps_ = 0;   // K (committed superstep count)
+  std::vector<std::int64_t> ck_pos_;
+  std::vector<double> ck_weight_, ck_comp_, ck_save_, ck_load_;
+  std::vector<char> ck_any_;
+  std::vector<std::int64_t> ck_cache_start_;  // [(R+1)*P + 1]
+  std::vector<NodeId> ck_cache_nodes_;        // pooled cache rows
+  std::vector<int> ck_step_;           // [R]: superstep round r processed
+  std::vector<int> step_first_round_;  // [K+1], [K] = R
+
+  // Committed per-(slot, proc) async op lists (async cost only), pooled
+  // CSR: slot s, proc p occupies [start[s*P+p], start[s*P+p+1]).
+  std::vector<NodeId> as_comp_nodes_, as_save_nodes_, as_load_nodes_;
+  std::vector<std::int64_t> as_comp_start_, as_save_start_, as_load_start_;
+  // Boundary r: how many of slot r's saves existed at the boundary (the
+  // post-saves of round r-1; the rest are re-derived stage pre-saves).
+  std::vector<std::int32_t> as_save_prefix_;  // [(R+1)*P]
+
+  // Validator: committed remote-requirement rows, R_map_[p][v] = min
+  // superstep of an occurrence on p that needs v from another processor
+  // (absent = none). Scratch rows are rebuilt per touched proc and
+  // swapped in on commit.
+  std::vector<FlatMap<NodeId, int>> R_map_, R_scratch_map_;
 
   // -- per-move scratch ----------------------------------------------------
   bool in_move_ = false;
-  PlanDelta delta_;
+  // Pooled move log (apply order); slots are reused across moves so the
+  // per-op `cuts` vectors keep their capacity.
+  std::vector<PlanDeltaOp> delta_ops_;
+  std::size_t delta_size_ = 0;
+  PlanDeltaOp scratch_op_;
   std::vector<char> proc_touched_;
   std::vector<int> touched_procs_;
+  std::vector<int> inserts_on_proc_;  // kInsert count per touched proc
   std::vector<std::pair<NodeId, int>> ed_before_;  // (node, committed ed)
   std::vector<NodeId> affected_nodes_;             // counts changed
   std::vector<std::pair<NodeId, char>> save_req_before_;
+  // Superstep-label fixups of the *kept* round table for pure-relabel
+  // merges/splits (threshold, delta): applied to ck_step_ at promote.
+  std::vector<std::pair<int, int>> relabel_fixups_;
   long last_dirty_ = 0;
 
-  // -- per-eval scratch ----------------------------------------------------
-  int eval_epoch_ = 0;
-  int eval_b_ = 0;
-  std::vector<int> ec_stamp_;  // [p * n + v]
-  std::vector<char> ec_flag_;
-  std::vector<std::vector<NodeId>> ec_list_;
+  // -- per-eval scratch (arena-backed where append-only) -------------------
+  Arena eval_arena_;
+  int eval_b_ = 0;  ///< restart round of the running evaluation
+  // Per-proc eval cache membership, dense epoch-stamped: v is in proc
+  // p's eval cache iff ec_stamp_[p * n + v] == ec_epoch_[p].
+  std::vector<std::uint32_t> ec_stamp_;       // [p * n + v]
+  std::vector<std::uint32_t> ec_epoch_;       // [p]
+  std::vector<std::vector<NodeId>> ec_list_;  // per-proc ordered cache
   std::vector<double> ec_weight_;
-  std::vector<int> eb_stamp_;  // [v] blue overlay
-  std::vector<int> eh_stamp_;  // [v] home overlay (set at first save)
-  std::vector<int> eval_home_ov_;  // [v] overlay home group
-  std::vector<std::pair<NodeId, int>> pending_blue_;  // (node, saver proc)
-  std::vector<std::pair<NodeId, int>> eval_blued_;
-  std::vector<std::pair<NodeId, int>> eval_homes_;  // (node, home group)
+  std::vector<std::uint32_t> eb_stamp_;  // [v]: blued this eval iff == epoch
+  std::uint32_t eb_epoch_ = 0;
+  FlatMap<NodeId, int> eh_map_;  // home overlay (set at first save)
+  std::vector<PendRec> pending_blue_;  // post_saves of the running round
+  ArenaVector<BlueRec> eval_blued_;
+  ArenaVector<HomeRec> eval_homes_;
   std::vector<std::int64_t> pos_;
-  std::vector<SlotAcc> slot_accs_;  // [(slot - first_eval_slot_) * P + p]
+  // Slot cost accumulators, structure-of-arrays: local index
+  // (slot - first_eval_slot_) * P + p.
+  std::vector<double> slot_comp_, slot_save_, slot_load_;
+  std::vector<char> slot_any_;
   int first_eval_slot_ = 0;
   int num_slots_ = 0;
-  int eval_cur_ = 0;  ///< straddling slot index of the running completion
+  int eval_cur_ = 0;  ///< round being processed / straddling slot index
   std::vector<SyncStepCost> scratch_rows_;  // slots >= first_eval_slot_
   std::vector<char> scratch_row_empty_;
-  std::vector<Checkpoint> scratch_checkpoints_;  // [b+1 .. K_cand]
-  int scratch_ck_base_ = 0;
-  int cand_supersteps_ = 0;
+  // Scratch checkpoint rows (boundaries b+1 .. R_cand), SoA like ck_*.
+  ArenaVector<std::int64_t> scr_pos_;
+  ArenaVector<double> scr_weight_, scr_comp_, scr_save_, scr_load_;
+  ArenaVector<char> scr_any_;
+  ArenaVector<std::int64_t> scr_cache_start_;
+  ArenaVector<NodeId> scr_cache_nodes_;
+  ArenaVector<int> scr_round_steps_;  // superstep of rounds b..R_cand-1
+  int cand_rounds_ = 0;
+  int cand_steps_ = 0;
+  // Async: the two active slots' op lists and the flushed scratch pool
+  // (slots b .. R_cand, same CSR layout as the committed pool).
+  std::vector<SlotOps> async_cur_, async_next_;
+  ArenaVector<NodeId> scr_as_comp_nodes_, scr_as_save_nodes_,
+      scr_as_load_nodes_;
+  ArenaVector<std::int64_t> scr_as_comp_start_, scr_as_save_start_,
+      scr_as_load_start_;
+  ArenaVector<std::int32_t> scr_as_save_prefix_;
+  // Async finalize scratch (epoch-stamped per finalize).
+  int async_epoch_ = 0;
+  std::vector<int> fs_stamp_;       // [v]
+  std::vector<int> first_save_;     // [v]: slot of the first save
+  std::vector<double> gets_blue_;   // [v]: availability time
+  std::vector<double> now_;         // [p]: finishing time per proc
 
-  // -- per-segment / per-try scratch --------------------------------------
-  int seg_epoch_ = 0;
-  std::vector<int> s_produced_stamp_, s_load_stamp_, s_needed_stamp_;
+  // -- per-segment / per-try scratch (dense epoch-stamped) ----------------
+  std::vector<SegOv> s_ov_;  // [v]
+  std::uint32_t s_epoch_ = 0;
   std::vector<NodeId> s_loads_;
   double s_load_weight_ = 0;
-  int try_epoch_ = 0;
-  std::vector<int> t_stamp_;  // [v] membership overlay stamp
-  std::vector<char> t_flag_;
-  std::vector<int> t_inlist_stamp_;
-  std::vector<int> t_blue_stamp_;
-  std::vector<int> t_hoist_stamp_;
-  std::vector<char> t_hoist_flag_;
-  std::vector<int> t_remneed_stamp_;
-  std::vector<long> t_remneed_;
-  std::vector<NodeId> t_list_;
+  std::vector<TryOv> t_ov_;  // [v]
+  std::uint32_t t_epoch_ = 0;
+  std::vector<NodeId> t_added_;  // try members not in the eval cache list
   double t_weight_ = 0;
   Segment cur_seg_, best_seg_;
   std::vector<NodeId> sorted_members_;
-  int commit_stamp_epoch_ = 0;
-  std::vector<int> commit_stamp_;
+
+  // effective_next_need memo: the (use, comp) lower-bound pair of node v
+  // on proc p at query position nn_from_; live iff the stamp matches the
+  // proc's epoch. Survives across moves for untouched processors.
+  std::vector<std::uint32_t> nn_stamp_;                   // [p * n + v]
+  std::vector<std::uint32_t> nn_epoch_;                   // [p]
+  std::vector<std::int64_t> nn_from_, nn_use_, nn_comp_;  // [p * n + v]
 
   // validator scratch
   int scan_epoch_ = 0;

@@ -1,6 +1,7 @@
 #include "src/holistic/lns.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <optional>
 
@@ -253,8 +254,11 @@ bool gen_merge_supersteps(IncrementalEvaluator& ev, Rng& rng) {
   const int k = plan.num_supersteps();
   if (k < 2) return false;
   const int s = static_cast<int>(rng.index(static_cast<std::size_t>(k - 1)));
-  PlanDeltaOp op;
+  // Pooled op: its cuts vector keeps capacity across proposals, so
+  // structural moves stay allocation-free in steady state.
+  PlanDeltaOp& op = ev.scratch_op();
   op.kind = PlanDeltaOpKind::kMergeStep;
+  op.pc = PlannedCompute{};
   op.pc.superstep = s;
   op.cuts.resize(static_cast<std::size_t>(plan.num_procs));
   for (int p = 0; p < plan.num_procs; ++p) {
@@ -270,8 +274,9 @@ bool gen_split_superstep(IncrementalEvaluator& ev, Rng& rng) {
   const int k = plan.num_supersteps();
   if (k == 0) return false;
   const int s = static_cast<int>(rng.index(static_cast<std::size_t>(k)));
-  PlanDeltaOp op;
+  PlanDeltaOp& op = ev.scratch_op();
   op.kind = PlanDeltaOpKind::kSplitStep;
+  op.pc = PlannedCompute{};
   op.pc.superstep = s;
   op.cuts.resize(static_cast<std::size_t>(plan.num_procs));
   bool any = false;
@@ -468,7 +473,12 @@ LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
 
   LnsResult result;
   result.plan = initial;
-  result.initial_cost = evaluate_plan(inst, initial, options, &result.schedule);
+
+  // attach() is bitwise-equal to evaluate_plan on the same plan (the
+  // engine's oracle invariant), so the warm start needs no separate full
+  // completion; the best schedule is derived once at exit.
+  IncrementalEvaluator eval(inst, options);
+  result.initial_cost = eval.attach(initial);
   result.cost = result.initial_cost;
 
   double current_cost = result.initial_cost;
@@ -480,17 +490,21 @@ LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
   const double cooling = 0.9995;
 
   const std::vector<unsigned> moves = enabled_moves(options);
-  if (moves.empty()) return result;
-
-  IncrementalEvaluator eval(inst, options);
-  eval.attach(initial);
+  if (moves.empty()) {
+    result.cost = evaluate_plan(inst, result.plan, options, &result.schedule);
+    return result;
+  }
 
   // The deadline poll leaves the hot loop: the clock is only read every
-  // 256 iterations (iteration counts per poll window stay deterministic).
-  // Batching is only safe where iterations are O(delta)-cheap; the
-  // full-evaluation fallback configurations (async / LRU) poll every
-  // iteration so the budget cannot be overshot by a whole batch.
-  const long poll_mask = eval.incremental() ? 255 : 0;
+  // deadline_poll_interval iterations (rounded down to a power of two, so
+  // the check stays a mask test; iteration counts per poll window are
+  // deterministic). Every configuration costs moves in O(dirty rounds)
+  // through the incremental engine, so a whole batch cannot overshoot the
+  // budget by more than a sliver of work.
+  const long poll_mask =
+      static_cast<long>(std::bit_floor(static_cast<unsigned long>(
+          std::max(1L, options.deadline_poll_interval)))) -
+      1;
   while (result.iterations < options.max_iterations &&
          ((result.iterations & poll_mask) != 0 || !deadline.expired())) {
     ++result.iterations;

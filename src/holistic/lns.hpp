@@ -78,6 +78,15 @@ struct LnsOptions {
   /// Enabled move classes; recompute moves additionally require
   /// allow_recompute. Disabling classes is for ablation benches.
   unsigned move_mask = kAllMoves;
+  /// How many iterations improve_plan runs between deadline checks
+  /// (rounded down to a power of two). Budgeted bench runs tighten this;
+  /// iteration-capped runs are deterministic regardless of its value.
+  long deadline_poll_interval = 256;
+  /// Routes the evaluator's per-eval scratch arena through fresh poisoned
+  /// heap blocks instead of recycled bump chunks (also settable via
+  /// MBSP_ARENA_MODE=heap). Differential tests run both modes and require
+  /// bitwise-identical results; see docs/PERFORMANCE.md.
+  bool arena_paranoid = false;
 };
 
 struct LnsResult {

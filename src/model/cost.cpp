@@ -21,21 +21,52 @@ std::vector<int> home_groups(const MbspInstance& inst,
   return home;
 }
 
+namespace {
+
+/// Folds per-processor field values (SoA scratch rows) into a SyncStepCost.
+/// One contiguous sweep per field: max over non-NaN doubles is order-free,
+/// so splitting the fold is bitwise identical to the historical interleaved
+/// loop while giving the compiler straight-line vectorizable reductions.
+SyncStepCost fold_step_row(const double* comp, const double* save,
+                           const double* load, std::size_t np) {
+  SyncStepCost row;
+  for (std::size_t p = 0; p < np; ++p) {
+    row.max_compute = std::max(row.max_compute, comp[p]);
+  }
+  for (std::size_t p = 0; p < np; ++p) {
+    row.max_save = std::max(row.max_save, save[p]);
+  }
+  for (std::size_t p = 0; p < np; ++p) {
+    row.max_load = std::max(row.max_load, load[p]);
+  }
+  return row;
+}
+
+}  // namespace
+
 std::vector<SyncStepCost> sync_cost_table(const MbspInstance& inst,
                                           const MbspSchedule& sched) {
   const ComputeDag& dag = inst.dag;
   std::vector<SyncStepCost> table;
   table.reserve(sched.steps.size());
+  std::size_t max_p = 0;
+  for (const Superstep& step : sched.steps) {
+    max_p = std::max(max_p, step.proc.size());
+  }
+  // Gather-then-fold: per-proc field values land in structure-of-arrays
+  // scratch rows, then each field folds in its own sweep (fold_step_row).
+  std::vector<double> comp(max_p), save(max_p), load(max_p);
   if (inst.arch.is_uniform()) {
-    // The paper's machine — the historical path, preserved verbatim.
+    // The paper's machine — per-proc costs priced exactly as before.
     for (const Superstep& step : sched.steps) {
-      SyncStepCost row;
-      for (const ProcStep& ps : step.proc) {
-        row.max_compute = std::max(row.max_compute, ps.compute_cost(dag));
-        row.max_save = std::max(row.max_save, ps.save_cost(dag, inst.arch.g));
-        row.max_load = std::max(row.max_load, ps.load_cost(dag, inst.arch.g));
+      const std::size_t np = step.proc.size();
+      for (std::size_t p = 0; p < np; ++p) {
+        const ProcStep& ps = step.proc[p];
+        comp[p] = ps.compute_cost(dag);
+        save[p] = ps.save_cost(dag, inst.arch.g);
+        load[p] = ps.load_cost(dag, inst.arch.g);
       }
-      table.push_back(row);
+      table.push_back(fold_step_row(comp.data(), save.data(), load.data(), np));
     }
     return table;
   }
@@ -47,35 +78,36 @@ std::vector<SyncStepCost> sync_cost_table(const MbspInstance& inst,
   const Machine& m = inst.arch;
   const std::vector<int> home = home_groups(inst, sched);
   for (const Superstep& step : sched.steps) {
-    SyncStepCost row;
-    for (std::size_t p = 0; p < step.proc.size(); ++p) {
+    const std::size_t np = step.proc.size();
+    for (std::size_t p = 0; p < np; ++p) {
       const ProcStep& ps = step.proc[p];
       const int pi = static_cast<int>(p);
-      row.max_compute =
-          std::max(row.max_compute, ps.compute_cost(dag) / m.speed(pi));
-      double save = 0, load = 0;
+      comp[p] = ps.compute_cost(dag) / m.speed(pi);
+      double s = 0, l = 0;
       for (NodeId v : ps.saves) {
-        save += m.comm_g(pi, home[static_cast<std::size_t>(v)]) * dag.mu(v);
+        s += m.comm_g(pi, home[static_cast<std::size_t>(v)]) * dag.mu(v);
       }
       for (NodeId v : ps.loads) {
-        load += m.comm_g(pi, home[static_cast<std::size_t>(v)]) * dag.mu(v);
+        l += m.comm_g(pi, home[static_cast<std::size_t>(v)]) * dag.mu(v);
       }
-      row.max_save = std::max(row.max_save, save);
-      row.max_load = std::max(row.max_load, load);
+      save[p] = s;
+      load[p] = l;
     }
-    table.push_back(row);
+    table.push_back(fold_step_row(comp.data(), save.data(), load.data(), np));
   }
   return table;
 }
 
 SyncCostBreakdown sum_sync_cost_table(const std::vector<SyncStepCost>& table,
                                       double L) {
+  // Field-major sweeps: the three accumulators are independent, so
+  // splitting the loop keeps every accumulator's own add sequence — and
+  // therefore the result — bitwise identical to the interleaved fold,
+  // while each sweep reads one strided stream the vectorizer can handle.
   SyncCostBreakdown out;
-  for (const SyncStepCost& row : table) {
-    out.compute += row.max_compute;
-    out.io += row.max_save + row.max_load;
-    out.sync += L;
-  }
+  for (const SyncStepCost& row : table) out.compute += row.max_compute;
+  for (const SyncStepCost& row : table) out.io += row.max_save + row.max_load;
+  for (std::size_t i = 0; i < table.size(); ++i) out.sync += L;
   return out;
 }
 

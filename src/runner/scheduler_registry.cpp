@@ -219,7 +219,11 @@ class ExactPebbleAdapter final : public MbspScheduler {
                      const SchedulerOptions& options) const override {
     const Timer timer;
     ExactPebbleOptions pebble;
-    if (options.budget_ms > 0) pebble.budget_ms = options.budget_ms;
+    // budget_ms <= 0 means "no deadline", like everywhere else (see
+    // src/util/timer.hpp and the batch determinism contract). Substituting
+    // the 30 s pebbler default here made budget-0 grids machine-speed
+    // dependent; max_states still bounds the search deterministically.
+    pebble.budget_ms = options.budget_ms;
     ExactPebbleResult res = exact_pebble(inst, pebble);
     ScheduleResult result;
     result.scheduler = name();

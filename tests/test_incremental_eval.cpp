@@ -247,6 +247,153 @@ TEST(IncrementalEval, ImprovePlanMatchesReferenceMoveMasks) {
   }
 }
 
+/// Heterogeneous 4-processor machine: mixed speeds and memories, two
+/// communication groups with asymmetric transfer costs.
+Machine hetero_machine(double r0) {
+  Machine m = Machine::make(4, 3 * r0, 1, 10);
+  m.speeds = {1.0, 2.0, 1.0, 0.5};
+  m.memories = {3 * r0, 4 * r0, 3 * r0, 5 * r0};
+  m.group_of = {0, 0, 1, 1};
+  m.g_in = 1;
+  m.g_out = 3;
+  m.L_group = 2;
+  return m;
+}
+
+TEST(IncrementalEval, ImprovePlanMatchesReferenceHeteroMachine) {
+  std::string error;
+  for (CostModel cost : {CostModel::kSynchronous, CostModel::kAsynchronous}) {
+    auto dag = WorkloadRegistry::global().make_dag(kFamilies[0], 2025, &error);
+    ASSERT_TRUE(dag.has_value()) << error;
+    const double r0 = min_memory_r0(*dag);
+    const MbspInstance inst{std::move(*dag), hetero_machine(r0)};
+    LnsOptions options;
+    options.budget_ms = 0;
+    options.max_iterations = 600;
+    options.cost = cost;
+    options.seed = 31;
+    expect_identical_results(inst, options);
+  }
+}
+
+TEST(IncrementalEval, AsyncAndLruTakeIncrementalPath) {
+  // Async cost and LRU eviction must run through the O(dirty) incremental
+  // path, not a full-evaluation fallback: the evaluator reports itself
+  // incremental, and local moves re-derive strictly fewer rounds than the
+  // committed total (while still matching the oracle bitwise — checked by
+  // differential_run's per-move asserts).
+  for (auto [cost, policy] :
+       {std::pair{CostModel::kAsynchronous, PolicyKind::kClairvoyant},
+        std::pair{CostModel::kSynchronous, PolicyKind::kLru},
+        std::pair{CostModel::kAsynchronous, PolicyKind::kLru}}) {
+    // A deep round structure (13 rounds over 4 supersteps) so a tail-local
+    // move has room to leave a strict prefix of rounds untouched.
+    const MbspInstance inst = workload_instance("stencil2d:nx=8,ny=8,steps=4");
+    LnsOptions options;
+    options.cost = cost;
+    options.completion_policy = policy;
+    const ComputePlan initial = warm_plan(inst);
+    IncrementalEvaluator eval(inst, options);
+    eval.attach(initial);
+    ASSERT_TRUE(eval.incremental());
+    // Touch the last occurrence of the highest processor: a tail-local
+    // move whose dirty suffix must not span the whole plan.
+    long partial = 0;
+    Rng rng(5);
+    for (int it = 0; it < 40; ++it) {
+      const ComputePlan& plan = eval.plan();
+      int p = plan.num_procs - 1;
+      while (p >= 0 && plan.seq[p].empty()) --p;
+      ASSERT_GE(p, 0);
+      const std::size_t pos = plan.seq[p].size() - 1;
+      const PlannedCompute pc = plan.seq[p][pos];
+      eval.begin_move();
+      PlanDeltaOp erase;
+      erase.kind = PlanDeltaOpKind::kErase;
+      erase.proc = p;
+      erase.pos = pos;
+      erase.pc = pc;
+      eval.apply_op(erase);
+      PlanDeltaOp insert;
+      insert.kind = PlanDeltaOpKind::kInsert;
+      insert.proc = p;
+      insert.pos = pos;
+      insert.pc = pc;
+      eval.apply_op(insert);
+      const auto out = eval.finish_move();
+      if (out.valid) {
+        EXPECT_EQ(out.cost, evaluate_plan(inst, eval.plan(), options));
+        if (eval.last_dirty_rounds() < eval.committed_rounds()) ++partial;
+      }
+      eval.rollback();
+      (void)rng;
+    }
+    EXPECT_GT(partial, 0)
+        << "cost=" << static_cast<int>(cost)
+        << " policy=" << static_cast<int>(policy)
+        << ": every move re-derived the full round sequence";
+    // And the full differential harness agrees move-by-move.
+    differential_run(inst, options, 80, 17);
+  }
+}
+
+TEST(IncrementalEval, ArenaParanoidMatchesBumpAllocation) {
+  // MBSP_ARENA_MODE=heap / arena_paranoid routes evaluator scratch through
+  // fresh poisoned heap blocks. Any read of recycled arena memory shows up
+  // as a bitwise divergence between the two modes.
+  for (const char* spec : kFamilies) {
+    const MbspInstance inst = workload_instance(spec);
+    const ComputePlan initial = warm_plan(inst);
+    LnsOptions fast_opts;
+    fast_opts.budget_ms = 0;
+    fast_opts.max_iterations = 400;
+    fast_opts.seed = 23;
+    LnsOptions paranoid_opts = fast_opts;
+    paranoid_opts.arena_paranoid = true;
+    const LnsResult bump = improve_plan(inst, initial, fast_opts);
+    const LnsResult heap = improve_plan(inst, initial, paranoid_opts);
+    EXPECT_EQ(bump.cost, heap.cost) << spec;
+    EXPECT_EQ(bump.iterations, heap.iterations) << spec;
+    EXPECT_EQ(bump.accepted, heap.accepted) << spec;
+    EXPECT_EQ(bump.plan.seq, heap.plan.seq) << spec;
+  }
+}
+
+TEST(IncrementalEval, MergeSplitHeavyStress) {
+  // Structural moves dominate: stresses the merge/split dirty-bound
+  // analysis (pure relabels, crossing occurrences, label-shift fixups).
+  const MbspInstance inst = workload_instance(kFamilies[4]);
+  LnsOptions options;
+  options.budget_ms = 0;
+  options.max_iterations = 2500;
+  options.move_mask = kMergeSupersteps | kSplitSuperstep | kMoveSuperstep;
+  options.seed = 77;
+  expect_identical_results(inst, options);
+}
+
+TEST(IncrementalEval, DeadlinePollIntervalKeepsTrajectory) {
+  // Iteration-capped runs are deterministic regardless of the poll
+  // interval (the knob only changes how often the clock is read).
+  const MbspInstance inst = workload_instance(kFamilies[2]);
+  const ComputePlan initial = warm_plan(inst);
+  LnsOptions base;
+  base.budget_ms = 0;
+  base.max_iterations = 500;
+  const LnsResult a = improve_plan(inst, initial, base);
+  LnsOptions tight = base;
+  tight.deadline_poll_interval = 1;
+  const LnsResult b = improve_plan(inst, initial, tight);
+  LnsOptions wide = base;
+  wide.deadline_poll_interval = 4096;
+  const LnsResult c = improve_plan(inst, initial, wide);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.cost, c.cost);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.iterations, c.iterations);
+  EXPECT_EQ(a.plan.seq, b.plan.seq);
+  EXPECT_EQ(a.plan.seq, c.plan.seq);
+}
+
 TEST(IncrementalEval, ZeroLengthSuffixAfterTopSuperstepErase) {
   // Erasing the lone occupant of the top superstep shrinks the superstep
   // count to exactly the dirty bound: the re-evaluation suffix is empty

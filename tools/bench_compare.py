@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare a fresh BENCH_*.json against its baseline.
+
+Each bench binary writes a BENCH_<name>.json report (see bench/bench_common.hpp,
+PerfReport). Metrics carry their direction and a `gated` flag:
+
+  * gated metrics are machine-relative (speedups over an in-process reference,
+    deterministic cost ratios) and FAIL the run when they regress beyond the
+    noise threshold relative to the committed baseline in bench/baselines/;
+  * ungated metrics (absolute iters/s, peak RSS) track the host, so they are
+    reported but never fail the gate.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [--threshold 0.10]
+  bench_compare.py BASELINE CURRENT --update     # accept CURRENT as baseline
+
+Exit status: 0 when every gated metric is within threshold, 1 otherwise.
+Stdlib only — runs anywhere python3 does.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+
+
+def compare(baseline, current, threshold):
+    """Returns a list of (metric, base, cur, gated, ok, detail) rows."""
+    rows = []
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for name, base in base_metrics.items():
+        cur = cur_metrics.get(name)
+        if cur is None:
+            rows.append((name, base["value"], None, base.get("gated", False),
+                         not base.get("gated", False), "missing in current"))
+            continue
+        bv, cv = base["value"], cur["value"]
+        higher = base.get("higher_is_better", True)
+        gated = base.get("gated", False)
+        if bv == 0:
+            ok, detail = True, "zero baseline, skipped"
+        elif higher:
+            ok = cv >= bv * (1.0 - threshold)
+            detail = f"{cv / bv - 1.0:+.1%} vs baseline (floor {-threshold:.0%})"
+        else:
+            ok = cv <= bv * (1.0 + threshold)
+            detail = f"{cv / bv - 1.0:+.1%} vs baseline (ceiling {threshold:+.0%})"
+        rows.append((name, bv, cv, gated, ok or not gated,
+                     detail if gated else detail + " [informational]"))
+    for name in cur_metrics:
+        if name not in base_metrics:
+            rows.append((name, None, cur_metrics[name]["value"], False, True,
+                         "new metric, not in baseline"))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative noise threshold for gated metrics "
+                             "(default 0.10)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy CURRENT over BASELINE and exit 0")
+    args = parser.parse_args()
+
+    if args.update:
+        load(args.current)  # refuse to install malformed JSON
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.current} -> {args.baseline}")
+        return 0
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline.get("bench") != current.get("bench"):
+        sys.exit(f"bench_compare: bench mismatch: baseline is "
+                 f"'{baseline.get('bench')}', current is "
+                 f"'{current.get('bench')}'")
+
+    rows = compare(baseline, current, args.threshold)
+    failed = [r for r in rows if not r[4]]
+    print(f"bench '{current.get('bench')}' vs {args.baseline} "
+          f"(threshold {args.threshold:.0%}):")
+    for name, bv, cv, gated, ok, detail in rows:
+        flag = "FAIL" if not ok else ("gate" if gated else "info")
+        fmt = lambda v: "-" if v is None else f"{v:.6g}"
+        print(f"  [{flag}] {name}: {fmt(bv)} -> {fmt(cv)}  {detail}")
+    rss_b = baseline.get("peak_rss_mb")
+    rss_c = current.get("peak_rss_mb")
+    if rss_b is not None and rss_c is not None:
+        print(f"  [info] peak_rss_mb: {rss_b:.6g} -> {rss_c:.6g}")
+    if failed:
+        print(f"bench_compare: {len(failed)} gated metric(s) regressed "
+              f"beyond {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("bench_compare: all gated metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
