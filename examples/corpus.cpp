@@ -5,14 +5,15 @@
 //
 //   corpus list
 //   corpus describe [family]
-//   corpus generate <spec> [--seed n] [-o out.dag] [--binary]
+//   corpus generate <spec> [--seed n] [-o out.dag] [--binary] [--stream]
 //   corpus hash <file-or-spec> ...
 //   corpus convert <in> <out> [--text | --binary]
 //   corpus sweep --workload spec [--workload spec ...]
 //               [--machine spec ...] [--list-machines]
-//               [--schedulers a,b,...] [--P n] [--r-factor x] [--g x]
-//               [--L x] [--cost sync|async] [--seed n] [--budget-ms x]
-//               [--max-iterations n] [--threads n] [--wall] [--csv path]
+//               [--schedulers a,b,...] [--shards k] [--P n] [--r-factor x]
+//               [--g x] [--L x] [--cost sync|async] [--seed n]
+//               [--budget-ms x] [--max-iterations n] [--threads n]
+//               [--wall] [--csv path]
 //
 // Specs are `family` or `family:key=value,...` (see `corpus describe`).
 // `--machine` runs every workload on each named machine model (shared
@@ -21,6 +22,11 @@
 // build one ad-hoc uniform machine. Sweeps default to budget_ms = 0 with
 // a finite iteration cap, so the result table is bitwise identical for
 // any thread count and machine.
+//
+// `generate --stream` emits the binary through the out-of-core writer
+// (docs/SCALE.md): O(1) memory, so 10^6..10^7-node instances fit in a few
+// hundred MB of RSS. `sweep --shards k` sizes the "sharded" scheduler's
+// partition.
 //
 // Examples:
 //   corpus generate stencil2d:nx=16,ny=16,steps=4 -o stencil.dag --binary
@@ -50,14 +56,16 @@ int usage() {
       "usage: corpus <command> ...\n"
       "  list                         registered workload families\n"
       "  describe [family]            family parameters and defaults\n"
-      "  generate <spec> [--seed n] [-o out.dag] [--binary]\n"
+      "  generate <spec> [--seed n] [-o out.dag] [--binary] [--stream]\n"
+      "                               --stream: O(1)-memory binary writer\n"
       "  hash <file-or-spec> ...      canonical instance hashes\n"
       "  convert <in> <out> [--text | --binary]\n"
       "  sweep --workload spec [--workload spec ...]\n"
       "        [--machine spec ...] [--list-machines]\n"
-      "        [--schedulers a,b,...] [--P n] [--r-factor x] [--g x]\n"
-      "        [--L x] [--cost sync|async] [--seed n] [--budget-ms x]\n"
-      "        [--max-iterations n] [--threads n] [--wall] [--csv path]\n");
+      "        [--schedulers a,b,...] [--shards k] [--P n] [--r-factor x]\n"
+      "        [--g x] [--L x] [--cost sync|async] [--seed n]\n"
+      "        [--budget-ms x] [--max-iterations n] [--threads n]\n"
+      "        [--wall] [--csv path]\n");
   return 2;
 }
 
@@ -111,6 +119,7 @@ int cmd_generate(int argc, char** argv) {
   std::string spec, out_path;
   std::uint64_t seed = 2025;
   bool binary = false;
+  bool stream = false;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--seed" && i + 1 < argc) {
@@ -119,6 +128,8 @@ int cmd_generate(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--binary") {
       binary = true;
+    } else if (arg == "--stream") {
+      stream = true;
     } else if (spec.empty() && arg[0] != '-') {
       spec = arg;
     } else {
@@ -129,6 +140,32 @@ int cmd_generate(int argc, char** argv) {
   if (binary && out_path.empty()) {
     std::fprintf(stderr, "--binary requires -o <file> (stdout is text)\n");
     return 2;
+  }
+  if (stream) {
+    // Out-of-core path: never materializes the DAG, emits the binary
+    // incrementally (docs/SCALE.md). Same (spec, seed) -> same canonical
+    // hash as the in-memory path below.
+    if (out_path.empty()) {
+      std::fprintf(stderr, "--stream requires -o <file> (binary only)\n");
+      return 2;
+    }
+    std::string error;
+    DagStreamWriter writer(out_path);
+    if (!WorkloadRegistry::global().make_dag_stream(spec, seed, writer,
+                                                    &error)) {
+      std::fprintf(stderr, "cannot stream '%s': %s\n", spec.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::uint64_t hash = 0;
+    if (!writer.finish(&hash)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                   writer.error().c_str());
+      return 1;
+    }
+    std::printf("%s  %s  (streamed binary)\n", dag_hash_hex(hash).c_str(),
+                out_path.c_str());
+    return 0;
   }
   std::string error;
   auto dag = WorkloadRegistry::global().make_dag(spec, seed, &error);
@@ -257,6 +294,16 @@ int cmd_sweep(int argc, char** argv) {
       return 0;
     } else if (arg == "--schedulers") {
       schedulers = split_csv(value());
+    } else if (arg == "--shards") {
+      const char* token = value();
+      const int shards = std::atoi(token);
+      if (shards < 1) {
+        std::fprintf(stderr,
+                     "--shards: expected a positive shard count, got '%s'\n",
+                     token);
+        return 2;
+      }
+      batch.scheduler.shards = shards;
     } else if (arg == "--P") {
       P = std::atoi(value());
     } else if (arg == "--r-factor") {

@@ -12,8 +12,8 @@
 //                [--L 10] [--cost sync|async] [--budget-ms 1500]
 //                [--moves proc,step,swap,merge,split,recompute,drop|all]
 //                [--lns-budget-ms x]
-//                [--workers K] [--epochs E] [--profile uniform|diverse]
-//                [--free-running]
+//                [--workers K] [--epochs E] [--shards K]
+//                [--profile uniform|diverse] [--free-running]
 //                [--seed 2025] [--threads N] [--wall] [--csv path.csv]
 //
 // Examples:
@@ -36,7 +36,8 @@
 // LNS-family schedulers (lns / lns-portfolio / holistic / divide-conquer)
 // only, so a grid can mix fast baselines with a separately-budgeted
 // anytime improver. --workers / --epochs / --profile / --free-running
-// shape the lns-portfolio scheduler (see docs/CLI.md).
+// shape the lns-portfolio scheduler (see docs/CLI.md); --shards sizes the
+// "sharded" out-of-core scheduler's partition (see docs/SCALE.md).
 
 #include <cstdio>
 #include <cstring>
@@ -60,7 +61,7 @@ int usage(const char* argv0) {
                "          [--P n] [--r-factor x] [--g x] [--L x]\n"
                "          [--cost sync|async] [--budget-ms x] [--seed n]\n"
                "          [--moves a,b,...|all] [--lns-budget-ms x]\n"
-               "          [--workers k] [--epochs e]\n"
+               "          [--workers k] [--epochs e] [--shards k]\n"
                "          [--profile uniform|diverse] [--free-running]\n"
                "          [--max-iterations n] [--threads n] [--wall]\n"
                "          [--csv path.csv]\n",
@@ -154,6 +155,17 @@ int main(int argc, char** argv) {
       lns_budget_ms = std::atof(value());
     } else if (arg == "--workers") {
       batch.scheduler.workers = std::atoi(value());
+    } else if (arg == "--shards") {
+      // Partition size for the "sharded" scheduler (docs/SCALE.md).
+      const char* token = value();
+      const int shards = std::atoi(token);
+      if (shards < 1) {
+        std::fprintf(stderr,
+                     "--shards: expected a positive shard count, got '%s'\n",
+                     token);
+        return 2;
+      }
+      batch.scheduler.shards = shards;
     } else if (arg == "--epochs") {
       batch.scheduler.epochs = std::atoi(value());
     } else if (arg == "--profile") {

@@ -75,6 +75,9 @@
 // DAG partitioning + divide-and-conquer pipeline for large instances.
 #include "src/holistic/divide_conquer.hpp"
 #include "src/holistic/partition.hpp"
+// Sharded out-of-core pipeline: acyclic k-way partition, parallel
+// per-shard LNS with shard-indexed seeds, boundary-masked global polish.
+#include "src/holistic/shard.hpp"
 // Exact P = 1 red-blue pebbler (optimal on small DAGs; deterministic).
 #include "src/holistic/exact_pebbler.hpp"
 // The full MBSP ILP formulation (Section 6.1).

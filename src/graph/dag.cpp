@@ -12,7 +12,19 @@ ComputeDag::ComputeDag(const ComputeDag& other)
       pred_(other.pred_),
       omega_(other.omega_),
       mu_(other.mu_),
-      num_edges_(other.num_edges_) {}
+      num_edges_(other.num_edges_),
+      csr_native_(other.csr_native_) {
+  // A CSR-native source has no build vectors: the CSR arrays ARE the
+  // adjacency, so the copy must carry them (a build-path copy rebuilds
+  // its CSR lazily instead, keeping the historical cheap-copy behavior).
+  if (csr_native_) {
+    csr_succ_off_ = other.csr_succ_off_;
+    csr_pred_off_ = other.csr_pred_off_;
+    csr_succ_ = other.csr_succ_;
+    csr_pred_ = other.csr_pred_;
+    csr_valid_.store(true, std::memory_order_release);
+  }
+}
 
 ComputeDag& ComputeDag::operator=(const ComputeDag& other) {
   if (this == &other) return *this;
@@ -22,7 +34,16 @@ ComputeDag& ComputeDag::operator=(const ComputeDag& other) {
   omega_ = other.omega_;
   mu_ = other.mu_;
   num_edges_ = other.num_edges_;
-  csr_valid_.store(false, std::memory_order_release);
+  csr_native_ = other.csr_native_;
+  if (csr_native_) {
+    csr_succ_off_ = other.csr_succ_off_;
+    csr_pred_off_ = other.csr_pred_off_;
+    csr_succ_ = other.csr_succ_;
+    csr_pred_ = other.csr_pred_;
+    csr_valid_.store(true, std::memory_order_release);
+  } else {
+    csr_valid_.store(false, std::memory_order_release);
+  }
   return *this;
 }
 
@@ -33,12 +54,14 @@ ComputeDag::ComputeDag(ComputeDag&& other) noexcept
       omega_(std::move(other.omega_)),
       mu_(std::move(other.mu_)),
       num_edges_(other.num_edges_),
+      csr_native_(other.csr_native_),
       csr_succ_off_(std::move(other.csr_succ_off_)),
       csr_pred_off_(std::move(other.csr_pred_off_)),
       csr_succ_(std::move(other.csr_succ_)),
       csr_pred_(std::move(other.csr_pred_)),
       csr_valid_(other.csr_valid_.load(std::memory_order_acquire)) {
   other.csr_valid_.store(false, std::memory_order_release);
+  other.csr_native_ = false;
 }
 
 ComputeDag& ComputeDag::operator=(ComputeDag&& other) noexcept {
@@ -49,6 +72,7 @@ ComputeDag& ComputeDag::operator=(ComputeDag&& other) noexcept {
   omega_ = std::move(other.omega_);
   mu_ = std::move(other.mu_);
   num_edges_ = other.num_edges_;
+  csr_native_ = other.csr_native_;
   csr_succ_off_ = std::move(other.csr_succ_off_);
   csr_pred_off_ = std::move(other.csr_pred_off_);
   csr_succ_ = std::move(other.csr_succ_);
@@ -56,10 +80,66 @@ ComputeDag& ComputeDag::operator=(ComputeDag&& other) noexcept {
   csr_valid_.store(other.csr_valid_.load(std::memory_order_acquire),
                    std::memory_order_release);
   other.csr_valid_.store(false, std::memory_order_release);
+  other.csr_native_ = false;
   return *this;
 }
 
+ComputeDag ComputeDag::from_csr(std::string name, std::vector<double> omega,
+                                std::vector<double> mu,
+                                std::vector<std::size_t> succ_off,
+                                std::vector<NodeId> succ) {
+  const std::size_t n = omega.size();
+  assert(mu.size() == n && succ_off.size() == n + 1);
+  ComputeDag dag(std::move(name));
+  dag.omega_ = std::move(omega);
+  dag.mu_ = std::move(mu);
+  dag.num_edges_ = succ_off.empty() ? 0 : succ_off[n];
+  dag.csr_succ_off_ = std::move(succ_off);
+  dag.csr_succ_ = std::move(succ);
+  assert(dag.csr_succ_.size() == dag.num_edges_);
+  // Derive the predecessor CSR with a counting pass + scatter.
+  dag.csr_pred_off_.assign(n + 1, 0);
+  for (NodeId v : dag.csr_succ_) {
+    ++dag.csr_pred_off_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    dag.csr_pred_off_[v + 1] += dag.csr_pred_off_[v];
+  }
+  dag.csr_pred_.resize(dag.num_edges_);
+  std::vector<std::size_t> cursor(dag.csr_pred_off_.begin(),
+                                  dag.csr_pred_off_.end() - 1);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t e = dag.csr_succ_off_[u]; e < dag.csr_succ_off_[u + 1];
+         ++e) {
+      dag.csr_pred_[cursor[static_cast<std::size_t>(dag.csr_succ_[e])]++] =
+          static_cast<NodeId>(u);
+    }
+  }
+  dag.csr_native_ = true;
+  dag.csr_valid_.store(true, std::memory_order_release);
+  return dag;
+}
+
+void ComputeDag::thaw() {
+  if (!csr_native_) return;
+  const std::size_t n = omega_.size();
+  succ_.resize(n);
+  pred_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    succ_[v].assign(csr_succ_.begin() +
+                        static_cast<std::ptrdiff_t>(csr_succ_off_[v]),
+                    csr_succ_.begin() +
+                        static_cast<std::ptrdiff_t>(csr_succ_off_[v + 1]));
+    pred_[v].assign(csr_pred_.begin() +
+                        static_cast<std::ptrdiff_t>(csr_pred_off_[v]),
+                    csr_pred_.begin() +
+                        static_cast<std::ptrdiff_t>(csr_pred_off_[v + 1]));
+  }
+  csr_native_ = false;
+}
+
 NodeId ComputeDag::add_node(double omega, double mu) {
+  thaw();
   succ_.emplace_back();
   pred_.emplace_back();
   omega_.push_back(omega);
@@ -69,6 +149,7 @@ NodeId ComputeDag::add_node(double omega, double mu) {
 }
 
 void ComputeDag::add_edge(NodeId u, NodeId v) {
+  thaw();
   assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes() && u != v);
   if (std::find(succ_[u].begin(), succ_[u].end(), v) != succ_[u].end()) return;
   succ_[u].push_back(v);
@@ -134,7 +215,7 @@ std::string ComputeDag::to_dot() const {
         << " m=" << mu_[v] << "\"];\n";
   }
   for (NodeId u = 0; u < num_nodes(); ++u) {
-    for (NodeId v : succ_[u]) out << "  n" << u << " -> n" << v << ";\n";
+    for (NodeId v : children(u)) out << "  n" << u << " -> n" << v << ";\n";
   }
   out << "}\n";
   return out.str();

@@ -12,6 +12,12 @@
 // double-checked) after the last mutation. Neighbour order inside a span
 // is exactly edge-insertion order, matching the historical vector API, so
 // algorithms that iterate adjacency stay deterministic.
+//
+// A DAG can also be *CSR-native*: built directly from flat offset/value
+// arrays via from_csr() (the streaming binary reader uses this — see
+// docs/SCALE.md) with no per-node vectors at all. Read access is
+// identical; the first mutation thaw()s the build vectors back into
+// existence, so the class stays fully mutable either way.
 
 #include <atomic>
 #include <cstddef>
@@ -70,13 +76,24 @@ class ComputeDag {
   ComputeDag(ComputeDag&& other) noexcept;
   ComputeDag& operator=(ComputeDag&& other) noexcept;
 
+  /// Builds a CSR-native DAG directly from flat successor arrays: no
+  /// per-node std::vectors are ever materialized. `succ_off` has n+1
+  /// entries; `succ[succ_off[u]..succ_off[u+1])` are u's children in
+  /// stored order. The predecessor CSR is derived in O(n+m). The caller
+  /// guarantees acyclicity and id bounds (the streaming reader checks
+  /// both before calling).
+  static ComputeDag from_csr(std::string name, std::vector<double> omega,
+                             std::vector<double> mu,
+                             std::vector<std::size_t> succ_off,
+                             std::vector<NodeId> succ);
+
   /// Adds a node with compute weight `omega` and memory weight `mu`.
   NodeId add_node(double omega = 1.0, double mu = 1.0);
 
   /// Adds edge u -> v. Duplicate edges are ignored (idempotent).
   void add_edge(NodeId u, NodeId v);
 
-  NodeId num_nodes() const { return static_cast<NodeId>(succ_.size()); }
+  NodeId num_nodes() const { return static_cast<NodeId>(omega_.size()); }
   std::size_t num_edges() const { return num_edges_; }
 
   /// CSR span of v's successors / predecessors, in edge-insertion order.
@@ -93,16 +110,26 @@ class ComputeDag {
             static_cast<std::size_t>(csr_pred_off_[v + 1] - csr_pred_off_[v])};
   }
 
-  std::size_t out_degree(NodeId v) const { return succ_[v].size(); }
-  std::size_t in_degree(NodeId v) const { return pred_[v].size(); }
+  std::size_t out_degree(NodeId v) const {
+    return csr_native_ ? csr_succ_off_[v + 1] - csr_succ_off_[v]
+                       : succ_[v].size();
+  }
+  std::size_t in_degree(NodeId v) const {
+    return csr_native_ ? csr_pred_off_[v + 1] - csr_pred_off_[v]
+                       : pred_[v].size();
+  }
 
   double omega(NodeId v) const { return omega_[v]; }
   double mu(NodeId v) const { return mu_[v]; }
   void set_omega(NodeId v, double w) { omega_[v] = w; }
   void set_mu(NodeId v, double m) { mu_[v] = m; }
 
-  bool is_source(NodeId v) const { return pred_[v].empty(); }
-  bool is_sink(NodeId v) const { return succ_[v].empty(); }
+  bool is_source(NodeId v) const { return in_degree(v) == 0; }
+  bool is_sink(NodeId v) const { return out_degree(v) == 0; }
+
+  /// True when adjacency lives only in the CSR arrays (built by
+  /// from_csr and not yet thawed by a mutation).
+  bool csr_native() const { return csr_native_; }
 
   std::vector<NodeId> sources() const;
   std::vector<NodeId> sinks() const;
@@ -121,6 +148,9 @@ class ComputeDag {
     if (!csr_valid_.load(std::memory_order_acquire)) build_csr();
   }
   void build_csr() const;
+  /// Materializes succ_/pred_ from the CSR arrays so a CSR-native DAG
+  /// can be mutated; clears csr_native_.
+  void thaw();
 
   std::string name_;
   std::vector<std::vector<NodeId>> succ_;
@@ -128,6 +158,7 @@ class ComputeDag {
   std::vector<double> omega_;
   std::vector<double> mu_;
   std::size_t num_edges_ = 0;
+  bool csr_native_ = false;
 
   // Lazily flattened CSR mirror of succ_ / pred_ (offsets have n+1
   // entries). Mutable: building is a cache fill behind a const API, made

@@ -27,10 +27,25 @@
 // bitwise identity. `dag_canonical_hash` is an FNV-1a digest over a
 // canonicalized stream (edges sorted per node), identical however the DAG
 // was built or loaded.
+//
+// ## Out-of-core paths (docs/SCALE.md)
+//
+// DagStreamWriter emits the v2 binary incrementally — counts up front,
+// then one add_node / add_edge call per record — holding only the current
+// node's child list in memory, with the canonical hash folded in on the
+// fly. Workload generators stream 10^6..10^7-node instances through it in
+// O(1) extra memory. The binary read path (read_dag_file and
+// dag_from_binary) is the mirror image: it decodes chunk-wise straight
+// into the CSR arrays of a CSR-native ComputeDag (see ComputeDag::from_csr)
+// without ever materializing per-node std::vectors, verifying the hash
+// footer as it goes. Binary parse errors report the byte offset, the
+// section being decoded, and the file size.
 
 #include <cstdint>
+#include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/graph/dag.hpp"
 
@@ -75,8 +90,79 @@ std::optional<ComputeDag> dag_from_bytes(const std::string& bytes,
 bool write_dag_file(const ComputeDag& dag, const std::string& path,
                     bool binary = false);
 
-/// Reads either format (auto-detected by magic).
+/// Reads either format (auto-detected by magic). Binary files are decoded
+/// chunk-wise straight into a CSR-native ComputeDag — peak memory is the
+/// CSR arrays plus an O(max-degree) scratch buffer, never the whole file
+/// plus per-node vectors.
 std::optional<ComputeDag> read_dag_file(const std::string& path,
                                         std::string* error = nullptr);
+
+/// Streaming consumer of a DAG declaration: counts first, then one call
+/// per record. DagStreamWriter is the file-backed implementation; the
+/// workload registry layers mu-randomization on top of it (see
+/// make_dag_stream). Call order contract: begin, num_nodes x add_node,
+/// begin_edges, num_edges x add_edge with nondecreasing u.
+class DagSink {
+ public:
+  virtual ~DagSink() = default;
+  virtual void begin(const std::string& name, std::uint64_t num_nodes) = 0;
+  virtual void add_node(double omega, double mu) = 0;
+  virtual void begin_edges(std::uint64_t num_edges) = 0;
+  virtual void add_edge(NodeId u, NodeId v) = 0;
+};
+
+/// Incremental v2 binary writer: O(1) memory beyond the current node's
+/// child list, canonical FNV-1a hash computed on the fly (bitwise equal to
+/// dag_canonical_hash of the equivalent in-memory DAG). Errors (I/O
+/// failure, protocol misuse, out-of-range ids, duplicate edges,
+/// non-u-major edge order) latch: subsequent calls are no-ops and finish()
+/// returns false with the first error message.
+class DagStreamWriter final : public DagSink {
+ public:
+  explicit DagStreamWriter(const std::string& path);
+  ~DagStreamWriter() override;
+  DagStreamWriter(const DagStreamWriter&) = delete;
+  DagStreamWriter& operator=(const DagStreamWriter&) = delete;
+
+  void begin(const std::string& name, std::uint64_t num_nodes) override;
+  void add_node(double omega, double mu) override;
+  void begin_edges(std::uint64_t num_edges) override;
+  void add_edge(NodeId u, NodeId v) override;
+
+  /// Flushes the final node's edges, writes the hash footer and closes the
+  /// file. Returns false (with error() set) on any latched error or if the
+  /// declared node/edge counts were not met. On success *hash_out (when
+  /// non-null) receives the canonical hash.
+  bool finish(std::uint64_t* hash_out = nullptr);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  void set_error(const std::string& message);
+  void put_bytes(const void* data, std::size_t size);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double d);
+  void hash_bytes(const void* data, std::size_t size);
+  void hash_u32(std::uint32_t v);
+  void hash_u64(std::uint64_t v);
+  void hash_f64(double d);
+  bool flush_pending_children();
+
+  std::FILE* file_ = nullptr;
+  std::vector<char> io_buffer_;
+  std::string error_;
+  enum class State { kCreated, kNodes, kEdges, kFinished } state_ =
+      State::kCreated;
+  std::uint64_t declared_nodes_ = 0;
+  std::uint64_t declared_edges_ = 0;
+  std::uint64_t emitted_nodes_ = 0;
+  std::uint64_t emitted_edges_ = 0;
+  NodeId current_u_ = kInvalidNode;
+  std::vector<NodeId> pending_children_;  // current u, stored order
+  std::vector<NodeId> sorted_children_;   // reused sort scratch for hashing
+  std::uint64_t hash_;
+};
 
 }  // namespace mbsp

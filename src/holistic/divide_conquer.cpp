@@ -6,55 +6,11 @@
 
 #include "src/bsp/greedy_scheduler.hpp"
 #include "src/graph/topology.hpp"
+#include "src/holistic/shard.hpp"  // make_shard_subproblem, slice_architecture
 #include "src/model/cost.hpp"
 #include "src/twostage/two_stage.hpp"
 
 namespace mbsp {
-
-namespace {
-
-/// A part as a scheduling subproblem: the part's nodes plus its external
-/// inputs (parents outside the part), which become sources of the sub-DAG.
-struct SubProblem {
-  std::vector<NodeId> globals;   // sub node id -> global node id
-  ComputeDag dag;
-  std::vector<int> procs;        // global processor ids assigned
-};
-
-SubProblem make_subproblem(const ComputeDag& dag,
-                           const std::vector<NodeId>& part_nodes) {
-  SubProblem sub;
-  std::vector<char> in_part(dag.num_nodes(), 0);
-  for (NodeId v : part_nodes) in_part[v] = 1;
-  // External inputs first (sources of the sub-DAG), then the part's nodes.
-  std::vector<char> added(dag.num_nodes(), 0);
-  for (NodeId v : part_nodes) {
-    for (NodeId u : dag.parents(v)) {
-      if (!in_part[u] && !added[u]) {
-        added[u] = 1;
-        sub.globals.push_back(u);
-      }
-    }
-  }
-  const std::size_t num_external = sub.globals.size();
-  for (NodeId v : part_nodes) sub.globals.push_back(v);
-  std::vector<NodeId> local(dag.num_nodes(), kInvalidNode);
-  sub.dag.set_name(dag.name() + "#part");
-  for (std::size_t i = 0; i < sub.globals.size(); ++i) {
-    const NodeId v = sub.globals[i];
-    // External inputs keep their memory weight but are not computed.
-    const double omega = i < num_external ? 0.0 : dag.omega(v);
-    local[v] = sub.dag.add_node(omega, dag.mu(v));
-  }
-  for (NodeId v : part_nodes) {
-    for (NodeId u : dag.parents(v)) {
-      sub.dag.add_edge(local[u], local[v]);
-    }
-  }
-  return sub;
-}
-
-}  // namespace
 
 DivideConquerResult divide_conquer_schedule(
     const MbspInstance& inst, const DivideConquerOptions& options) {
@@ -120,34 +76,12 @@ DivideConquerResult divide_conquer_schedule(
     int wave_supersteps = 0;
     for (std::size_t i = 0; i < wave.size(); ++i) {
       const int q = wave[i];
-      SubProblem sub = make_subproblem(dag, parts[q]);
-      for (int k = 0; k < alloc[i]; ++k) sub.procs.push_back(next_proc++);
-
-      // The sub-machine keeps each assigned processor's speed, capacity
-      // and comm group (groups renumbered dense in first-appearance
-      // order), so part-local LNS optimizes against the true hardware.
-      Architecture sub_arch =
-          Architecture::make(static_cast<int>(sub.procs.size()),
-                             inst.arch.fast_memory, inst.arch.g, inst.arch.L);
-      if (!inst.arch.is_uniform()) {
-        sub_arch.g_in = inst.arch.g_in;
-        sub_arch.g_out = inst.arch.g_out;
-        sub_arch.L_group = inst.arch.L_group;
-        std::vector<int> dense_group(
-            static_cast<std::size_t>(inst.arch.num_groups()), -1);
-        int next_group = 0;
-        for (int gp : sub.procs) {
-          sub_arch.speeds.push_back(inst.arch.speed(gp));
-          sub_arch.memories.push_back(inst.arch.memory(gp));
-          if (!inst.arch.group_of.empty()) {
-            int& dense = dense_group[static_cast<std::size_t>(
-                inst.arch.group(gp))];
-            if (dense < 0) dense = next_group++;
-            sub_arch.group_of.push_back(dense);
-          }
-        }
-      }
-      MbspInstance sub_inst{sub.dag, std::move(sub_arch)};
+      // Sub-instance construction and machine slicing are the extracted
+      // common core shared with the shard pipeline (src/holistic/shard.*).
+      ShardSubproblem sub = make_shard_subproblem(dag, parts[q]);
+      std::vector<int> procs;
+      for (int k = 0; k < alloc[i]; ++k) procs.push_back(next_proc++);
+      MbspInstance sub_inst{sub.dag, slice_architecture(inst.arch, procs)};
       // Warm start: greedy two-stage on the subproblem, then LNS.
       GreedyBspScheduler greedy;
       const BspSchedule bsp = greedy.schedule(sub_inst.dag, sub_inst.arch);
@@ -159,7 +93,7 @@ DivideConquerResult divide_conquer_schedule(
 
       // Splice into the global plan.
       for (int lp = 0; lp < sub_inst.arch.num_processors; ++lp) {
-        const int gp = sub.procs[lp];
+        const int gp = procs[static_cast<std::size_t>(lp)];
         for (const PlannedCompute& pc : improved.plan.seq[lp]) {
           global_plan.seq[gp].push_back(
               {sub.globals[pc.node], superstep_offset + pc.superstep});

@@ -20,12 +20,24 @@ struct OccRef {
 };
 
 /// Uniformly random occurrence reference, or nullopt if the plan is empty.
-std::optional<OccRef> random_occurrence(const ComputePlan& plan, Rng& rng) {
+/// With a node mask, the draw is made first (so RNG consumption is
+/// independent of the mask) and then rejected when it lands on a frozen
+/// node — the move proposal simply fizzles, like any other infeasible
+/// draw. This keeps the reference and incremental kernels bitwise-aligned
+/// under masking.
+std::optional<OccRef> random_occurrence(const ComputePlan& plan, Rng& rng,
+                                        const std::vector<char>* mask) {
   const std::size_t total = plan.total_computes();
   if (total == 0) return std::nullopt;
   std::size_t pick = rng.index(total);
   for (int p = 0; p < plan.num_procs; ++p) {
-    if (pick < plan.seq[p].size()) return OccRef{p, pick};
+    if (pick < plan.seq[p].size()) {
+      if (mask != nullptr &&
+          (*mask)[static_cast<std::size_t>(plan.seq[p][pick].node)] == 0) {
+        return std::nullopt;
+      }
+      return OccRef{p, pick};
+    }
     pick -= plan.seq[p].size();
   }
   return std::nullopt;
@@ -51,9 +63,10 @@ std::pair<std::size_t, std::size_t> superstep_range(
 // consume the RNG in exactly the same order, so both loops walk the same
 // trajectory for a fixed seed.
 
-bool move_to_other_proc(ComputePlan& plan, Rng& rng) {
+bool move_to_other_proc(ComputePlan& plan, Rng& rng,
+                        const std::vector<char>* mask) {
   if (plan.num_procs < 2) return false;
-  const auto ref = random_occurrence(plan, rng);
+  const auto ref = random_occurrence(plan, rng, mask);
   if (!ref) return false;
   const PlannedCompute pc = plan.seq[ref->proc][ref->index];
   int q = static_cast<int>(rng.index(plan.num_procs - 1));
@@ -66,8 +79,9 @@ bool move_to_other_proc(ComputePlan& plan, Rng& rng) {
   return true;
 }
 
-bool move_superstep(ComputePlan& plan, Rng& rng) {
-  const auto ref = random_occurrence(plan, rng);
+bool move_superstep(ComputePlan& plan, Rng& rng,
+                    const std::vector<char>* mask) {
+  const auto ref = random_occurrence(plan, rng, mask);
   if (!ref) return false;
   auto& seq = plan.seq[ref->proc];
   PlannedCompute pc = seq[ref->index];
@@ -84,10 +98,11 @@ bool move_superstep(ComputePlan& plan, Rng& rng) {
   return true;
 }
 
-bool swap_between_procs(ComputePlan& plan, Rng& rng) {
+bool swap_between_procs(ComputePlan& plan, Rng& rng,
+                        const std::vector<char>* mask) {
   if (plan.num_procs < 2) return false;
-  const auto a = random_occurrence(plan, rng);
-  const auto b = random_occurrence(plan, rng);
+  const auto a = random_occurrence(plan, rng, mask);
+  const auto b = random_occurrence(plan, rng, mask);
   if (!a || !b || a->proc == b->proc) return false;
   PlannedCompute& pa = plan.seq[a->proc][a->index];
   PlannedCompute& pb = plan.seq[b->proc][b->index];
@@ -127,16 +142,18 @@ bool split_superstep(ComputePlan& plan, Rng& rng) {
   return any;
 }
 
-bool add_recompute(const ComputeDag& dag, ComputePlan& plan, Rng& rng) {
+bool add_recompute(const ComputeDag& dag, ComputePlan& plan, Rng& rng,
+                   const std::vector<char>* mask) {
   // Pick a random occurrence with a non-source parent not computed locally
   // beforehand; insert a recomputation of that parent right before it.
-  const auto ref = random_occurrence(plan, rng);
+  const auto ref = random_occurrence(plan, rng, mask);
   if (!ref) return false;
   auto& seq = plan.seq[ref->proc];
   const PlannedCompute pc = seq[ref->index];
   std::vector<NodeId> candidates;
   for (NodeId u : dag.parents(pc.node)) {
     if (dag.is_source(u)) continue;
+    if (mask != nullptr && (*mask)[static_cast<std::size_t>(u)] == 0) continue;
     bool local_before = false;
     for (std::size_t i = 0; i < ref->index; ++i) {
       if (seq[i].node == u) {
@@ -153,8 +170,9 @@ bool add_recompute(const ComputeDag& dag, ComputePlan& plan, Rng& rng) {
   return true;
 }
 
-bool remove_occurrence(const ComputeDag& dag, ComputePlan& plan, Rng& rng) {
-  const auto ref = random_occurrence(plan, rng);
+bool remove_occurrence(const ComputeDag& dag, ComputePlan& plan, Rng& rng,
+                       const std::vector<char>* mask) {
+  const auto ref = random_occurrence(plan, rng, mask);
   if (!ref) return false;
   const NodeId v = plan.seq[ref->proc][ref->index].node;
   std::size_t copies = 0;
@@ -194,10 +212,11 @@ PlanDeltaOp make_erase(int proc, std::size_t pos, PlannedCompute pc) {
   return op;
 }
 
-bool gen_move_proc(IncrementalEvaluator& ev, Rng& rng) {
+bool gen_move_proc(IncrementalEvaluator& ev, Rng& rng,
+                   const std::vector<char>* mask) {
   const ComputePlan& plan = ev.plan();
   if (plan.num_procs < 2) return false;
-  const auto ref = random_occurrence(plan, rng);
+  const auto ref = random_occurrence(plan, rng, mask);
   if (!ref) return false;
   const PlannedCompute pc = plan.seq[ref->proc][ref->index];
   int q = static_cast<int>(rng.index(plan.num_procs - 1));
@@ -209,9 +228,10 @@ bool gen_move_proc(IncrementalEvaluator& ev, Rng& rng) {
   return true;
 }
 
-bool gen_move_superstep(IncrementalEvaluator& ev, Rng& rng) {
+bool gen_move_superstep(IncrementalEvaluator& ev, Rng& rng,
+                        const std::vector<char>* mask) {
   const ComputePlan& plan = ev.plan();
-  const auto ref = random_occurrence(plan, rng);
+  const auto ref = random_occurrence(plan, rng, mask);
   if (!ref) return false;
   PlannedCompute pc = plan.seq[ref->proc][ref->index];
   const int delta = rng.chance(0.5) ? 1 : -1;
@@ -225,11 +245,12 @@ bool gen_move_superstep(IncrementalEvaluator& ev, Rng& rng) {
   return true;
 }
 
-bool gen_swap_between_procs(IncrementalEvaluator& ev, Rng& rng) {
+bool gen_swap_between_procs(IncrementalEvaluator& ev, Rng& rng,
+                            const std::vector<char>* mask) {
   const ComputePlan& plan = ev.plan();
   if (plan.num_procs < 2) return false;
-  const auto a = random_occurrence(plan, rng);
-  const auto b = random_occurrence(plan, rng);
+  const auto a = random_occurrence(plan, rng, mask);
+  const auto b = random_occurrence(plan, rng, mask);
   if (!a || !b || a->proc == b->proc) return false;
   const PlannedCompute pa = plan.seq[a->proc][a->index];
   const PlannedCompute pb = plan.seq[b->proc][b->index];
@@ -293,14 +314,15 @@ bool gen_split_superstep(IncrementalEvaluator& ev, Rng& rng) {
 }
 
 bool gen_add_recompute(const ComputeDag& dag, IncrementalEvaluator& ev,
-                       Rng& rng) {
+                       Rng& rng, const std::vector<char>* mask) {
   const ComputePlan& plan = ev.plan();
-  const auto ref = random_occurrence(plan, rng);
+  const auto ref = random_occurrence(plan, rng, mask);
   if (!ref) return false;
   const PlannedCompute pc = plan.seq[ref->proc][ref->index];
   std::vector<NodeId> candidates;
   for (NodeId u : dag.parents(pc.node)) {
     if (dag.is_source(u)) continue;
+    if (mask != nullptr && (*mask)[static_cast<std::size_t>(u)] == 0) continue;
     if (!ev.index().has_local_comp_before(ref->proc, u, ref->index)) {
       candidates.push_back(u);
     }
@@ -311,9 +333,10 @@ bool gen_add_recompute(const ComputeDag& dag, IncrementalEvaluator& ev,
   return true;
 }
 
-bool gen_remove_occurrence(IncrementalEvaluator& ev, Rng& rng) {
+bool gen_remove_occurrence(IncrementalEvaluator& ev, Rng& rng,
+                           const std::vector<char>* mask) {
   const ComputePlan& plan = ev.plan();
-  const auto ref = random_occurrence(plan, rng);
+  const auto ref = random_occurrence(plan, rng, mask);
   if (!ref) return false;
   const PlannedCompute pc = plan.seq[ref->proc][ref->index];
   if (ev.index().node_count(pc.node) < 2) return false;
@@ -426,16 +449,23 @@ LnsResult improve_plan_reference(const MbspInstance& inst,
     ++result.proposed_by_class[class_index];
     bool changed = false;
     switch (move) {
-      case kMoveProc: changed = move_to_other_proc(candidate, rng); break;
-      case kMoveSuperstep: changed = move_superstep(candidate, rng); break;
-      case kSwapProcs: changed = swap_between_procs(candidate, rng); break;
+      case kMoveProc:
+        changed = move_to_other_proc(candidate, rng, options.node_mask);
+        break;
+      case kMoveSuperstep:
+        changed = move_superstep(candidate, rng, options.node_mask);
+        break;
+      case kSwapProcs:
+        changed = swap_between_procs(candidate, rng, options.node_mask);
+        break;
       case kMergeSupersteps: changed = merge_supersteps(candidate, rng); break;
       case kSplitSuperstep: changed = split_superstep(candidate, rng); break;
       case kAddRecompute:
-        changed = add_recompute(inst.dag, candidate, rng);
+        changed = add_recompute(inst.dag, candidate, rng, options.node_mask);
         break;
       case kRemoveOccurrence:
-        changed = remove_occurrence(inst.dag, candidate, rng);
+        changed =
+            remove_occurrence(inst.dag, candidate, rng, options.node_mask);
         break;
     }
     if (!changed) continue;
@@ -514,16 +544,22 @@ LnsResult improve_plan(const MbspInstance& inst, const ComputePlan& initial,
     eval.begin_move();
     bool changed = false;
     switch (move) {
-      case kMoveProc: changed = gen_move_proc(eval, rng); break;
-      case kMoveSuperstep: changed = gen_move_superstep(eval, rng); break;
-      case kSwapProcs: changed = gen_swap_between_procs(eval, rng); break;
+      case kMoveProc:
+        changed = gen_move_proc(eval, rng, options.node_mask);
+        break;
+      case kMoveSuperstep:
+        changed = gen_move_superstep(eval, rng, options.node_mask);
+        break;
+      case kSwapProcs:
+        changed = gen_swap_between_procs(eval, rng, options.node_mask);
+        break;
       case kMergeSupersteps: changed = gen_merge_supersteps(eval, rng); break;
       case kSplitSuperstep: changed = gen_split_superstep(eval, rng); break;
       case kAddRecompute:
-        changed = gen_add_recompute(inst.dag, eval, rng);
+        changed = gen_add_recompute(inst.dag, eval, rng, options.node_mask);
         break;
       case kRemoveOccurrence:
-        changed = gen_remove_occurrence(eval, rng);
+        changed = gen_remove_occurrence(eval, rng, options.node_mask);
         break;
     }
     if (!changed) {

@@ -32,6 +32,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/cache/policy.hpp"
 #include "src/holistic/formulation.hpp"  // CostModel
@@ -87,6 +88,16 @@ struct LnsOptions {
   /// MBSP_ARENA_MODE=heap). Differential tests run both modes and require
   /// bitwise-identical results; see docs/PERFORMANCE.md.
   bool arena_paranoid = false;
+  /// Optional per-node move mask (caller-owned, indexed by NodeId, must
+  /// outlive the call). When set, occurrence-level moves (proc, step,
+  /// swap, recompute, drop) only touch nodes whose mask entry is nonzero;
+  /// superstep merge/split stay global (they relabel supersteps without
+  /// reassigning or reordering frozen nodes). The sharded pipeline uses
+  /// this to restrict the global polish to shard-boundary nodes — see
+  /// docs/SCALE.md. RNG consumption is identical whether a draw is
+  /// subsequently masked out or not, so masked runs stay deterministic
+  /// and the reference/incremental kernels stay bitwise-aligned.
+  const std::vector<char>* node_mask = nullptr;
 };
 
 struct LnsResult {

@@ -1,0 +1,107 @@
+#pragma once
+// Sharded hierarchical scheduling for out-of-core scale (docs/SCALE.md):
+// the generalization of the divide-and-conquer pipeline (Section 6.3) to
+// million-node CSR-native DAGs.
+//
+//   1. acyclic k-way partition: the DAG is cut into `num_shards`
+//      contiguous intervals of the deterministic Kahn topological order,
+//      balanced by cumulative omega — O(n + m), no per-node vectors, and
+//      the quotient graph is acyclic by construction (an edge can only go
+//      from an earlier interval to a later one);
+//   2. wave packing + machine slicing: shards are grouped into waves of
+//      mutually independent quotient nodes and each wave splits the
+//      processors proportionally to work, exactly like divide-and-conquer
+//      (the shared helpers below are the extracted common core);
+//   3. per-shard solves fan out on a ThreadPool: every shard gets a
+//      greedy warm start plus an LNS polish with a SplitMix-derived
+//      shard-indexed seed, results are collected by shard index, so the
+//      outcome is bitwise reproducible for a fixed (seed, num_shards)
+//      regardless of thread count;
+//   4. stitch: sub-plans are spliced wave-by-wave with superstep offsets
+//      and normalized;
+//   5. boundary polish: a final global LNS pass whose node mask
+//      (LnsOptions::node_mask) is restricted to the endpoints of cut
+//      edges plus a configurable halo — only the shard seams move, so
+//      each iteration stays O(delta) through the incremental evaluator.
+//
+// The result is never worse than the unpartitioned greedy warm start when
+// compare_full_seed is on (the cheaper of the two plans is returned).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/holistic/lns.hpp"
+#include "src/model/arch.hpp"
+#include "src/model/instance.hpp"
+
+namespace mbsp {
+
+/// A shard as a scheduling subproblem: the shard's nodes plus its external
+/// inputs (parents outside the shard), which become zero-omega sources of
+/// the sub-DAG. Shared by shard_schedule and divide_conquer_schedule.
+struct ShardSubproblem {
+  std::vector<NodeId> globals;  ///< sub node id -> global node id
+  ComputeDag dag;
+};
+
+/// Builds the sub-instance DAG for one shard/part: external inputs first
+/// (as uncomputed sources that keep their memory weight), then the part's
+/// nodes, with every parent edge of a part node preserved.
+ShardSubproblem make_shard_subproblem(const ComputeDag& dag,
+                                      const std::vector<NodeId>& part_nodes);
+
+/// Slices `arch` down to the processors in `procs` (global ids), keeping
+/// each processor's speed, capacity and comm group; groups are renumbered
+/// dense in first-appearance order. Uniform machines slice to a smaller
+/// uniform machine.
+Architecture slice_architecture(const Architecture& arch,
+                                const std::vector<int>& procs);
+
+/// Deterministic acyclic k-way partition: contiguous intervals of the
+/// Kahn topological order, cut so each shard carries ~1/k of the total
+/// omega. Returns the shards in quotient-topological order (interval
+/// order); every shard is non-empty, so the result may have fewer than
+/// `num_shards` entries on tiny DAGs.
+std::vector<std::vector<NodeId>> acyclic_kway_partition(const ComputeDag& dag,
+                                                        int num_shards);
+
+struct ShardOptions {
+  int num_shards = 8;
+  /// Per-shard LNS configuration; budget_ms is *per shard* and the seed is
+  /// re-derived per shard (SplitMix over lns.seed and the shard index).
+  LnsOptions lns;
+  /// Global boundary polish sizing. budget_ms = 0 with a finite iteration
+  /// cap keeps the polish bit-reproducible; 0 iterations disables it.
+  double polish_budget_ms = 0;
+  long polish_max_iterations = 20'000;
+  /// Hops of DAG neighborhood around cut-edge endpoints included in the
+  /// polish move mask (0 = endpoints only).
+  int boundary_halo = 1;
+  /// Worker threads for the per-shard fan-out (0 = hardware concurrency).
+  /// Thread count never changes the result, only the wall clock.
+  int num_threads = 0;
+  /// Also compute the unpartitioned greedy warm start and return the
+  /// cheaper plan — the sharded pipeline is then provably no worse than
+  /// the seed. Disable for instances too large to schedule unsharded.
+  bool compare_full_seed = true;
+};
+
+struct ShardResult {
+  ComputePlan plan;
+  MbspSchedule schedule;
+  double cost = 0;            ///< final cost (after polish / seed compare)
+  double stitched_cost = 0;   ///< stitched sharded plan, before polish
+  double seed_cost = 0;       ///< unpartitioned greedy seed (0 if skipped)
+  std::size_t num_shards = 0;
+  std::size_t cut_edges = 0;       ///< DAG edges crossing shards
+  std::size_t boundary_nodes = 0;  ///< nodes in the polish move mask
+  bool used_full_seed = false;  ///< the unpartitioned seed won the compare
+};
+
+/// Runs the full pipeline described above. Deterministic for fixed
+/// (options.lns.seed, options.num_shards) when the LNS budgets are
+/// iteration-capped (budget_ms = 0), regardless of options.num_threads.
+ShardResult shard_schedule(const MbspInstance& inst,
+                           const ShardOptions& options);
+
+}  // namespace mbsp

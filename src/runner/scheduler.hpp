@@ -46,6 +46,17 @@ struct SchedulerOptions {
   int divide_conquer_threshold = 120;
   int max_part_size = 60;
 
+  /// Sharded out-of-core pipeline ("sharded" scheduler; docs/SCALE.md):
+  /// acyclic k-way partition into `shards` intervals, per-shard LNS fanned
+  /// out on `shard_threads` workers (0 = hardware concurrency; the thread
+  /// count never changes the result), then a boundary-masked global
+  /// polish. compare_full_seed returns the cheaper of the sharded plan
+  /// and the unpartitioned greedy seed — disable for instances too large
+  /// to schedule unsharded.
+  int shards = 8;
+  int shard_threads = 0;
+  bool compare_full_seed = true;
+
   /// Portfolio (lns-portfolio) sizing: concurrent LNS workers with
   /// SplitMix-derived per-worker seeds, exchanging incumbents every
   /// `epochs`-th slice of the iteration budget. Deterministic by default

@@ -7,6 +7,7 @@
 #include "src/graph/topology.hpp"
 #include "src/holistic/divide_conquer.hpp"
 #include "src/holistic/exact_pebbler.hpp"
+#include "src/holistic/shard.hpp"
 #include "src/holistic/formulation.hpp"
 #include "src/holistic/portfolio.hpp"
 #include "src/holistic/scheduler.hpp"
@@ -201,6 +202,37 @@ class DivideConquerAdapter final : public MbspScheduler {
   }
 };
 
+/// The sharded out-of-core pipeline (docs/SCALE.md): acyclic k-way
+/// partition, per-shard LNS fan-out with shard-indexed seeds, stitch,
+/// boundary-masked global polish. budget_ms is split across the shards;
+/// a quarter of the iteration budget funds the polish.
+class ShardedAdapter final : public MbspScheduler {
+ public:
+  std::string name() const override { return "sharded"; }
+
+  ScheduleResult run(const MbspInstance& inst,
+                     const SchedulerOptions& options) const override {
+    const Timer timer;
+    ShardOptions shard;
+    shard.num_shards = std::max(1, options.shards);
+    shard.lns = to_lns(options);
+    shard.lns.budget_ms = options.budget_ms / shard.num_shards;  // per shard
+    shard.polish_budget_ms = options.budget_ms / 4;
+    shard.polish_max_iterations = std::max(1L, options.max_iterations / 4);
+    shard.num_threads = options.shard_threads;
+    shard.compare_full_seed = options.compare_full_seed;
+    ShardResult res = shard_schedule(inst, shard);
+    ScheduleResult result;
+    result.scheduler = name();
+    result.schedule = std::move(res.schedule);
+    result.plan = std::move(res.plan);
+    result.num_parts = res.num_shards;
+    result.baseline_cost = res.seed_cost;
+    finalize(inst, options, timer, result);
+    return result;
+  }
+};
+
 /// Exact P = 1 red-blue pebbling (Dijkstra over configurations). Falls back
 /// to the DFS baseline when the state-space limits are hit.
 class ExactPebbleAdapter final : public MbspScheduler {
@@ -327,6 +359,7 @@ void register_builtin_schedulers(SchedulerRegistry& registry) {
   registry.add(std::make_unique<PortfolioAdapter>());
   registry.add(std::make_unique<HolisticAdapter>());
   registry.add(std::make_unique<DivideConquerAdapter>());
+  registry.add(std::make_unique<ShardedAdapter>());
   registry.add(std::make_unique<ExactPebbleAdapter>());
   registry.add(std::make_unique<IlpAdapter>());
 }

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 namespace mbsp {
@@ -15,7 +16,10 @@ constexpr double kMemEps = 1e-9;
 constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
 
 /// One planned maximal segment of computes on one processor, together with
-/// the I/O that realizes it and the processor state after it.
+/// the I/O that realizes it and the processor-state delta after it. The
+/// segment carries only its *changes* (never an O(n) cache snapshot), so a
+/// planning attempt costs O(segment), not O(graph) — the property that
+/// keeps completion tractable on 10^6-node plans (docs/SCALE.md).
 struct SegmentPlan {
   std::vector<NodeId> loads;
   std::vector<NodeId> pre_saves;    // dirty upfront evictions (prev slot)
@@ -24,11 +28,26 @@ struct SegmentPlan {
   std::vector<NodeId> post_saves;   // outputs needing a blue pebble
   std::vector<NodeId> post_deletes; // dead values dropped after the segment
   std::int64_t count = 0;           // number of plan entries consumed
-  // State after the segment.
-  std::vector<char> cache;
+  // State delta after the segment.
+  std::vector<std::pair<NodeId, char>> cache_changes;  // final vs committed
   double cache_weight = 0;
   std::vector<NodeId> made_blue;  // pre_saves + post_saves (commit order)
-  std::unordered_map<NodeId, std::int64_t> touched;  // last_active updates
+  std::vector<std::pair<NodeId, std::int64_t>> touched;  // last_active, deduped
+};
+
+/// Per-processor static index: node -> ascending positions in seq[p],
+/// CSR-flattened (offset array + one flat position pool) instead of a
+/// vector-of-vectors per (proc, node), which at 10^6 nodes costs hundreds
+/// of MB in empty vector headers alone.
+struct PlanIndex {
+  std::vector<std::uint32_t> offset;  // n + 1
+  std::vector<std::int64_t> pos;      // ascending per node
+
+  bool empty(NodeId v) const { return offset[v + 1] == offset[v]; }
+  const std::int64_t* begin(NodeId v) const { return pos.data() + offset[v]; }
+  const std::int64_t* end(NodeId v) const {
+    return pos.data() + offset[v + 1];
+  }
 };
 
 class Completer {
@@ -48,8 +67,8 @@ class Completer {
 
  private:
   void precompute();
-  std::optional<SegmentPlan> try_segment(int p, std::int64_t count) const;
-  SegmentPlan plan_largest_segment(int p, int superstep) const;
+  std::optional<SegmentPlan> try_segment(int p, std::int64_t count);
+  SegmentPlan plan_largest_segment(int p, int superstep);
   void commit(int p, const SegmentPlan& seg);
 
   /// Position (in seq[p]) of the next *need* of the current copy of v at or
@@ -59,6 +78,44 @@ class Completer {
 
   bool save_required(NodeId v) const { return save_required_[v] != 0; }
 
+  // -- Epoch-stamped per-attempt overlays -----------------------------------
+  // One epoch per try_segment attempt: a slot is live iff its stamp equals
+  // the current epoch, so "clearing" every per-attempt array is a counter
+  // increment. All reads fall back to the committed base state when the
+  // stamp is stale. This is the same dense-overlay idiom as the LNS
+  // evaluator's scratch state (docs/PERFORMANCE.md).
+  bool in_seg_cache(int p, NodeId v) const {
+    return cache_st_[v] == epoch_ ? cache_ov_[v] != 0 : cache_[p][v] != 0;
+  }
+  void set_seg_cache(NodeId v, char state) {
+    if (cache_st_[v] != epoch_) {
+      cache_st_[v] = epoch_;
+      cache_touched_.push_back(v);
+    }
+    cache_ov_[v] = state;
+  }
+  bool seg_blue(NodeId v) const {
+    return blue_[v] != 0 || blueadd_st_[v] == epoch_;
+  }
+  void seg_make_blue(NodeId v) { blueadd_st_[v] = epoch_; }
+  int seg_need(NodeId v) const {
+    return need_st_[v] == epoch_ ? need_ov_[v] : 0;
+  }
+  void seg_need_add(NodeId v, int delta) {
+    if (need_st_[v] != epoch_) {
+      need_st_[v] = epoch_;
+      need_ov_[v] = 0;
+    }
+    need_ov_[v] += delta;
+  }
+  void seg_touch(NodeId v, std::int64_t when) {
+    if (touch_st_[v] != epoch_) {
+      touch_st_[v] = epoch_;
+      touch_list_.push_back(v);
+    }
+    touch_ov_[v] = when;
+  }
+
   const MbspInstance& inst_;
   const ComputeDag& dag_;
   const ComputePlan& plan_;
@@ -67,29 +124,64 @@ class Completer {
   std::vector<double> r_;  ///< per-proc capacity (uniform: all fast_memory)
 
   // Static plan indexes.
-  std::vector<std::vector<std::vector<std::int64_t>>> use_pos_;   // [p][v]
-  std::vector<std::vector<std::vector<std::int64_t>>> comp_pos_;  // [p][v]
+  std::vector<PlanIndex> use_idx_;   // [p]: node -> use positions
+  std::vector<PlanIndex> comp_idx_;  // [p]: node -> compute positions
   std::vector<char> save_required_;  // sink or used on a non-computing proc
 
   // Dynamic state.
   std::vector<std::vector<char>> cache_;
+  std::vector<std::vector<NodeId>> cache_list_;  // sorted cache contents [p]
   std::vector<double> cache_weight_;
   std::vector<char> blue_;          // visible for loads staged this round
   std::vector<NodeId> pending_blue_;  // post_saves; visible next round
   std::vector<std::int64_t> pos_;
   std::vector<std::vector<std::int64_t>> last_active_;
+
+  // Per-attempt overlays (see above) + reused scratch.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> produced_st_, load_st_, needed_st_, hoist_st_;
+  std::vector<std::uint32_t> blueadd_st_, cache_st_, need_st_, touch_st_;
+  std::vector<char> cache_ov_;
+  std::vector<int> need_ov_;
+  std::vector<std::int64_t> touch_ov_;
+  std::vector<NodeId> cache_touched_;  // nodes with a stamped cache slot
+  std::vector<NodeId> touch_list_;
+  std::vector<NodeId> candidates_;  // sorted superset of in-cache nodes
+  std::vector<VictimInfo> victims_;
 };
 
 void Completer::precompute() {
   const NodeId n = dag_.num_nodes();
-  use_pos_.assign(P_, std::vector<std::vector<std::int64_t>>(n));
-  comp_pos_.assign(P_, std::vector<std::vector<std::int64_t>>(n));
+  // CSR-ify the (proc, node) -> positions maps: one counting pass, prefix
+  // sums, one fill pass. Ascending fill order preserves ascending position
+  // lists per node.
+  use_idx_.resize(static_cast<std::size_t>(P_));
+  comp_idx_.resize(static_cast<std::size_t>(P_));
   for (int p = 0; p < P_; ++p) {
-    for (std::size_t i = 0; i < plan_.seq[p].size(); ++i) {
-      const NodeId v = plan_.seq[p][i].node;
-      comp_pos_[p][v].push_back(static_cast<std::int64_t>(i));
+    auto& uses = use_idx_[static_cast<std::size_t>(p)];
+    auto& comps = comp_idx_[static_cast<std::size_t>(p)];
+    uses.offset.assign(n + 1, 0);
+    comps.offset.assign(n + 1, 0);
+    const auto& seq = plan_.seq[p];
+    for (const PlannedCompute& pc : seq) {
+      ++comps.offset[pc.node + 1];
+      for (NodeId u : dag_.parents(pc.node)) ++uses.offset[u + 1];
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      uses.offset[v + 1] += uses.offset[v];
+      comps.offset[v + 1] += comps.offset[v];
+    }
+    uses.pos.resize(uses.offset[n]);
+    comps.pos.resize(comps.offset[n]);
+    std::vector<std::uint32_t> ucur(uses.offset.begin(),
+                                    uses.offset.end() - 1);
+    std::vector<std::uint32_t> ccur(comps.offset.begin(),
+                                    comps.offset.end() - 1);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      const NodeId v = seq[i].node;
+      comps.pos[ccur[v]++] = static_cast<std::int64_t>(i);
       for (NodeId u : dag_.parents(v)) {
-        use_pos_[p][u].push_back(static_cast<std::int64_t>(i));
+        uses.pos[ucur[u]++] = static_cast<std::int64_t>(i);
       }
     }
   }
@@ -103,18 +195,20 @@ void Completer::precompute() {
     // Used on some processor that is not the only computing processor.
     int computing = -1, computing_count = 0;
     for (int p = 0; p < P_; ++p) {
-      if (!comp_pos_[p][v].empty()) {
+      if (!comp_idx_[static_cast<std::size_t>(p)].empty(v)) {
         computing = p;
         ++computing_count;
       }
     }
     for (int p = 0; p < P_ && !save_required_[v]; ++p) {
-      if (!use_pos_[p][v].empty() && (computing_count > 1 || p != computing)) {
+      if (!use_idx_[static_cast<std::size_t>(p)].empty(v) &&
+          (computing_count > 1 || p != computing)) {
         save_required_[v] = 1;
       }
     }
   }
   cache_.assign(P_, std::vector<char>(n, 0));
+  cache_list_.assign(P_, {});
   cache_weight_.assign(P_, 0.0);
   blue_.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
@@ -122,92 +216,117 @@ void Completer::precompute() {
   }
   pos_.assign(P_, 0);
   last_active_.assign(P_, std::vector<std::int64_t>(n, -1));
+
+  produced_st_.assign(n, 0);
+  load_st_.assign(n, 0);
+  needed_st_.assign(n, 0);
+  hoist_st_.assign(n, 0);
+  blueadd_st_.assign(n, 0);
+  cache_st_.assign(n, 0);
+  need_st_.assign(n, 0);
+  touch_st_.assign(n, 0);
+  cache_ov_.assign(n, 0);
+  need_ov_.assign(n, 0);
+  touch_ov_.assign(n, 0);
 }
 
 std::int64_t Completer::effective_next_need(int p, NodeId v,
                                             std::int64_t from) const {
-  const auto& uses = use_pos_[p][v];
-  const auto uit = std::lower_bound(uses.begin(), uses.end(), from);
-  if (uit == uses.end()) return kNever;
-  const auto& comps = comp_pos_[p][v];
-  const auto cit = std::lower_bound(comps.begin(), comps.end(), from);
-  if (cit != comps.end() && *cit < *uit) return kNever;  // recomputed first
+  const auto& uses = use_idx_[static_cast<std::size_t>(p)];
+  const std::int64_t* uit = std::lower_bound(uses.begin(v), uses.end(v), from);
+  if (uit == uses.end(v)) return kNever;
+  const auto& comps = comp_idx_[static_cast<std::size_t>(p)];
+  const std::int64_t* cit =
+      std::lower_bound(comps.begin(v), comps.end(v), from);
+  if (cit != comps.end(v) && *cit < *uit) return kNever;  // recomputed first
   return *uit;
 }
 
-std::optional<SegmentPlan> Completer::try_segment(int p,
-                                                  std::int64_t count) const {
+std::optional<SegmentPlan> Completer::try_segment(int p, std::int64_t count) {
+  ++epoch_;
+  cache_touched_.clear();
+  touch_list_.clear();
   const auto& seq = plan_.seq[p];
   const std::int64_t i0 = pos_[p];
   SegmentPlan seg;
   seg.count = count;
-  seg.cache = cache_[p];
   seg.cache_weight = cache_weight_[p];
 
   // Collect upfront loads and the set of start-cache values the segment
   // consumes (those must not be evicted upfront).
-  std::vector<char> produced(dag_.num_nodes(), 0);
-  std::vector<char> needed_from_cache(dag_.num_nodes(), 0);
-  std::vector<char> load_set(dag_.num_nodes(), 0);
   double load_weight = 0;
   for (std::int64_t j = 0; j < count; ++j) {
     const NodeId v = seq[i0 + j].node;
     for (NodeId u : dag_.parents(v)) {
-      if (produced[u] || load_set[u]) continue;
-      if (seg.cache[u]) {
-        needed_from_cache[u] = 1;
+      if (produced_st_[u] == epoch_ || load_st_[u] == epoch_) continue;
+      if (cache_[p][u]) {
+        needed_st_[u] = epoch_;
         continue;
       }
       if (!blue_[u]) return std::nullopt;  // not loadable yet
-      load_set[u] = 1;
+      load_st_[u] = epoch_;
       seg.loads.push_back(u);
       load_weight += dag_.mu(u);
     }
-    produced[v] = 1;
+    produced_st_[v] = epoch_;
   }
 
-  std::vector<char> blue_local = blue_;  // includes tentative pre-saves
-  auto make_victims = [&](const std::vector<char>& cache,
-                          const std::function<bool(NodeId)>& allowed,
-                          std::int64_t from) {
-    std::vector<VictimInfo> out;
-    for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
-      if (!cache[v] || !allowed(v)) continue;
+  // Sorted superset of everything that can ever be red during this
+  // segment: the committed cache contents plus the loads and computes.
+  // Victim enumeration and the post-delete sweep walk this list (filtered
+  // by the live cache overlay) in ascending node order — the same victims
+  // in the same order as a full 0..n scan, at O(candidates) cost.
+  candidates_.clear();
+  candidates_.insert(candidates_.end(), cache_list_[p].begin(),
+                     cache_list_[p].end());
+  candidates_.insert(candidates_.end(), seg.loads.begin(), seg.loads.end());
+  for (std::int64_t j = 0; j < count; ++j) {
+    candidates_.push_back(seq[i0 + j].node);
+  }
+  std::sort(candidates_.begin(), candidates_.end());
+  candidates_.erase(std::unique(candidates_.begin(), candidates_.end()),
+                    candidates_.end());
+
+  auto make_victims = [&](const std::function<bool(NodeId)>& allowed,
+                          std::int64_t from) -> const std::vector<VictimInfo>& {
+    victims_.clear();
+    for (NodeId v : candidates_) {
+      if (!in_seg_cache(p, v) || !allowed(v)) continue;
       VictimInfo info;
       info.node = v;
       const std::int64_t need = effective_next_need(p, v, from);
       info.next_use = need == kNever ? kNoNextUse : need;
       info.last_active = last_active_[p][v];
-      out.push_back(info);
+      victims_.push_back(info);
     }
-    return out;
+    return victims_;
   };
 
   // Phase A: upfront evictions so start cache + loads fit.
   const double r_p = r_[static_cast<std::size_t>(p)];
   while (seg.cache_weight + load_weight > r_p + kMemEps) {
-    const auto victims = make_victims(
-        seg.cache, [&](NodeId v) { return !needed_from_cache[v]; }, i0);
+    const auto& victims = make_victims(
+        [&](NodeId v) { return needed_st_[v] != epoch_; }, i0);
     if (victims.empty()) return std::nullopt;
     const NodeId victim = policy_.choose_victim(victims);
     const bool live = effective_next_need(p, victim, i0) != kNever;
-    if (!blue_local[victim] && (live || save_required(victim))) {
+    if (!seg_blue(victim) && (live || save_required(victim))) {
       seg.pre_saves.push_back(victim);
-      blue_local[victim] = 1;
+      seg_make_blue(victim);
       seg.made_blue.push_back(victim);
     }
     seg.pre_deletes.push_back(victim);
-    seg.cache[victim] = 0;
+    set_seg_cache(victim, 0);
     seg.cache_weight -= dag_.mu(victim);
   }
 
   // Apply loads.
   for (NodeId u : seg.loads) {
-    if (!seg.cache[u]) {
-      seg.cache[u] = 1;
+    if (!in_seg_cache(p, u)) {
+      set_seg_cache(u, 1);
       seg.cache_weight += dag_.mu(u);
     }
-    seg.touched[u] = i0;
+    seg_touch(u, i0);
   }
 
   // Phase B: replay the computes with mid-segment evictions. Mid-phase
@@ -217,25 +336,25 @@ std::optional<SegmentPlan> Completer::try_segment(int p,
   // retroactively sound: every earlier capacity check passed with the
   // value present, so it also holds without it. Only untouched start-cache
   // values that the segment never consumes are hoistable.
-  std::vector<char> hoistable(dag_.num_nodes(), 0);
-  for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
-    hoistable[v] = seg.cache[v] && !needed_from_cache[v] && !load_set[v];
+  for (NodeId v : candidates_) {
+    if (in_seg_cache(p, v) && needed_st_[v] != epoch_ &&
+        load_st_[v] != epoch_) {
+      hoist_st_[v] = epoch_;
+    }
   }
-  std::vector<int> remaining_need(dag_.num_nodes(), 0);
   for (std::int64_t j = 0; j < count; ++j) {
-    for (NodeId u : dag_.parents(seq[i0 + j].node)) ++remaining_need[u];
+    for (NodeId u : dag_.parents(seq[i0 + j].node)) seg_need_add(u, 1);
   }
   for (std::int64_t j = 0; j < count; ++j) {
     const NodeId v = seq[i0 + j].node;
     const std::int64_t gpos = i0 + j;
-    if (!seg.cache[v]) {
+    if (!in_seg_cache(p, v)) {
       while (seg.cache_weight + dag_.mu(v) > r_p + kMemEps) {
-        const auto victims = make_victims(
-            seg.cache,
+        const auto& victims = make_victims(
             [&](NodeId c) {
-              if (remaining_need[c] > 0) return false;  // still a parent here
-              if (blue_local[c]) return true;
-              if (hoistable[c]) return true;
+              if (seg_need(c) > 0) return false;  // still a parent here
+              if (seg_blue(c)) return true;
+              if (hoist_st_[c] == epoch_) return true;
               // No blue pebble: only evictable if truly dead and never
               // needing a save (otherwise we would lose the value).
               return effective_next_need(p, c, gpos) == kNever &&
@@ -245,38 +364,38 @@ std::optional<SegmentPlan> Completer::try_segment(int p,
         if (victims.empty()) return std::nullopt;
         const NodeId victim = policy_.choose_victim(victims);
         const bool dirty_live =
-            !blue_local[victim] &&
+            !seg_blue(victim) &&
             (effective_next_need(p, victim, gpos) != kNever ||
              save_required(victim));
         if (dirty_live) {
           // Hoist: evict before the segment, saving first.
           seg.pre_saves.push_back(victim);
-          blue_local[victim] = 1;
+          seg_make_blue(victim);
           seg.made_blue.push_back(victim);
           seg.pre_deletes.push_back(victim);
         } else {
           seg.ops.push_back(PhaseOp::erase(victim));
         }
-        seg.cache[victim] = 0;
+        set_seg_cache(victim, 0);
         seg.cache_weight -= dag_.mu(victim);
       }
       seg.ops.push_back(PhaseOp::compute(v));
-      seg.cache[v] = 1;
+      set_seg_cache(v, 1);
       seg.cache_weight += dag_.mu(v);
     }
     // else: value already red; the occurrence is redundant, skip the op.
-    seg.touched[v] = gpos;
+    seg_touch(v, gpos);
     for (NodeId u : dag_.parents(v)) {
-      --remaining_need[u];
-      seg.touched[u] = gpos;
+      seg_need_add(u, -1);
+      seg_touch(u, gpos);
     }
     // Eager cleanup: drop parents that just died (free DELETE ops).
     for (NodeId u : dag_.parents(v)) {
-      if (!seg.cache[u] || remaining_need[u] > 0) continue;
+      if (!in_seg_cache(p, u) || seg_need(u) > 0) continue;
       if (effective_next_need(p, u, gpos + 1) != kNever) continue;
-      if (!blue_local[u] && save_required(u)) continue;  // save pending
+      if (!seg_blue(u) && save_required(u)) continue;  // save pending
       seg.ops.push_back(PhaseOp::erase(u));
-      seg.cache[u] = 0;
+      set_seg_cache(u, 0);
       seg.cache_weight -= dag_.mu(u);
     }
   }
@@ -284,25 +403,31 @@ std::optional<SegmentPlan> Completer::try_segment(int p,
   // Post phase: save outputs that need a blue pebble, then drop dead values.
   for (std::int64_t j = 0; j < count; ++j) {
     const NodeId v = seq[i0 + j].node;
-    if (seg.cache[v] && !blue_local[v] && save_required(v)) {
+    if (in_seg_cache(p, v) && !seg_blue(v) && save_required(v)) {
       seg.post_saves.push_back(v);
-      blue_local[v] = 1;
+      seg_make_blue(v);
       seg.made_blue.push_back(v);
     }
   }
   const std::int64_t after = i0 + count;
-  for (NodeId v = 0; v < dag_.num_nodes(); ++v) {
-    if (!seg.cache[v]) continue;
+  for (NodeId v : candidates_) {
+    if (!in_seg_cache(p, v)) continue;
     if (effective_next_need(p, v, after) != kNever) continue;
-    if (!blue_local[v] && save_required(v)) continue;
+    if (!seg_blue(v) && save_required(v)) continue;
     seg.post_deletes.push_back(v);
-    seg.cache[v] = 0;
+    set_seg_cache(v, 0);
     seg.cache_weight -= dag_.mu(v);
   }
+
+  // Materialize the deltas the commit applies.
+  for (NodeId v : cache_touched_) {
+    if (cache_ov_[v] != cache_[p][v]) seg.cache_changes.push_back({v, cache_ov_[v]});
+  }
+  for (NodeId v : touch_list_) seg.touched.push_back({v, touch_ov_[v]});
   return seg;
 }
 
-SegmentPlan Completer::plan_largest_segment(int p, int superstep) const {
+SegmentPlan Completer::plan_largest_segment(int p, int superstep) {
   const auto& seq = plan_.seq[p];
   std::int64_t limit = 0;
   while (pos_[p] + limit < static_cast<std::int64_t>(seq.size()) &&
@@ -321,12 +446,27 @@ SegmentPlan Completer::plan_largest_segment(int p, int superstep) const {
 }
 
 void Completer::commit(int p, const SegmentPlan& seg) {
-  cache_[p] = seg.cache;
+  for (const auto& [node, state] : seg.cache_changes) {
+    cache_[p][node] = state;
+  }
   cache_weight_[p] = seg.cache_weight;
   pos_[p] += seg.count;
   for (const auto& [node, when] : seg.touched) last_active_[p][node] = when;
   for (NodeId v : seg.pre_saves) blue_[v] = 1;  // same-slot save phase
   for (NodeId v : seg.post_saves) pending_blue_.push_back(v);
+  // Restore the sorted-cache-contents invariant: drop evicted nodes, fold
+  // in the additions (which were absent before, so a merge of two sorted
+  // runs keeps the list duplicate-free).
+  auto& list = cache_list_[p];
+  std::erase_if(list, [&](NodeId v) { return cache_[p][v] == 0; });
+  const std::size_t old_size = list.size();
+  for (const auto& [node, state] : seg.cache_changes) {
+    if (state != 0) list.push_back(node);
+  }
+  std::sort(list.begin() + static_cast<std::ptrdiff_t>(old_size), list.end());
+  std::inplace_merge(list.begin(),
+                     list.begin() + static_cast<std::ptrdiff_t>(old_size),
+                     list.end());
 }
 
 MbspSchedule Completer::run() {

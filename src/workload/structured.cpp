@@ -1,8 +1,10 @@
 #include "src/workload/structured.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
+#include "src/graph/dag_io.hpp"
 #include "src/graph/generators.hpp"
 
 namespace mbsp {
@@ -275,6 +277,189 @@ ComputeDag mapreduce_dag(int maps, int reducers, int rounds,
     inputs = std::move(reduced);
   }
   return dag;
+}
+
+// --- Streaming emitters. -------------------------------------------------
+//
+// Each emitter mirrors its in-memory twin's node-id assignment exactly;
+// children are derived by inverting the twin's "cell reads neighborhood"
+// loops so edges come out u-major. The suffix-sum edge counts are analytic
+// (no discovery pass over the graph).
+
+void stencil2d_stream(int nx, int ny, int steps, const std::string& name,
+                      DagSink& sink) {
+  const std::uint64_t layer = static_cast<std::uint64_t>(nx) * ny;
+  // Per step: one carried-value edge per cell plus both directions of
+  // every in-bounds grid adjacency.
+  const std::uint64_t adjacency =
+      2ull * (static_cast<std::uint64_t>(nx - 1) * ny +
+              static_cast<std::uint64_t>(nx) * (ny - 1));
+  sink.begin(name, layer * (static_cast<std::uint64_t>(steps) + 1));
+  for (std::uint64_t i = 0; i < layer; ++i) sink.add_node(0, 1);
+  for (int t = 0; t < steps; ++t) {
+    for (std::uint64_t i = 0; i < layer; ++i) sink.add_node(kCell, 1);
+  }
+  sink.begin_edges(static_cast<std::uint64_t>(steps) * (layer + adjacency));
+  for (int t = 0; t < steps; ++t) {
+    const std::uint64_t base = layer * static_cast<std::uint64_t>(t);
+    const std::uint64_t next = base + layer;
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const NodeId u = static_cast<NodeId>(
+            base + static_cast<std::uint64_t>(y) * nx + x);
+        auto child = [&](int cx, int cy) {
+          sink.add_edge(u, static_cast<NodeId>(
+                               next + static_cast<std::uint64_t>(cy) * nx +
+                               cx));
+        };
+        child(x, y);
+        if (x > 0) child(x - 1, y);
+        if (x + 1 < nx) child(x + 1, y);
+        if (y > 0) child(x, y - 1);
+        if (y + 1 < ny) child(x, y + 1);
+      }
+    }
+  }
+}
+
+void stencil3d_stream(int nx, int ny, int nz, int steps,
+                      const std::string& name, DagSink& sink) {
+  const std::uint64_t layer =
+      static_cast<std::uint64_t>(nx) * ny * static_cast<std::uint64_t>(nz);
+  const std::uint64_t adjacency =
+      2ull * (static_cast<std::uint64_t>(nx - 1) * ny * nz +
+              static_cast<std::uint64_t>(nx) * (ny - 1) * nz +
+              static_cast<std::uint64_t>(nx) * ny * (nz - 1));
+  sink.begin(name, layer * (static_cast<std::uint64_t>(steps) + 1));
+  for (std::uint64_t i = 0; i < layer; ++i) sink.add_node(0, 1);
+  for (int t = 0; t < steps; ++t) {
+    for (std::uint64_t i = 0; i < layer; ++i) sink.add_node(kCell, 1);
+  }
+  sink.begin_edges(static_cast<std::uint64_t>(steps) * (layer + adjacency));
+  for (int t = 0; t < steps; ++t) {
+    const std::uint64_t base = layer * static_cast<std::uint64_t>(t);
+    const std::uint64_t next = base + layer;
+    for (int z = 0; z < nz; ++z) {
+      for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+          const std::uint64_t cell =
+              (static_cast<std::uint64_t>(z) * ny + y) * nx + x;
+          const NodeId u = static_cast<NodeId>(base + cell);
+          auto child = [&](int cx, int cy, int cz) {
+            sink.add_edge(
+                u, static_cast<NodeId>(
+                       next + (static_cast<std::uint64_t>(cz) * ny + cy) * nx +
+                       cx));
+          };
+          child(x, y, z);
+          if (x > 0) child(x - 1, y, z);
+          if (x + 1 < nx) child(x + 1, y, z);
+          if (y > 0) child(x, y - 1, z);
+          if (y + 1 < ny) child(x, y + 1, z);
+          if (z > 0) child(x, y, z - 1);
+          if (z + 1 < nz) child(x, y, z + 1);
+        }
+      }
+    }
+  }
+}
+
+void wavefront_stream(int nx, int ny, const std::string& name,
+                      DagSink& sink) {
+  const std::uint64_t cells = static_cast<std::uint64_t>(nx) * ny;
+  const std::uint64_t first_cell =
+      static_cast<std::uint64_t>(nx) + static_cast<std::uint64_t>(ny) + 1;
+  auto cell = [&](int x, int y) {
+    return static_cast<NodeId>(first_cell +
+                               static_cast<std::uint64_t>(y) * nx + x);
+  };
+  sink.begin(name, first_cell + cells);
+  for (std::uint64_t i = 0; i < first_cell; ++i) sink.add_node(0, 1);
+  for (std::uint64_t i = 0; i < cells; ++i) sink.add_node(kCell, 1);
+  sink.begin_edges(3 * cells);  // every cell has exactly three parents
+  for (int x = 0; x < nx; ++x) {  // top boundary inputs
+    sink.add_edge(static_cast<NodeId>(x), cell(x, 0));
+    if (x + 1 < nx) sink.add_edge(static_cast<NodeId>(x), cell(x + 1, 0));
+  }
+  for (int y = 0; y < ny; ++y) {  // left boundary inputs
+    sink.add_edge(static_cast<NodeId>(nx + y), cell(0, y));
+    if (y + 1 < ny) sink.add_edge(static_cast<NodeId>(nx + y), cell(0, y + 1));
+  }
+  sink.add_edge(static_cast<NodeId>(nx + ny), cell(0, 0));  // corner
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      const NodeId u = cell(x, y);
+      if (y + 1 < ny) sink.add_edge(u, cell(x, y + 1));
+      if (x + 1 < nx) sink.add_edge(u, cell(x + 1, y));
+      if (x + 1 < nx && y + 1 < ny) sink.add_edge(u, cell(x + 1, y + 1));
+    }
+  }
+}
+
+void fft_stream(int n, const std::string& name, DagSink& sink) {
+  if (n < 2 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: n must be a power of two >= 2, got " +
+                                std::to_string(n));
+  }
+  int stages = 0;
+  for (int bit = 1; bit < n; bit <<= 1) ++stages;
+  sink.begin(name, static_cast<std::uint64_t>(n) * (stages + 1));
+  for (int i = 0; i < n; ++i) sink.add_node(0, 1);
+  for (int s = 0; s < stages; ++s) {
+    for (int i = 0; i < n; ++i) sink.add_node(kButterfly, 1);
+  }
+  sink.begin_edges(2ull * n * static_cast<std::uint64_t>(stages));
+  for (int s = 0; s < stages; ++s) {
+    const std::uint64_t base = static_cast<std::uint64_t>(s) * n;
+    const std::uint64_t next = base + static_cast<std::uint64_t>(n);
+    const int bit = 1 << s;
+    for (int i = 0; i < n; ++i) {
+      const NodeId u = static_cast<NodeId>(base + i);
+      sink.add_edge(u, static_cast<NodeId>(next + i));
+      sink.add_edge(u, static_cast<NodeId>(next + (i ^ bit)));
+    }
+  }
+}
+
+void mapreduce_stream(int maps, int reducers, int rounds,
+                      const std::string& name, DagSink& sink) {
+  const std::uint64_t round_size =
+      static_cast<std::uint64_t>(maps) + reducers;
+  sink.begin(name, static_cast<std::uint64_t>(maps) +
+                       static_cast<std::uint64_t>(rounds) * round_size);
+  for (int m = 0; m < maps; ++m) sink.add_node(0, 1);
+  for (int round = 0; round < rounds; ++round) {
+    for (int m = 0; m < maps; ++m) sink.add_node(kMap, 1);
+    for (int r = 0; r < reducers; ++r) sink.add_node(kReduce, 1);
+  }
+  // Per round: one feed edge per map plus the all-to-all shuffle.
+  sink.begin_edges(static_cast<std::uint64_t>(rounds) * maps *
+                   (1ull + static_cast<std::uint64_t>(reducers)));
+  auto round_base = [&](int round) {
+    return static_cast<std::uint64_t>(maps) +
+           static_cast<std::uint64_t>(round) * round_size;
+  };
+  for (int m = 0; m < maps; ++m) {  // input split m feeds round-0 map m
+    sink.add_edge(static_cast<NodeId>(m),
+                  static_cast<NodeId>(round_base(0) + m));
+  }
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t base = round_base(round);
+    for (int m = 0; m < maps; ++m) {  // all-to-all shuffle
+      const NodeId u = static_cast<NodeId>(base + m);
+      for (int r = 0; r < reducers; ++r) {
+        sink.add_edge(u, static_cast<NodeId>(base + maps + r));
+      }
+    }
+    if (round + 1 < rounds) {  // redistribute to the next round's maps
+      for (int r = 0; r < reducers; ++r) {
+        const NodeId u = static_cast<NodeId>(base + maps + r);
+        for (int m = r; m < maps; m += reducers) {
+          sink.add_edge(u, static_cast<NodeId>(round_base(round + 1) + m));
+        }
+      }
+    }
+  }
 }
 
 }  // namespace mbsp

@@ -49,4 +49,26 @@ ComputeDag transformer_dag(int seq, int heads, int ff, std::string name);
 ComputeDag mapreduce_dag(int maps, int reducers, int rounds,
                          std::string name);
 
+// --- Streaming emitters (out-of-core path, docs/SCALE.md). ---------------
+//
+// Each *_stream builder emits exactly the DAG its in-memory twin above
+// builds — same node ids, same (omega, mu) sequence, same edge sets, so
+// the canonical hash matches bitwise — but into a DagSink in O(1) memory
+// beyond one node's child list. Node and edge counts are analytic; edges
+// are emitted u-major as DagStreamWriter requires. This is how 10^6..10^7
+// node instances are generated without ever materializing a ComputeDag.
+
+class DagSink;  // src/graph/dag_io.hpp
+
+void stencil2d_stream(int nx, int ny, int steps, const std::string& name,
+                      DagSink& sink);
+void stencil3d_stream(int nx, int ny, int nz, int steps,
+                      const std::string& name, DagSink& sink);
+void wavefront_stream(int nx, int ny, const std::string& name, DagSink& sink);
+/// Throws std::invalid_argument when n is not a power of two (mirrors
+/// fft_dag).
+void fft_stream(int n, const std::string& name, DagSink& sink);
+void mapreduce_stream(int maps, int reducers, int rounds,
+                      const std::string& name, DagSink& sink);
+
 }  // namespace mbsp

@@ -1,8 +1,16 @@
 #include "src/workload/workload.hpp"
 
+#include <stdexcept>
+
 #include "src/model/spec.hpp"
 
 namespace mbsp {
+
+void WorkloadFamily::generate_stream(const WorkloadParams&, Rng&,
+                                     DagSink&) const {
+  throw std::logic_error("family '" + name() +
+                         "' does not support streaming emission");
+}
 
 // WorkloadSpec is the workload-facing view of the shared SpecString
 // grammar (src/model/spec.*): same parser, same canonicalization, same

@@ -22,6 +22,8 @@
 
 namespace mbsp {
 
+class DagSink;  // src/graph/dag_io.hpp (streaming emission target)
+
 /// One declared parameter of a family, for `describe` and validation.
 struct WorkloadParamInfo {
   std::string key;
@@ -76,6 +78,20 @@ class WorkloadFamily {
   /// Builds the family DAG. `rng` is pre-seeded from the corpus seed and
   /// the canonical spec, so equal specs yield equal DAGs.
   virtual ComputeDag generate(const WorkloadParams& p, Rng& rng) const = 0;
+
+  /// Out-of-core path (docs/SCALE.md): families whose node/edge counts are
+  /// analytic can emit the same DAG straight into a DagSink in O(1) memory
+  /// beyond one node's child list, instead of materializing a ComputeDag.
+  /// Contract: the emitted (name, nodes, edges) stream describes a DAG
+  /// identical to generate()'s — same node ids, same (omega, mu) sequence,
+  /// same edge sets — so the canonical hash matches bitwise. Edges must be
+  /// emitted u-major (all of node 0's children, then node 1's, ...).
+  virtual bool supports_streaming() const { return false; }
+
+  /// Emits the family DAG into `sink`. Only valid when
+  /// supports_streaming(); the default implementation throws.
+  virtual void generate_stream(const WorkloadParams& p, Rng& rng,
+                               DagSink& sink) const;
 };
 
 }  // namespace mbsp

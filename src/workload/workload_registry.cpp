@@ -65,21 +65,29 @@ bool fail(std::string* error, const std::string& message) {
   return false;
 }
 
-}  // namespace
+/// Outcome of parsing + validating a spec against the registry: the
+/// family, the parsed spec (owning the parameter storage WorkloadParams
+/// views), the canonical name (also the RNG salt) and the mu mode.
+struct ResolvedSpec {
+  const WorkloadFamily* family = nullptr;
+  WorkloadSpec spec;
+  std::string canonical;
+  bool mu_rand = true;
+};
 
-std::optional<ComputeDag> WorkloadRegistry::make_dag(const std::string& spec,
-                                                     std::uint64_t seed,
-                                                     std::string* error) const {
+std::optional<ResolvedSpec> resolve_spec(const WorkloadRegistry& registry,
+                                         const std::string& spec,
+                                         std::string* error) {
   std::string parse_error;
-  const auto parsed = WorkloadSpec::parse(spec, &parse_error);
+  auto parsed = WorkloadSpec::parse(spec, &parse_error);
   if (!parsed) {
     fail(error, parse_error);
     return std::nullopt;
   }
-  const WorkloadFamily* family = find(parsed->family);
+  const WorkloadFamily* family = registry.find(parsed->family);
   if (family == nullptr) {
     fail(error, spec_unknown_name_error(parsed->family, "workload family",
-                                        names()));
+                                        registry.names()));
     return std::nullopt;
   }
   const auto declared = family->params();
@@ -118,19 +126,105 @@ std::optional<ComputeDag> WorkloadRegistry::make_dag(const std::string& spec,
                                               p.default_value == kv.second;
                                      });
                 });
-  const std::string canonical = normalized.canonical();
-  // Per-spec stream: equal specs yield equal DAGs for a given seed, and
-  // no family's draws can shift another's.
-  Rng rng(seed * 0x9E3779B97F4A7C15ull ^
-          fnv1a_64(canonical.data(), canonical.size()));
+  ResolvedSpec resolved;
+  resolved.family = family;
+  resolved.canonical = normalized.canonical();
+  resolved.mu_rand = (mu == "rand");
+  resolved.spec = std::move(*parsed);
+  return resolved;
+}
+
+/// The RNG stream every maker shares: per-spec, so equal specs yield equal
+/// DAGs for a given seed and no family's draws can shift another's.
+Rng spec_rng(std::uint64_t seed, const std::string& canonical) {
+  return Rng(seed * 0x9E3779B97F4A7C15ull ^
+             fnv1a_64(canonical.data(), canonical.size()));
+}
+
+/// Sink wrapper the streaming path routes through: forces the canonical
+/// name and applies the common mu parameter with the same draw, in the
+/// same node-id order, as assign_random_memory_weights on the in-memory
+/// path. Streaming families consume no other randomness, so the two paths
+/// see identical RNG streams and the canonical hashes match bitwise.
+class RegistrySink final : public DagSink {
+ public:
+  RegistrySink(DagSink& inner, const std::string& canonical, bool mu_rand,
+               Rng& rng)
+      : inner_(inner), canonical_(canonical), mu_rand_(mu_rand), rng_(rng) {}
+
+  void begin(const std::string&, std::uint64_t num_nodes) override {
+    inner_.begin(canonical_, num_nodes);
+  }
+  void add_node(double omega, double mu) override {
+    if (mu_rand_) mu = static_cast<double>(rng_.uniform_int(1, 5));
+    inner_.add_node(omega, mu);
+  }
+  void begin_edges(std::uint64_t num_edges) override {
+    inner_.begin_edges(num_edges);
+  }
+  void add_edge(NodeId u, NodeId v) override { inner_.add_edge(u, v); }
+
+ private:
+  DagSink& inner_;
+  const std::string& canonical_;
+  bool mu_rand_;
+  Rng& rng_;
+};
+
+}  // namespace
+
+std::optional<ComputeDag> WorkloadRegistry::make_dag(const std::string& spec,
+                                                     std::uint64_t seed,
+                                                     std::string* error) const {
+  auto resolved = resolve_spec(*this, spec, error);
+  if (!resolved) return std::nullopt;
+  const WorkloadParams params(resolved->spec);
+  Rng rng = spec_rng(seed, resolved->canonical);
   try {
-    ComputeDag dag = family->generate(params, rng);
-    if (mu == "rand") assign_random_memory_weights(dag, rng);
-    dag.set_name(canonical);
+    ComputeDag dag = resolved->family->generate(params, rng);
+    if (resolved->mu_rand) assign_random_memory_weights(dag, rng);
+    dag.set_name(resolved->canonical);
     return dag;
   } catch (const std::exception& e) {
-    fail(error, parsed->family + ": " + e.what());
+    fail(error, resolved->spec.family + ": " + e.what());
     return std::nullopt;
+  }
+}
+
+bool WorkloadRegistry::supports_streaming(const std::string& spec) const {
+  const auto parsed = WorkloadSpec::parse(spec);
+  if (!parsed) return false;
+  const WorkloadFamily* family = find(parsed->family);
+  return family != nullptr && family->supports_streaming();
+}
+
+bool WorkloadRegistry::make_dag_stream(const std::string& spec,
+                                       std::uint64_t seed, DagSink& sink,
+                                       std::string* error) const {
+  auto resolved = resolve_spec(*this, spec, error);
+  if (!resolved) return false;
+  if (!resolved->family->supports_streaming()) {
+    std::vector<std::string> streaming;
+    for (const std::string& name : names()) {
+      if (at(name).supports_streaming()) streaming.push_back(name);
+    }
+    std::string list;
+    for (const std::string& name : streaming) {
+      if (!list.empty()) list += ", ";
+      list += name;
+    }
+    return fail(error, "family '" + resolved->spec.family +
+                           "' has no streaming emitter (families with one: " +
+                           list + "); drop --stream or pick one of those");
+  }
+  const WorkloadParams params(resolved->spec);
+  Rng rng = spec_rng(seed, resolved->canonical);
+  RegistrySink wrapped(sink, resolved->canonical, resolved->mu_rand, rng);
+  try {
+    resolved->family->generate_stream(params, rng, wrapped);
+    return true;
+  } catch (const std::exception& e) {
+    return fail(error, resolved->spec.family + ": " + e.what());
   }
 }
 
@@ -162,11 +256,11 @@ std::vector<std::vector<int>> load_mtx_or_throw(const WorkloadParams& p) {
 void register_builtin_workloads(WorkloadRegistry& r) {
   using P = WorkloadParamInfo;
   auto add = [&r](std::string name, std::string description,
-                  std::vector<P> params,
-                  SimpleWorkloadFamily::GenerateFn fn) {
+                  std::vector<P> params, SimpleWorkloadFamily::GenerateFn fn,
+                  SimpleWorkloadFamily::StreamFn stream = nullptr) {
     r.add(std::make_unique<SimpleWorkloadFamily>(
         std::move(name), std::move(description), std::move(params),
-        std::move(fn)));
+        std::move(fn), std::move(stream)));
   };
 
   // --- The paper's benchmark families ([36]-style generators). ---------
@@ -244,6 +338,10 @@ void register_builtin_workloads(WorkloadRegistry& r) {
       [](const WorkloadParams& p, Rng&) {
         return stencil2d_dag(p.get_int("nx", 8), p.get_int("ny", 8),
                              p.get_int("steps", 3), "");
+      },
+      [](const WorkloadParams& p, Rng&, DagSink& sink) {
+        stencil2d_stream(p.get_int("nx", 8), p.get_int("ny", 8),
+                         p.get_int("steps", 3), "", sink);
       });
   add("stencil3d", "iterated 7-point 3D stencil",
       {{"nx", "4", "grid width"},
@@ -253,11 +351,18 @@ void register_builtin_workloads(WorkloadRegistry& r) {
       [](const WorkloadParams& p, Rng&) {
         return stencil3d_dag(p.get_int("nx", 4), p.get_int("ny", 4),
                              p.get_int("nz", 4), p.get_int("steps", 2), "");
+      },
+      [](const WorkloadParams& p, Rng&, DagSink& sink) {
+        stencil3d_stream(p.get_int("nx", 4), p.get_int("ny", 4),
+                         p.get_int("nz", 4), p.get_int("steps", 2), "", sink);
       });
   add("wavefront", "dynamic-programming wavefront (Smith-Waterman style)",
       {{"nx", "8", "matrix width"}, {"ny", "8", "matrix height"}},
       [](const WorkloadParams& p, Rng&) {
         return wavefront_dag(p.get_int("nx", 8), p.get_int("ny", 8), "");
+      },
+      [](const WorkloadParams& p, Rng&, DagSink& sink) {
+        wavefront_stream(p.get_int("nx", 8), p.get_int("ny", 8), "", sink);
       });
   add("lu", "right-looking blocked LU factorization task graph",
       {{"blocks", "4", "blocks per dimension"}},
@@ -273,6 +378,9 @@ void register_builtin_workloads(WorkloadRegistry& r) {
       {{"n", "8", "transform size (power of two)"}},
       [](const WorkloadParams& p, Rng&) {
         return fft_dag(p.get_int("n", 8, 2), "");
+      },
+      [](const WorkloadParams& p, Rng&, DagSink& sink) {
+        fft_stream(p.get_int("n", 8, 2), "", sink);
       });
   add("attention", "one transformer layer: multi-head attention + MLP",
       {{"seq", "6", "sequence length"},
@@ -289,6 +397,10 @@ void register_builtin_workloads(WorkloadRegistry& r) {
       [](const WorkloadParams& p, Rng&) {
         return mapreduce_dag(p.get_int("maps", 6), p.get_int("reducers", 4),
                              p.get_int("rounds", 2), "");
+      },
+      [](const WorkloadParams& p, Rng&, DagSink& sink) {
+        mapreduce_stream(p.get_int("maps", 6), p.get_int("reducers", 4),
+                         p.get_int("rounds", 2), "", sink);
       });
 
   // --- Imported scenarios: real sparse matrices (Matrix Market). -------

@@ -62,6 +62,20 @@ class WorkloadRegistry {
                                      std::uint64_t seed,
                                      std::string* error = nullptr) const;
 
+  /// Whether `spec` names a family with a streaming emitter (the spec must
+  /// parse and the family exist; parameter values are not validated here).
+  bool supports_streaming(const std::string& spec) const;
+
+  /// Out-of-core twin of make_dag (docs/SCALE.md): emits the DAG named by
+  /// `spec` straight into `sink` — typically a DagStreamWriter — without
+  /// materializing a ComputeDag. The emitted stream is identical to
+  /// make_dag's result for the same (spec, seed): same canonical name,
+  /// same RNG stream, same per-node mu draws, so the canonical hashes
+  /// match bitwise. Fails (false + *error) for families without streaming
+  /// support, naming the family.
+  bool make_dag_stream(const std::string& spec, std::uint64_t seed,
+                       DagSink& sink, std::string* error = nullptr) const;
+
   /// make_dag plus architecture sizing: r = r_factor * min_memory_r0(dag).
   std::optional<MbspInstance> make_instance(const std::string& spec,
                                             std::uint64_t seed, int P,
@@ -78,18 +92,23 @@ class WorkloadRegistry {
 void register_builtin_workloads(WorkloadRegistry& registry);
 
 /// Convenience adapter so a family is one add() call: name, description,
-/// declared params and a generate callback.
+/// declared params, a generate callback and (optionally) its streaming
+/// twin.
 class SimpleWorkloadFamily final : public WorkloadFamily {
  public:
   using GenerateFn =
       std::function<ComputeDag(const WorkloadParams&, Rng&)>;
+  using StreamFn =
+      std::function<void(const WorkloadParams&, Rng&, DagSink&)>;
 
   SimpleWorkloadFamily(std::string name, std::string description,
-                       std::vector<WorkloadParamInfo> params, GenerateFn fn)
+                       std::vector<WorkloadParamInfo> params, GenerateFn fn,
+                       StreamFn stream = nullptr)
       : name_(std::move(name)),
         description_(std::move(description)),
         params_(std::move(params)),
-        fn_(std::move(fn)) {}
+        fn_(std::move(fn)),
+        stream_(std::move(stream)) {}
 
   std::string name() const override { return name_; }
   std::string description() const override { return description_; }
@@ -97,12 +116,22 @@ class SimpleWorkloadFamily final : public WorkloadFamily {
   ComputeDag generate(const WorkloadParams& p, Rng& rng) const override {
     return fn_(p, rng);
   }
+  bool supports_streaming() const override { return stream_ != nullptr; }
+  void generate_stream(const WorkloadParams& p, Rng& rng,
+                       DagSink& sink) const override {
+    if (!stream_) {
+      WorkloadFamily::generate_stream(p, rng, sink);  // throws
+      return;
+    }
+    stream_(p, rng, sink);
+  }
 
  private:
   std::string name_;
   std::string description_;
   std::vector<WorkloadParamInfo> params_;
   GenerateFn fn_;
+  StreamFn stream_;
 };
 
 }  // namespace mbsp

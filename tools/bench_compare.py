@@ -14,12 +14,18 @@ Usage:
   bench_compare.py BASELINE CURRENT [--threshold 0.10]
   bench_compare.py BASELINE CURRENT --update     # accept CURRENT as baseline
 
+A missing BASELINE file is not an error: the bench is treated as new, the
+gate is skipped with an actionable notice (run with --update to install
+the baseline), and the exit status is 0 — so adding a bench binary never
+breaks CI before its first baseline lands.
+
 Exit status: 0 when every gated metric is within threshold, 1 otherwise.
 Stdlib only — runs anywhere python3 does.
 """
 
 import argparse
 import json
+import os
 import shutil
 import sys
 
@@ -32,6 +38,26 @@ def load(path):
         sys.exit(f"bench_compare: cannot read {path}: {err}")
 
 
+def metric_row(name, bv, cv, higher, gated, threshold):
+    """One (metric, base, cur, gated, ok, detail) comparison row. Shared by
+    declared metrics and top-level fields like peak_rss_mb, so every number
+    gets the same direction/threshold treatment."""
+    if bv is None:
+        return (name, None, cv, gated, True, "new metric, not in baseline")
+    if cv is None:
+        return (name, bv, None, gated, not gated, "missing in current")
+    if bv == 0:
+        return (name, bv, cv, gated, True, "zero baseline, skipped")
+    if higher:
+        ok = cv >= bv * (1.0 - threshold)
+        detail = f"{cv / bv - 1.0:+.1%} vs baseline (floor {-threshold:.0%})"
+    else:
+        ok = cv <= bv * (1.0 + threshold)
+        detail = f"{cv / bv - 1.0:+.1%} vs baseline (ceiling {threshold:+.0%})"
+    return (name, bv, cv, gated, ok or not gated,
+            detail if gated else detail + " [informational]")
+
+
 def compare(baseline, current, threshold):
     """Returns a list of (metric, base, cur, gated, ok, detail) rows."""
     rows = []
@@ -39,27 +65,22 @@ def compare(baseline, current, threshold):
     cur_metrics = current.get("metrics", {})
     for name, base in base_metrics.items():
         cur = cur_metrics.get(name)
-        if cur is None:
-            rows.append((name, base["value"], None, base.get("gated", False),
-                         not base.get("gated", False), "missing in current"))
-            continue
-        bv, cv = base["value"], cur["value"]
-        higher = base.get("higher_is_better", True)
-        gated = base.get("gated", False)
-        if bv == 0:
-            ok, detail = True, "zero baseline, skipped"
-        elif higher:
-            ok = cv >= bv * (1.0 - threshold)
-            detail = f"{cv / bv - 1.0:+.1%} vs baseline (floor {-threshold:.0%})"
-        else:
-            ok = cv <= bv * (1.0 + threshold)
-            detail = f"{cv / bv - 1.0:+.1%} vs baseline (ceiling {threshold:+.0%})"
-        rows.append((name, bv, cv, gated, ok or not gated,
-                     detail if gated else detail + " [informational]"))
+        rows.append(metric_row(name, base["value"],
+                               None if cur is None else cur["value"],
+                               base.get("higher_is_better", True),
+                               base.get("gated", False), threshold))
     for name in cur_metrics:
         if name not in base_metrics:
-            rows.append((name, None, cur_metrics[name]["value"], False, True,
-                         "new metric, not in baseline"))
+            rows.append(metric_row(name, None, cur_metrics[name]["value"],
+                                   True, False, threshold))
+    # Top-level peak RSS rides the same row machinery as any other absolute
+    # metric: lower is better, informational (it tracks the host, not the
+    # code).
+    if (baseline.get("peak_rss_mb") is not None
+            or current.get("peak_rss_mb") is not None):
+        rows.append(metric_row("peak_rss_mb", baseline.get("peak_rss_mb"),
+                               current.get("peak_rss_mb"), False, False,
+                               threshold))
     return rows
 
 
@@ -76,8 +97,18 @@ def main():
 
     if args.update:
         load(args.current)  # refuse to install malformed JSON
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
         shutil.copyfile(args.current, args.baseline)
         print(f"baseline updated: {args.current} -> {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        current = load(args.current)
+        print(f"bench_compare: new benchmark '{current.get('bench')}' — "
+              f"no baseline at {args.baseline}")
+        print(f"  install one with: tools/bench_compare.py {args.baseline} "
+              f"{args.current} --update")
+        print("bench_compare: gate skipped (nothing to compare against)")
         return 0
 
     baseline = load(args.baseline)
@@ -95,10 +126,6 @@ def main():
         flag = "FAIL" if not ok else ("gate" if gated else "info")
         fmt = lambda v: "-" if v is None else f"{v:.6g}"
         print(f"  [{flag}] {name}: {fmt(bv)} -> {fmt(cv)}  {detail}")
-    rss_b = baseline.get("peak_rss_mb")
-    rss_c = current.get("peak_rss_mb")
-    if rss_b is not None and rss_c is not None:
-        print(f"  [info] peak_rss_mb: {rss_b:.6g} -> {rss_c:.6g}")
     if failed:
         print(f"bench_compare: {len(failed)} gated metric(s) regressed "
               f"beyond {args.threshold:.0%}", file=sys.stderr)
