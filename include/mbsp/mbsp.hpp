@@ -90,6 +90,19 @@
 #include "src/ilp/simplex.hpp"
 #include "src/ilp/solver.hpp"
 
+// -- Serving: the mbspd daemon ----------------------------------------------
+// Length-prefixed binary wire protocol with offset-typed decode errors
+// (docs/DAEMON.md); pure encode/decode, unit-testable without sockets.
+#include "src/daemon/protocol.hpp"
+// LRU schedule cache keyed by (canonical DAG hash, canonical machine
+// name, scheduler spec); exact hits replay bitwise-identical plans.
+#include "src/daemon/schedule_cache.hpp"
+// In-process embeddable Unix-domain-socket server (examples/mbspd.cpp is
+// the CLI wrapper); solves on the ThreadPool, drains on stop().
+#include "src/daemon/server.hpp"
+// Blocking client library (mbsp-client CLI, tests, bench_daemon).
+#include "src/daemon/client.hpp"
+
 // -- Harness: registries, batch engine, workloads ---------------------------
 // MbspScheduler interface + flat SchedulerOptions/ScheduleResult rows.
 #include "src/runner/scheduler.hpp"

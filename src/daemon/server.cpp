@@ -1,0 +1,526 @@
+#include "src/daemon/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "src/daemon/socket_io.hpp"
+#include "src/graph/dag_io.hpp"
+#include "src/model/instance.hpp"
+#include "src/model/machine_registry.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define MBSP_DAEMON_POSIX 1
+#endif
+
+namespace mbsp::daemon {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Effort max under the budget_ms = 0 == unlimited convention.
+double max_budget_ms(double a, double b) {
+  if (a == 0 || b == 0) return 0;
+  return std::max(a, b);
+}
+
+/// The schedulers that honor SchedulerOptions::warm_start_plan, i.e. can
+/// warm-start from a cached incumbent.
+bool is_warm_startable(const std::string& scheduler) {
+  return scheduler == "lns" || scheduler == "lns-portfolio";
+}
+
+bool is_protocol_error(WireError code) {
+  switch (code) {
+    case WireError::kBadMagic:
+    case WireError::kBadFrameType:
+    case WireError::kOversizedFrame:
+    case WireError::kTruncatedFrame:
+    case WireError::kBadRequest:
+    case WireError::kBadVersion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+MbspdServer::MbspdServer(MbspdOptions options,
+                         const SchedulerRegistry& registry)
+    : options_(std::move(options)),
+      registry_(registry),
+      cache_(options_.cache_capacity) {}
+
+MbspdServer::~MbspdServer() { stop(); }
+
+std::shared_ptr<const ComputeDag> MbspdServer::find_dag(std::uint64_t hash) {
+  const std::lock_guard<std::mutex> lock(dag_mutex_);
+  for (std::size_t i = 0; i < dag_store_.size(); ++i) {
+    if (dag_store_[i].first == hash) {
+      auto dag = dag_store_[i].second;
+      dag_store_.erase(dag_store_.begin() + static_cast<long>(i));
+      dag_store_.insert(dag_store_.begin(), {hash, dag});
+      return dag;
+    }
+  }
+  return nullptr;
+}
+
+void MbspdServer::store_dag(std::uint64_t hash,
+                            std::shared_ptr<const ComputeDag> dag) {
+  const std::lock_guard<std::mutex> lock(dag_mutex_);
+  for (std::size_t i = 0; i < dag_store_.size(); ++i) {
+    if (dag_store_[i].first == hash) {
+      dag_store_.erase(dag_store_.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  dag_store_.insert(dag_store_.begin(), {hash, std::move(dag)});
+  if (dag_store_.size() > options_.dag_store_capacity) {
+    dag_store_.resize(options_.dag_store_capacity);
+  }
+}
+
+DaemonStats MbspdServer::stats() const {
+  const ScheduleCacheStats cache = cache_.stats();
+  DaemonStats out;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.requests = requests_;
+    out.solver_calls = solver_calls_;
+    out.protocol_errors = protocol_errors_;
+  }
+  out.exact_hits = cache.exact_hits;
+  out.warm_hits = cache.warm_hits;
+  out.misses = cache.misses;
+  out.insertions = cache.insertions;
+  out.evictions = cache.evictions;
+  out.cache_entries = cache_.size();
+  out.cache_capacity = cache_.capacity();
+  out.active_connections = active_connections_.load();
+  return out;
+}
+
+#if defined(MBSP_DAEMON_POSIX)
+
+bool MbspdServer::start(std::string* error) {
+  if (running_.load()) return true;
+  if (options_.socket_path.empty()) {
+    if (error != nullptr) *error = "socket_path is required";
+    return false;
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    if (error != nullptr) *error = "cannot create stop pipe";
+    return false;
+  }
+  listen_fd_ = unix_listen(options_.socket_path, options_.backlog, error);
+  if (listen_fd_ < 0) {
+    ::close(stop_pipe_[0]);
+    ::close(stop_pipe_[1]);
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+    return false;
+  }
+  const std::size_t threads =
+      options_.solver_threads != 0
+          ? options_.solver_threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  solver_pool_ = std::make_unique<ThreadPool>(threads);
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void MbspdServer::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  // One byte, never drained: every poll()er sees POLLIN forever.
+  const char byte = 1;
+  (void)!::write(stop_pipe_[1], &byte, 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& conn : connections_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    connections_.clear();
+  }
+  if (solver_pool_ != nullptr) {
+    solver_pool_->wait_idle();
+    solver_pool_.reset();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  ::unlink(options_.socket_path.c_str());
+}
+
+void MbspdServer::reap_finished_connections() {
+  const std::lock_guard<std::mutex> lock(conn_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MbspdServer::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) continue;
+    if (fds[1].revents != 0 || stopping_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    reap_finished_connections();
+    auto conn = std::make_unique<ConnThread>();
+    ConnThread* raw = conn.get();
+    active_connections_.fetch_add(1);
+    {
+      const std::lock_guard<std::mutex> lock(conn_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, fd, raw] {
+      handle_connection(fd);
+      ::close(fd);
+      active_connections_.fetch_sub(1);
+      raw->done.store(true);
+    });
+  }
+}
+
+bool MbspdServer::wait_readable(int fd) {
+  pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+  if (::poll(fds, 2, -1) < 0) return false;
+  // Data already buffered on the connection wins over a concurrent stop:
+  // a request that raced the shutdown still gets an answer (possibly
+  // kShuttingDown) instead of a silent hangup.
+  if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) return true;
+  return false;
+}
+
+bool MbspdServer::send_error(int fd, WireError code,
+                             const std::string& message) {
+  if (is_protocol_error(code)) {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++protocol_errors_;
+  }
+  return write_frame(fd, FrameType::kError,
+                     encode_error({code, message}), nullptr);
+}
+
+void MbspdServer::handle_connection(int fd) {
+  while (true) {
+    if (!wait_readable(fd)) return;
+    Frame frame;
+    WireError code;
+    std::string error;
+    bool clean_eof;
+    if (!read_frame(fd, &frame, options_.max_request_bytes,
+                    /*accept_responses=*/false, &code, &error, &clean_eof)) {
+      if (!clean_eof) send_error(fd, code, error);
+      return;  // framing is unrecoverable: close the connection
+    }
+    switch (frame.type) {
+      case FrameType::kPing:
+        if (!write_frame(fd, FrameType::kPong, "", nullptr)) return;
+        break;
+      case FrameType::kStatsRequest:
+        if (!write_frame(fd, FrameType::kStatsReply, encode_stats(stats()),
+                         nullptr)) {
+          return;
+        }
+        break;
+      case FrameType::kScheduleRequest:
+        if (!handle_schedule(fd, frame.payload)) return;
+        break;
+      default:
+        send_error(fd, WireError::kBadFrameType, "unexpected frame type");
+        return;
+    }
+  }
+}
+
+bool MbspdServer::handle_schedule(int fd, const std::string& payload) {
+  const Clock::time_point received = Clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++requests_;
+  }
+  ScheduleRequest request;
+  std::string decode_err;
+  if (!decode_schedule_request(payload, &request, &decode_err)) {
+    // The frame boundary is intact, so the connection stays usable.
+    return send_error(fd, WireError::kBadRequest, decode_err);
+  }
+  if (request.version != kProtocolVersion) {
+    return send_error(fd, WireError::kBadVersion,
+                      "protocol version " + std::to_string(request.version) +
+                          " not supported (this daemon speaks " +
+                          std::to_string(kProtocolVersion) + ")");
+  }
+  if (stopping_.load()) {
+    return send_error(fd, WireError::kShuttingDown, "daemon is draining");
+  }
+  if (!write_frame(fd, FrameType::kStatus, encode_status("queued"), nullptr)) {
+    return false;
+  }
+
+  // The solve runs on the pool (its queue is the admission queue); this
+  // connection thread blocks until the reply is fully streamed. `alive`
+  // reports whether the client is still there.
+  std::promise<bool> done;
+  std::future<bool> alive = done.get_future();
+  solver_pool_->submit([this, fd, request = std::move(request), received,
+                        &done]() mutable {
+    bool ok = true;
+    const auto fail = [&](WireError code, const std::string& message) {
+      ok = send_error(fd, code, message);
+    };
+    const auto status = [&](const char* message) {
+      ok = write_frame(fd, FrameType::kStatus, encode_status(message),
+                       nullptr);
+    };
+    try {
+      // Scheduler and machine resolve first: cheap, and their errors name
+      // the offending token without touching the DAG.
+      const MbspScheduler* scheduler = registry_.find(request.scheduler);
+      if (scheduler == nullptr) {
+        fail(WireError::kUnknownScheduler,
+             "unknown scheduler '" + request.scheduler + "'");
+        done.set_value(ok);
+        return;
+      }
+      std::string machine_err;
+      // Probe build at unit memory: canonical name only (machine names do
+      // not depend on the memory scale, which needs the DAG).
+      const auto probe = MachineRegistry::global().make_machine(
+          request.machine_spec, 1.0, &machine_err);
+      if (!probe) {
+        fail(WireError::kBadMachineSpec, machine_err);
+        done.set_value(ok);
+        return;
+      }
+
+      SchedulerOptions opts;
+      opts.budget_ms = request.budget_ms;
+      opts.max_iterations = request.max_iterations;
+      opts.seed = request.seed;
+      opts.cost = request.cost_model == 0 ? CostModel::kSynchronous
+                                          : CostModel::kAsynchronous;
+
+      // Resolve the DAG: inline payload, or a pinned canonical hash that
+      // may be answerable from the cache alone.
+      std::shared_ptr<const ComputeDag> dag;
+      std::uint64_t dag_hash = request.dag_hash;
+      if (!request.dag_bytes.empty()) {
+        std::string dag_err;
+        auto parsed = dag_from_bytes(request.dag_bytes, &dag_err);
+        if (!parsed) {
+          fail(WireError::kBadDag, dag_err);
+          done.set_value(ok);
+          return;
+        }
+        auto owned = std::make_shared<ComputeDag>(std::move(*parsed));
+        dag_hash = dag_canonical_hash(*owned);
+        if (request.dag_hash != 0 && request.dag_hash != dag_hash) {
+          fail(WireError::kBadDag,
+               "inline DAG hashes to " + dag_hash_hex(dag_hash) +
+                   " but the request pinned " +
+                   dag_hash_hex(request.dag_hash));
+          done.set_value(ok);
+          return;
+        }
+        store_dag(dag_hash, owned);
+        dag = std::move(owned);
+      }
+
+      ScheduleCacheKey key{dag_hash, probe->name,
+                           scheduler_cache_spec(request.scheduler, opts)};
+      ScheduleCacheEntry cached;
+      CacheHit hit = CacheHit::kMiss;
+      if (!request.no_cache) {
+        hit = cache_.lookup(key, request.budget_ms, request.max_iterations,
+                            &cached);
+      }
+
+      if (hit == CacheHit::kExact) {
+        // Served in O(1): no solver invocation, bitwise-identical plan.
+        status("cache-hit");
+        if (ok) {
+          ok = write_frame(fd, FrameType::kProgress,
+                           encode_progress({1, cached.cost, 0}), nullptr);
+        }
+        FinalResult fin;
+        fin.dag_hash = dag_hash;
+        fin.machine = key.machine;
+        fin.scheduler = request.scheduler;
+        fin.cost_model = request.cost_model;
+        fin.cache = CacheStatus::kExact;
+        fin.cost = cached.cost;
+        fin.baseline_cost = cached.baseline_cost;
+        fin.io_volume = cached.io_volume;
+        fin.supersteps = cached.supersteps;
+        fin.plan = std::move(cached.plan);
+        if (ok) {
+          ok = write_frame(fd, FrameType::kFinal, encode_final_result(fin),
+                           nullptr);
+        }
+        done.set_value(ok);
+        return;
+      }
+
+      if (dag == nullptr) {
+        dag = find_dag(dag_hash);
+        if (dag == nullptr) {
+          fail(WireError::kUnknownDagHash,
+               "no resident DAG with hash " + dag_hash_hex(dag_hash) +
+                   "; resend the request with the DAG inline");
+          done.set_value(ok);
+          return;
+        }
+      }
+
+      // Per-request deadline: covers queue wait (we are past admission
+      // here) and clamps the remaining solve budget.
+      if (request.deadline_ms > 0) {
+        const double elapsed = elapsed_ms_since(received);
+        const double remaining = request.deadline_ms - elapsed;
+        if (remaining <= 0) {
+          fail(WireError::kDeadlineExpired,
+               "deadline of " + std::to_string(request.deadline_ms) +
+                   " ms expired after " + std::to_string(elapsed) +
+                   " ms in the admission queue");
+          done.set_value(ok);
+          return;
+        }
+        opts.budget_ms = opts.budget_ms == 0
+                             ? remaining
+                             : std::min(opts.budget_ms, remaining);
+      }
+
+      const double r0 = min_memory_r0(*dag);
+      auto machine = MachineRegistry::global().make_machine(
+          request.machine_spec, r0, &machine_err);
+      if (!machine) {
+        fail(WireError::kBadMachineSpec, machine_err);
+        done.set_value(ok);
+        return;
+      }
+      const MbspInstance inst{*dag, std::move(*machine)};
+      if (!scheduler->supports(inst)) {
+        fail(WireError::kBadRequest,
+             "scheduler '" + request.scheduler +
+                 "' does not support this instance");
+        done.set_value(ok);
+        return;
+      }
+
+      const bool warm =
+          hit == CacheHit::kWarm && is_warm_startable(request.scheduler);
+      if (warm) opts.warm_start_plan = &cached.plan;
+      status(warm ? "warm-start" : "solving");
+
+      ScheduleResult result = scheduler->run(inst, opts);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++solver_calls_;
+      }
+      long long iterations = 0;
+      for (long p : result.lns_proposed) iterations += p;
+
+      if (ok) {
+        ok = write_frame(fd, FrameType::kProgress,
+                         encode_progress({0, result.baseline_cost, 0}),
+                         nullptr);
+      }
+      if (ok) {
+        ok = write_frame(fd, FrameType::kProgress,
+                         encode_progress({1, result.cost, iterations}),
+                         nullptr);
+      }
+
+      FinalResult fin;
+      fin.dag_hash = dag_hash;
+      fin.machine = key.machine;
+      fin.scheduler = request.scheduler;
+      fin.cost_model = request.cost_model;
+      fin.cache = warm ? CacheStatus::kWarm : CacheStatus::kCold;
+      fin.cost = result.cost;
+      fin.baseline_cost = result.baseline_cost;
+      fin.io_volume = result.io_volume;
+      fin.supersteps = static_cast<std::uint32_t>(result.supersteps);
+      fin.plan = result.plan;
+
+      // Memoize even when the client is gone: the work is done either
+      // way, and the next identical request becomes an exact hit.
+      if (!request.no_cache) {
+        ScheduleCacheEntry entry;
+        entry.plan = std::move(result.plan);
+        entry.cost = result.cost;
+        entry.baseline_cost = result.baseline_cost;
+        entry.io_volume = result.io_volume;
+        entry.supersteps = static_cast<std::uint32_t>(result.supersteps);
+        entry.budget_ms = warm ? max_budget_ms(cached.budget_ms,
+                                               opts.budget_ms)
+                               : opts.budget_ms;
+        entry.max_iterations =
+            warm ? std::max<std::int64_t>(cached.max_iterations,
+                                          request.max_iterations)
+                 : request.max_iterations;
+        cache_.insert(key, std::move(entry));
+      }
+
+      if (ok) {
+        ok = write_frame(fd, FrameType::kFinal, encode_final_result(fin),
+                         nullptr);
+      }
+      done.set_value(ok);
+    } catch (const std::exception& e) {
+      fail(WireError::kInternal, std::string("internal error: ") + e.what());
+      done.set_value(ok);
+    } catch (...) {
+      fail(WireError::kInternal, "internal error");
+      done.set_value(ok);
+    }
+  });
+  return alive.get();
+}
+
+#else  // !MBSP_DAEMON_POSIX
+
+bool MbspdServer::start(std::string* error) {
+  if (error != nullptr) *error = "mbspd requires a POSIX platform";
+  return false;
+}
+
+void MbspdServer::stop() {}
+void MbspdServer::accept_loop() {}
+void MbspdServer::reap_finished_connections() {}
+void MbspdServer::handle_connection(int) {}
+bool MbspdServer::handle_schedule(int, const std::string&) { return false; }
+bool MbspdServer::send_error(int, WireError, const std::string&) {
+  return false;
+}
+bool MbspdServer::wait_readable(int) { return false; }
+
+#endif
+
+}  // namespace mbsp::daemon

@@ -1,0 +1,41 @@
+#pragma once
+// Blocking socket transport for the mbspd wire protocol: frame read/write
+// over a connected stream socket fd, shared by the server and the client
+// library. POSIX-only (Unix-domain sockets); on other platforms every
+// function fails with a clear message so the library still links.
+//
+// read_frame never trusts the peer: the magic, the frame type and the
+// declared payload length are validated before any payload byte is read,
+// and each failure carries a typed WireError (bad-magic / bad-frame-type /
+// oversized-frame / truncated-frame) plus a message naming the offending
+// byte, so the server can answer garbage with a diagnosis instead of
+// dying. Writes use MSG_NOSIGNAL (a client hangup surfaces as an error
+// return, not SIGPIPE).
+
+#include <cstdint>
+#include <string>
+
+#include "src/daemon/protocol.hpp"
+
+namespace mbsp::daemon {
+
+/// Reads exactly one frame. `accept_responses` selects the validity set:
+/// the server only accepts request frames, the client only responses.
+/// Returns true on success; on failure fills *code / *error and, for
+/// kClosed (clean EOF at a frame boundary), sets *clean_eof.
+bool read_frame(int fd, Frame* frame, std::size_t max_payload,
+                bool accept_responses, WireError* code, std::string* error,
+                bool* clean_eof);
+
+/// Writes one whole frame; false when the peer is gone (EPIPE &c).
+bool write_frame(int fd, FrameType type, const std::string& payload,
+                 std::string* error);
+
+/// Connects to a Unix-domain stream socket; returns the fd or -1.
+int unix_connect(const std::string& path, std::string* error);
+
+/// Creates, binds and listens on a Unix-domain stream socket (unlinking a
+/// stale file at `path` first); returns the fd or -1.
+int unix_listen(const std::string& path, int backlog, std::string* error);
+
+}  // namespace mbsp::daemon

@@ -36,6 +36,14 @@ struct SchedulerOptions {
   BaselineKind warm_start = BaselineKind::kGreedyClairvoyant;
   /// Stage-1 budget for the refined ("ILP-BSP") warm start / baseline.
   double stage1_budget_ms = 300;
+  /// Caller-provided warm-start plan for the improving schedulers
+  /// (lns / lns-portfolio): when set, the search starts from this plan
+  /// instead of running the two-stage baseline. The plan must pass
+  /// validate_plan for the instance and outlive the run() call. The LNS
+  /// contract makes the result never worse than this start; the schedule
+  /// cache (src/daemon/) uses it to warm-start near-miss requests from a
+  /// cached incumbent (docs/DAEMON.md).
+  const ComputePlan* warm_start_plan = nullptr;
   /// LNS ablation knobs: start from the trivial all-on-p0 plan instead of
   /// the warm start, restrict the move classes, swap the completion policy.
   bool cold_start = false;

@@ -103,7 +103,8 @@ class LnsAdapter final : public MbspScheduler {
                      const SchedulerOptions& options) const override {
     const Timer timer;
     const ComputePlan initial =
-        options.cold_start
+        options.warm_start_plan != nullptr ? *options.warm_start_plan
+        : options.cold_start
             ? trivial_plan(inst)
             : run_baseline(inst, options.warm_start, options.stage1_budget_ms)
                   .plan;
@@ -133,7 +134,8 @@ class PortfolioAdapter final : public MbspScheduler {
                      const SchedulerOptions& options) const override {
     const Timer timer;
     const ComputePlan initial =
-        options.cold_start
+        options.warm_start_plan != nullptr ? *options.warm_start_plan
+        : options.cold_start
             ? trivial_plan(inst)
             : run_baseline(inst, options.warm_start, options.stage1_budget_ms)
                   .plan;

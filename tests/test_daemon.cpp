@@ -1,0 +1,390 @@
+// End-to-end tests of the mbspd serving path (docs/DAEMON.md), run
+// against an in-process MbspdServer over a real Unix-domain socket:
+// round-trip correctness vs a local registry solve, the cache acceptance
+// contract (exact hits are bitwise-identical and invoke no solver; warm
+// starts never lose to the cached incumbent), LRU eviction order,
+// concurrent-client determinism, per-request deadlines, and graceful
+// drain on stop().
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <thread>
+#include <vector>
+
+#include "src/daemon/client.hpp"
+#include "src/daemon/server.hpp"
+#include "src/graph/dag_io.hpp"
+#include "src/model/machine_registry.hpp"
+#include "src/runner/scheduler_registry.hpp"
+#include "src/workload/workload_registry.hpp"
+
+#include <unistd.h>
+
+namespace mbsp::daemon {
+namespace {
+
+std::string test_socket_path() {
+  static int counter = 0;
+  return "/tmp/mbspd-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(++counter) + ".sock";
+}
+
+ScheduleRequest make_request(const std::string& workload,
+                             long max_iterations) {
+  std::string error;
+  auto dag = WorkloadRegistry::global().make_dag(workload, 7, &error);
+  EXPECT_TRUE(dag) << error;
+  ScheduleRequest request;
+  request.dag_bytes = dag_to_binary(*dag);
+  request.machine_spec = "uniform:P=4";
+  request.scheduler = "lns";
+  request.budget_ms = 0;  // deterministic: the iteration cap decides
+  request.max_iterations = max_iterations;
+  request.seed = 7;
+  return request;
+}
+
+/// Reference result: the same solve the daemon performs, run locally.
+ScheduleResult local_solve(const std::string& workload,
+                           const ScheduleRequest& request) {
+  std::string error;
+  auto dag = WorkloadRegistry::global().make_dag(workload, 7, &error);
+  EXPECT_TRUE(dag) << error;
+  auto machine = MachineRegistry::global().make_machine(
+      request.machine_spec, min_memory_r0(*dag), &error);
+  EXPECT_TRUE(machine) << error;
+  const MbspInstance inst{std::move(*dag), std::move(*machine)};
+  SchedulerOptions options;
+  options.budget_ms = request.budget_ms;
+  options.max_iterations = request.max_iterations;
+  options.seed = request.seed;
+  const MbspScheduler* scheduler =
+      SchedulerRegistry::global().find(request.scheduler);
+  EXPECT_NE(scheduler, nullptr);
+  return scheduler->run(inst, options);
+}
+
+std::string plan_bytes(const ComputePlan& plan) {
+  WireWriter w;
+  encode_plan(w, plan);
+  return w.take();
+}
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void start_server(std::size_t cache_capacity = 256,
+                    std::size_t solver_threads = 2) {
+    options_.socket_path = test_socket_path();
+    options_.cache_capacity = cache_capacity;
+    options_.solver_threads = solver_threads;
+    server_ = std::make_unique<MbspdServer>(options_);
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  MbspClient::Outcome run_ok(MbspClient& client,
+                             const ScheduleRequest& request) {
+    MbspClient::Outcome outcome;
+    std::string error;
+    EXPECT_TRUE(client.run(request, &outcome, &error)) << error;
+    EXPECT_TRUE(outcome.ok) << outcome.error.message;
+    return outcome;
+  }
+
+  void connect_ok(MbspClient& client) {
+    std::string error;
+    ASSERT_TRUE(client.connect(options_.socket_path, &error)) << error;
+  }
+
+  MbspdOptions options_;
+  std::unique_ptr<MbspdServer> server_;
+};
+
+TEST_F(DaemonTest, RoundTripMatchesLocalSolve) {
+  start_server();
+  const std::string workload = "fft:n=16";
+  const ScheduleRequest request = make_request(workload, 2000);
+  const ScheduleResult reference = local_solve(workload, request);
+
+  MbspClient client;
+  connect_ok(client);
+  const MbspClient::Outcome outcome = run_ok(client, request);
+  EXPECT_EQ(outcome.final.cache, CacheStatus::kCold);
+  EXPECT_EQ(outcome.final.cost, reference.cost);
+  EXPECT_EQ(outcome.final.baseline_cost, reference.baseline_cost);
+  EXPECT_EQ(outcome.final.supersteps,
+            static_cast<std::uint32_t>(reference.supersteps));
+  EXPECT_EQ(outcome.final.machine, "uniform");
+  EXPECT_EQ(plan_bytes(outcome.final.plan), plan_bytes(reference.plan))
+      << "the daemon must return the exact plan a local solve produces";
+}
+
+TEST_F(DaemonTest, ExactHitIsBitwiseIdenticalAndInvokesNoSolver) {
+  start_server();
+  const ScheduleRequest request = make_request("fft:n=16", 2000);
+  MbspClient client;
+  connect_ok(client);
+
+  const MbspClient::Outcome first = run_ok(client, request);
+  EXPECT_EQ(first.final.cache, CacheStatus::kCold);
+  const std::uint64_t solver_calls_after_first = server_->stats().solver_calls;
+
+  const MbspClient::Outcome second = run_ok(client, request);
+  EXPECT_EQ(second.final.cache, CacheStatus::kExact);
+  EXPECT_EQ(plan_bytes(second.final.plan), plan_bytes(first.final.plan));
+  EXPECT_EQ(second.final.cost, first.final.cost);
+  EXPECT_EQ(second.final.io_volume, first.final.io_volume);
+  EXPECT_EQ(server_->stats().solver_calls, solver_calls_after_first)
+      << "an exact hit must be served without invoking a solver";
+  EXPECT_EQ(server_->stats().exact_hits, 1u);
+
+  // A *smaller* effort request is still within the cached effort: exact.
+  ScheduleRequest smaller = request;
+  smaller.max_iterations = 500;
+  const MbspClient::Outcome third = run_ok(client, smaller);
+  EXPECT_EQ(third.final.cache, CacheStatus::kExact);
+  EXPECT_EQ(server_->stats().solver_calls, solver_calls_after_first);
+}
+
+TEST_F(DaemonTest, WarmStartNeverLosesToTheCachedIncumbent) {
+  start_server();
+  MbspClient client;
+  connect_ok(client);
+
+  // Seed the cache with a small-effort solve, then ask for more effort.
+  const ScheduleRequest small = make_request("fft:n=16", 500);
+  const MbspClient::Outcome cached = run_ok(client, small);
+  ASSERT_EQ(cached.final.cache, CacheStatus::kCold);
+
+  ScheduleRequest bigger = small;
+  bigger.max_iterations = 2000;
+  const MbspClient::Outcome warm = run_ok(client, bigger);
+  EXPECT_EQ(warm.final.cache, CacheStatus::kWarm);
+  EXPECT_LE(warm.final.cost, cached.final.cost)
+      << "the LNS contract: never worse than the warm-start incumbent";
+
+  // Reference point: the same big request solved cold (cache bypassed).
+  ScheduleRequest cold = bigger;
+  cold.no_cache = true;
+  const MbspClient::Outcome cold_run = run_ok(client, cold);
+  ASSERT_EQ(cold_run.final.cache, CacheStatus::kCold);
+  EXPECT_LE(warm.final.cost, cold_run.final.cost)
+      << "warm-starting from the incumbent must not lose to a cold solve "
+         "at equal effort on this fixed (workload, seed)";
+
+  // The warm re-solve re-inserts at the enlarged effort: the same big
+  // request is now an exact hit.
+  const MbspClient::Outcome replay = run_ok(client, bigger);
+  EXPECT_EQ(replay.final.cache, CacheStatus::kExact);
+  EXPECT_EQ(plan_bytes(replay.final.plan), plan_bytes(warm.final.plan));
+}
+
+TEST_F(DaemonTest, LruEvictionFollowsRecencyOrder) {
+  start_server(/*cache_capacity=*/2);
+  MbspClient client;
+  connect_ok(client);
+
+  const ScheduleRequest a = make_request("fft:n=8", 300);
+  const ScheduleRequest b = make_request("fft:n=16", 300);
+  const ScheduleRequest c = make_request("lu:blocks=3", 300);
+
+  EXPECT_EQ(run_ok(client, a).final.cache, CacheStatus::kCold);
+  EXPECT_EQ(run_ok(client, b).final.cache, CacheStatus::kCold);
+  // Touch `a` so `b` is least recently used, then overflow with `c`.
+  EXPECT_EQ(run_ok(client, a).final.cache, CacheStatus::kExact);
+  EXPECT_EQ(run_ok(client, c).final.cache, CacheStatus::kCold);
+  EXPECT_EQ(server_->stats().evictions, 1u);
+
+  // `b` was evicted; `a` and `c` survived.
+  EXPECT_EQ(run_ok(client, a).final.cache, CacheStatus::kExact);
+  EXPECT_EQ(run_ok(client, c).final.cache, CacheStatus::kExact);
+  EXPECT_EQ(run_ok(client, b).final.cache, CacheStatus::kCold)
+      << "b must have been evicted as the LRU entry";
+}
+
+TEST_F(DaemonTest, ConcurrentClientsGetIdenticalPlansForTheSameRequest) {
+  start_server(/*cache_capacity=*/256, /*solver_threads=*/4);
+  const ScheduleRequest request = make_request("fft:n=16", 1000);
+  const std::string reference =
+      plan_bytes(local_solve("fft:n=16", request).plan);
+
+  // 4 clients race the same request: whoever solves first populates the
+  // cache, everyone else hits it — but every reply must carry the same
+  // bitwise plan, equal to the local reference (determinism contract).
+  constexpr int kClients = 4;
+  std::vector<std::string> plans(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      MbspClient client;
+      std::string error;
+      ASSERT_TRUE(client.connect(options_.socket_path, &error)) << error;
+      MbspClient::Outcome outcome;
+      ASSERT_TRUE(client.run(request, &outcome, &error)) << error;
+      ASSERT_TRUE(outcome.ok) << outcome.error.message;
+      plans[i] = plan_bytes(outcome.final.plan);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(plans[i], reference) << "client " << i;
+  }
+}
+
+TEST_F(DaemonTest, ConcurrentDistinctRequestsMatchLocalReferences) {
+  start_server(/*cache_capacity=*/256, /*solver_threads=*/4);
+  const std::vector<std::string> workloads = {"fft:n=8", "fft:n=16",
+                                              "lu:blocks=3", "cholesky:blocks=3"};
+  std::vector<std::string> got(workloads.size()), want(workloads.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    threads.emplace_back([&, i] {
+      const ScheduleRequest request = make_request(workloads[i], 500);
+      want[i] = plan_bytes(local_solve(workloads[i], request).plan);
+      MbspClient client;
+      std::string error;
+      ASSERT_TRUE(client.connect(options_.socket_path, &error)) << error;
+      MbspClient::Outcome outcome;
+      ASSERT_TRUE(client.run(request, &outcome, &error)) << error;
+      ASSERT_TRUE(outcome.ok) << outcome.error.message;
+      got[i] = plan_bytes(outcome.final.plan);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << workloads[i];
+  }
+}
+
+TEST_F(DaemonTest, NoCacheRequestsAlwaysSolveAndNeverMemoize) {
+  start_server();
+  MbspClient client;
+  connect_ok(client);
+  ScheduleRequest request = make_request("fft:n=8", 300);
+  request.no_cache = true;
+
+  EXPECT_EQ(run_ok(client, request).final.cache, CacheStatus::kCold);
+  EXPECT_EQ(run_ok(client, request).final.cache, CacheStatus::kCold);
+  const DaemonStats stats = server_->stats();
+  EXPECT_EQ(stats.solver_calls, 2u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.cache_entries, 0u);
+}
+
+TEST_F(DaemonTest, PinnedHashIsServedFromCacheAndDagStore) {
+  start_server();
+  MbspClient client;
+  connect_ok(client);
+  const ScheduleRequest inline_request = make_request("fft:n=16", 500);
+  const MbspClient::Outcome first = run_ok(client, inline_request);
+
+  // Identical request by hash only: exact hit, no DAG bytes on the wire.
+  ScheduleRequest pinned;
+  pinned.dag_hash = first.final.dag_hash;
+  pinned.machine_spec = inline_request.machine_spec;
+  pinned.scheduler = inline_request.scheduler;
+  pinned.budget_ms = inline_request.budget_ms;
+  pinned.max_iterations = inline_request.max_iterations;
+  pinned.seed = inline_request.seed;
+  const MbspClient::Outcome replay = run_ok(client, pinned);
+  EXPECT_EQ(replay.final.cache, CacheStatus::kExact);
+  EXPECT_EQ(plan_bytes(replay.final.plan), plan_bytes(first.final.plan));
+
+  // More effort by hash: the warm re-solve needs the DAG itself, which
+  // the bounded DAG store still has resident.
+  ScheduleRequest pinned_bigger = pinned;
+  pinned_bigger.max_iterations = 1500;
+  const MbspClient::Outcome warm = run_ok(client, pinned_bigger);
+  EXPECT_EQ(warm.final.cache, CacheStatus::kWarm);
+  EXPECT_LE(warm.final.cost, first.final.cost);
+}
+
+TEST_F(DaemonTest, QueuedDeadlineExpiryIsATypedError) {
+  // One solver thread: a long solve occupies it, so a second request's
+  // deadline covers (and here, expires in) the admission queue.
+  start_server(/*cache_capacity=*/256, /*solver_threads=*/1);
+
+  std::thread long_solver([&] {
+    MbspClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(options_.socket_path, &error)) << error;
+    MbspClient::Outcome outcome;
+    ASSERT_TRUE(
+        client.run(make_request("stencil2d:nx=8,ny=8,steps=3", 30'000),
+                   &outcome, &error))
+        << error;
+    ASSERT_TRUE(outcome.ok) << outcome.error.message;
+  });
+  // Give the long solve time to claim the only worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  MbspClient client;
+  connect_ok(client);
+  ScheduleRequest hurried = make_request("fft:n=8", 300);
+  hurried.deadline_ms = 50;
+  MbspClient::Outcome outcome;
+  std::string error;
+  ASSERT_TRUE(client.run(hurried, &outcome, &error)) << error;
+  ASSERT_FALSE(outcome.ok) << "the deadline must expire in the queue";
+  EXPECT_EQ(outcome.error.code, WireError::kDeadlineExpired);
+  EXPECT_NE(outcome.error.message.find("deadline"), std::string::npos);
+  long_solver.join();
+}
+
+TEST_F(DaemonTest, StopDrainsInFlightRequestsThenRefusesConnections) {
+  start_server();
+  const ScheduleRequest request =
+      make_request("stencil2d:nx=8,ny=8,steps=3", 8'000);
+
+  MbspClient::Outcome outcome;
+  std::thread in_flight([&] {
+    MbspClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect(options_.socket_path, &error)) << error;
+    ASSERT_TRUE(client.run(request, &outcome, &error)) << error;
+  });
+  // Let the request reach the solver, then initiate the drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  server_->stop();
+  in_flight.join();
+
+  EXPECT_TRUE(outcome.ok) << "a drained shutdown must still deliver the "
+                             "final frame: "
+                          << outcome.error.message;
+  EXPECT_GT(outcome.final.cost, 0);
+
+  MbspClient late;
+  std::string error;
+  EXPECT_FALSE(late.connect(options_.socket_path, &error))
+      << "the socket must be gone after stop()";
+}
+
+TEST_F(DaemonTest, StatsRequestMirrorsServerCounters) {
+  start_server();
+  MbspClient client;
+  connect_ok(client);
+  run_ok(client, make_request("fft:n=8", 300));
+  run_ok(client, make_request("fft:n=8", 300));
+
+  DaemonStats over_wire;
+  std::string error;
+  ASSERT_TRUE(client.stats(&over_wire, &error)) << error;
+  const DaemonStats direct = server_->stats();
+  EXPECT_EQ(over_wire.requests, direct.requests);
+  EXPECT_EQ(over_wire.exact_hits, direct.exact_hits);
+  EXPECT_EQ(over_wire.solver_calls, direct.solver_calls);
+  EXPECT_EQ(over_wire.cache_entries, direct.cache_entries);
+  EXPECT_EQ(over_wire.requests, 2u);
+  EXPECT_EQ(over_wire.exact_hits, 1u);
+  EXPECT_EQ(over_wire.solver_calls, 1u);
+}
+
+}  // namespace
+}  // namespace mbsp::daemon
+
+#else  // non-POSIX
+
+TEST(Daemon, SkippedOnThisPlatform) { GTEST_SKIP(); }
+
+#endif
