@@ -4,7 +4,7 @@
 // already knows), and prints the streamed reply.
 //
 //   mbsp-client --socket path [--ping | --stats]
-//               [--workload spec | --dag file | --pin-hash hex]
+//               [--workload spec | --dag file | --pin-hash hex | --trace spec]
 //               [--machine spec] [--scheduler name] [--cost sync|async]
 //               [--budget-ms x] [--max-iterations n] [--seed n]
 //               [--deadline-ms x] [--no-cache] [--repeat k] [--quiet]
@@ -14,6 +14,16 @@
 //          baseline=... supersteps=... cache=cold|exact|warm
 // --repeat sends the identical request k times — the second and later
 // replies must come back cache=exact (the CI smoke asserts exactly that).
+//
+// --trace replays a timed-arrival trace (docs/REPAIR.md) over the wire:
+// SCHEDULE seeds the base incumbent, then each event goes out as a REPAIR
+// pinning the previous reply's mutated hash, so repairs chain server-side.
+// DAG deltas chain cumulatively (the daemon keeps each mutated DAG
+// resident); machine deltas rebuild from --machine at every event, so a
+// warning is printed when the trace contains any. The verdict line
+//   trace_replay: OK|PARTIAL (k/n events repaired)
+// is greppable; OK means every event was answered from the repair path
+// (cache=repaired or exact), and PARTIAL exits 1.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +38,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --socket path [--ping | --stats]\n"
-      "          [--workload spec | --dag file | --pin-hash hex]\n"
+      "          [--workload spec | --dag file | --pin-hash hex |\n"
+      "           --trace spec]\n"
       "          [--machine spec] [--scheduler name] [--cost sync|async]\n"
       "          [--budget-ms x] [--max-iterations n] [--seed n]\n"
       "          [--deadline-ms x] [--no-cache] [--repeat k] [--quiet]\n",
@@ -40,6 +51,7 @@ void print_stats(const mbsp::daemon::DaemonStats& stats) {
   std::printf(
       "stats: requests=%llu exact-hits=%llu warm-hits=%llu misses=%llu\n"
       "       insertions=%llu evictions=%llu solver-calls=%llu\n"
+      "       repair-requests=%llu repair-hits=%llu\n"
       "       protocol-errors=%llu cache-entries=%llu/%llu connections=%llu\n",
       static_cast<unsigned long long>(stats.requests),
       static_cast<unsigned long long>(stats.exact_hits),
@@ -48,10 +60,109 @@ void print_stats(const mbsp::daemon::DaemonStats& stats) {
       static_cast<unsigned long long>(stats.insertions),
       static_cast<unsigned long long>(stats.evictions),
       static_cast<unsigned long long>(stats.solver_calls),
+      static_cast<unsigned long long>(stats.repair_requests),
+      static_cast<unsigned long long>(stats.repair_hits),
       static_cast<unsigned long long>(stats.protocol_errors),
       static_cast<unsigned long long>(stats.cache_entries),
       static_cast<unsigned long long>(stats.cache_capacity),
       static_cast<unsigned long long>(stats.active_connections));
+}
+
+/// Replays `trace_spec` against a live daemon: SCHEDULE seeds the base
+/// incumbent, then every event is a REPAIR pinning the previous reply's
+/// mutated hash (docs/REPAIR.md "Repair over the wire").
+int replay_trace(mbsp::daemon::MbspClient& client,
+                 const std::string& trace_spec,
+                 const mbsp::daemon::ScheduleRequest& base_request,
+                 bool quiet) {
+  using namespace mbsp;
+  using namespace mbsp::daemon;
+
+  std::string error;
+  auto trace = make_trace(trace_spec, base_request.seed,
+                          base_request.machine_spec, &error);
+  if (!trace) {
+    std::fprintf(stderr, "mbsp-client: cannot build trace '%s': %s\n",
+                 trace_spec.c_str(), error.c_str());
+    return 1;
+  }
+  for (const TraceEvent& event : trace->events) {
+    if (event.delta.touches_machine()) {
+      std::fprintf(stderr,
+                   "mbsp-client: warning: '%s' contains machine deltas; the "
+                   "daemon rebuilds the machine from --machine at every "
+                   "event, so those do not chain cumulatively\n",
+                   trace->name.c_str());
+      break;
+    }
+  }
+
+  ScheduleRequest seed_request = base_request;
+  seed_request.dag_bytes = dag_to_binary(trace->base.dag);
+  MbspClient::Outcome seeded;
+  if (!client.run(seed_request, &seeded, &error)) {
+    std::fprintf(stderr, "mbsp-client: transport error: %s\n", error.c_str());
+    return 1;
+  }
+  if (!seeded.ok) {
+    std::fprintf(stderr, "mbsp-client: daemon error [%s]: %s\n",
+                 wire_error_name(seeded.error.code),
+                 seeded.error.message.c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("base: hash=%s cost=%g cache=%s\n",
+                dag_hash_hex(seeded.final.dag_hash).c_str(), seeded.final.cost,
+                cache_status_name(seeded.final.cache));
+  }
+
+  std::uint64_t pinned = seeded.final.dag_hash;
+  std::size_t repaired = 0;
+  for (std::size_t i = 0; i < trace->events.size(); ++i) {
+    RepairRequest repair;
+    repair.no_cache = base_request.no_cache;
+    repair.machine_spec = base_request.machine_spec;
+    repair.scheduler = base_request.scheduler;
+    repair.cost_model = base_request.cost_model;
+    repair.budget_ms = base_request.budget_ms;
+    repair.max_iterations = base_request.max_iterations;
+    repair.seed = base_request.seed;
+    repair.deadline_ms = base_request.deadline_ms;
+    if (i == 0) {
+      repair.dag_bytes = seed_request.dag_bytes;  // base goes inline once
+    } else {
+      repair.dag_hash = pinned;  // chain onto the previous mutated scenario
+    }
+    repair.delta = trace->events[i].delta;
+
+    MbspClient::Outcome outcome;
+    if (!client.repair(repair, &outcome, &error)) {
+      std::fprintf(stderr, "mbsp-client: transport error: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (!outcome.ok) {
+      std::fprintf(stderr, "mbsp-client: daemon error [%s]: %s\n",
+                   wire_error_name(outcome.error.code),
+                   outcome.error.message.c_str());
+      return 1;
+    }
+    const bool via_repair = outcome.final.cache == CacheStatus::kRepaired ||
+                            outcome.final.cache == CacheStatus::kExact;
+    repaired += via_repair ? 1 : 0;
+    if (!quiet) {
+      std::printf("event %zu @%gms (%zu ops): hash=%s cost=%g cache=%s\n", i,
+                  trace->events[i].at_ms, trace->events[i].delta.ops.size(),
+                  dag_hash_hex(outcome.final.dag_hash).c_str(),
+                  outcome.final.cost, cache_status_name(outcome.final.cache));
+    }
+    pinned = outcome.final.dag_hash;
+  }
+
+  const bool all = repaired == trace->events.size();
+  std::printf("trace_replay: %s (%zu/%zu events repaired)\n",
+              all ? "OK" : "PARTIAL", repaired, trace->events.size());
+  return all ? 0 : 1;
 }
 
 }  // namespace
@@ -64,6 +175,7 @@ int main(int argc, char** argv) {
   std::string workload_spec;
   std::string dag_file;
   std::string pin_hash_hex;
+  std::string trace_spec;
   ScheduleRequest request;
   bool do_ping = false, do_stats = false, quiet = false;
   int repeat = 1;
@@ -89,6 +201,8 @@ int main(int argc, char** argv) {
       dag_file = value();
     } else if (arg == "--pin-hash") {
       pin_hash_hex = value();
+    } else if (arg == "--trace") {
+      trace_spec = value();
     } else if (arg == "--machine") {
       request.machine_spec = value();
     } else if (arg == "--scheduler") {
@@ -142,6 +256,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!trace_spec.empty()) {
+    return replay_trace(client, trace_spec, request, quiet);
+  }
+
   // Assemble the DAG side of the request.
   if (!pin_hash_hex.empty()) {
     request.dag_hash = std::strtoull(pin_hash_hex.c_str(), nullptr, 16);
@@ -164,8 +282,8 @@ int main(int argc, char** argv) {
     request.dag_bytes = dag_to_binary(*dag);
   } else {
     std::fprintf(stderr,
-                 "mbsp-client: one of --workload / --dag / --pin-hash is "
-                 "required\n");
+                 "mbsp-client: one of --workload / --dag / --pin-hash / "
+                 "--trace is required\n");
     return usage(argv[0]);
   }
 

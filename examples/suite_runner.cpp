@@ -4,7 +4,7 @@
 // grid is data: adding a scheduler to the registry makes it available here
 // with no code changes.
 //
-//   suite_runner --list | --list-workloads | --list-machines
+//   suite_runner --list | --list-workloads | --list-machines | --list-traces
 //   suite_runner [--schedulers a,b,...] [--dataset tiny|small]
 //                [--dag file.dag ...] [--workload spec ...]
 //                [--machine spec ...]
@@ -15,6 +15,8 @@
 //                [--workers K] [--epochs E] [--shards K]
 //                [--profile uniform|diverse] [--free-running]
 //                [--seed 2025] [--threads N] [--wall] [--csv path.csv]
+//   suite_runner --repair --trace spec [--trace spec ...]
+//                [--machine spec] [--seed n] [--max-iterations n]
 //
 // Examples:
 //   suite_runner --schedulers bspg+clairvoyant,cilk+lru,holistic
@@ -31,6 +33,16 @@
 // --P/--r-factor/--g/--L flags build one ad-hoc uniform machine. The
 // result table gains a machine column whenever --machine is used.
 //
+// --repair switches to the online-repair replay mode (docs/REPAIR.md):
+// each --trace spec (a timed-arrival trace, see --list-traces) is
+// replayed event by event — the incumbent schedule is repaired via the
+// "repair" scheduler AND the mutated instance is re-solved from scratch
+// with "lns" at the same iteration budget. The run prints per-event cost
+// ratios, a per-trace and overall geometric mean, and ends with the
+// greppable verdict line `repair_vs_resolve: OK|FAIL` (exit 1 on FAIL:
+// repair lost to re-solving at equal budget). Deterministic for
+// --max-iterations with the default budget-free replay.
+//
 // --moves restricts the LNS move classes (ablation sweeps without
 // recompiling); --lns-budget-ms overrides the optimization budget for the
 // LNS-family schedulers (lns / lns-portfolio / holistic / divide-conquer)
@@ -46,6 +58,7 @@
 
 #include "examples/cli_util.hpp"
 #include "include/mbsp/mbsp.hpp"
+#include "src/util/stats.hpp"
 
 namespace {
 
@@ -55,6 +68,8 @@ using mbsp::cli::split_csv;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--list-workloads] [--list-machines]\n"
+               "          [--list-traces]\n"
+               "          [--repair] [--trace spec ...]\n"
                "          [--schedulers a,b,...]\n"
                "          [--dataset tiny|small] [--dag file ...]\n"
                "          [--workload spec ...] [--machine spec ...]\n"
@@ -67,6 +82,64 @@ int usage(const char* argv0) {
                "          [--csv path.csv]\n",
                argv0);
   return 2;
+}
+
+/// The --repair replay (docs/REPAIR.md): repair-vs-resolve along each
+/// trace, at the same per-event iteration budget. Returns the process
+/// exit status.
+int run_repair_replay(const std::vector<std::string>& trace_specs,
+                      const std::string& machine_spec, std::uint64_t seed,
+                      const SchedulerOptions& base_options) {
+  const MbspScheduler* lns = SchedulerRegistry::global().find("lns");
+  const MbspScheduler* repairer = SchedulerRegistry::global().find("repair");
+  if (lns == nullptr || repairer == nullptr) {
+    std::fprintf(stderr, "repair replay: lns/repair schedulers missing\n");
+    return 1;
+  }
+  std::vector<double> all_ratios;
+  for (const std::string& spec : trace_specs) {
+    std::string error;
+    auto trace = make_trace(spec, seed, machine_spec, &error);
+    if (!trace) {
+      std::fprintf(stderr, "cannot build trace '%s': %s\n", spec.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    MbspInstance inst = trace->base;
+    ScheduleResult incumbent = lns->run(inst, base_options);
+    std::printf("%s on %s: base cost %g, %zu events\n", trace->name.c_str(),
+                inst.arch.name.c_str(), incumbent.cost,
+                trace->events.size());
+    std::vector<double> ratios;
+    for (std::size_t e = 0; e < trace->events.size(); ++e) {
+      const TraceEvent& event = trace->events[e];
+      if (!apply_instance_delta(inst, event.delta, nullptr, &error)) {
+        std::fprintf(stderr, "%s event %zu: %s\n", trace->name.c_str(), e,
+                     error.c_str());
+        return 1;
+      }
+      SchedulerOptions repair_options = base_options;
+      repair_options.warm_start_plan = &incumbent.plan;
+      repair_options.repair_delta = &event.delta;
+      ScheduleResult repaired = repairer->run(inst, repair_options);
+      ScheduleResult resolved = lns->run(inst, base_options);
+      const double ratio = repaired.cost / resolved.cost;
+      ratios.push_back(ratio);
+      std::printf("  event %zu @%gms (%zu ops): repair %g  resolve %g  "
+                  "ratio %.4f\n",
+                  e, event.at_ms, event.delta.ops.size(), repaired.cost,
+                  resolved.cost, ratio);
+      incumbent = std::move(repaired);
+    }
+    std::printf("  %s geomean ratio %.4f\n", trace->name.c_str(),
+                geometric_mean(ratios));
+    all_ratios.insert(all_ratios.end(), ratios.begin(), ratios.end());
+  }
+  const double geomean = geometric_mean(all_ratios);
+  const bool ok = geomean <= 1.0;
+  std::printf("repair_vs_resolve: %s (geomean %.4f over %zu events)\n",
+              ok ? "OK" : "FAIL", geomean, all_ratios.size());
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -87,6 +160,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 2025;
   bool wall = false;
   double lns_budget_ms = -1;  // < 0: no LNS-specific override
+  bool repair_mode = false;
+  std::vector<std::string> trace_specs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +187,15 @@ int main(int argc, char** argv) {
         std::printf("%s\n", name.c_str());
       }
       return 0;
+    } else if (arg == "--list-traces") {
+      for (const std::string& name : trace_family_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--repair") {
+      repair_mode = true;
+    } else if (arg == "--trace") {
+      trace_specs.push_back(value());
     } else if (arg == "--machine") {
       machine_specs.push_back(value());
     } else if (arg == "--schedulers") {
@@ -190,6 +274,29 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+
+  if (repair_mode || !trace_specs.empty()) {
+    if (!repair_mode) {
+      std::fprintf(stderr, "--trace requires --repair (the replay mode)\n");
+      return 2;
+    }
+    if (trace_specs.empty()) {
+      std::fprintf(stderr,
+                   "--repair needs at least one --trace spec "
+                   "(families: see --list-traces)\n");
+      return 2;
+    }
+    if (machine_specs.size() > 1) {
+      std::fprintf(stderr, "--repair replays on one machine model\n");
+      return 2;
+    }
+    SchedulerOptions options = batch.scheduler;
+    options.seed = seed;
+    return run_repair_replay(
+        trace_specs,
+        machine_specs.empty() ? "uniform:P=4" : machine_specs.front(), seed,
+        options);
   }
 
   for (const std::string& name : schedulers) {

@@ -72,6 +72,11 @@
 // Incremental evaluation engine: O(delta) re-costing of LNS moves,
 // bitwise-equal to the full evaluator (the oracle; asserted in debug).
 #include "src/holistic/incremental_eval.hpp"
+// Online schedule repair: typed InstanceDelta (exact apply/undo) +
+// repair_plan() — patch the incumbent, then locality-masked polish;
+// repaired costs are oracle-equal to a from-scratch evaluate_plan
+// (docs/REPAIR.md).
+#include "src/holistic/repair.hpp"
 // DAG partitioning + divide-and-conquer pipeline for large instances.
 #include "src/holistic/divide_conquer.hpp"
 #include "src/holistic/partition.hpp"
@@ -118,3 +123,7 @@
 #include "src/workload/workload_registry.hpp"
 // Structured corpus families (stencils, LU, FFT, attention, ...).
 #include "src/workload/structured.hpp"
+// Timed-arrival trace corpus (trace-grow / -drift / -dropout / -churn /
+// -mixed): deterministic, hashable, streamable event sequences feeding
+// the online-repair replay (docs/REPAIR.md).
+#include "src/workload/trace.hpp"

@@ -85,6 +85,20 @@ bool MbspClient::run(const ScheduleRequest& request, Outcome* outcome,
                    encode_schedule_request(request), error)) {
     return false;
   }
+  return consume_reply_stream(outcome, error);
+}
+
+bool MbspClient::repair(const RepairRequest& request, Outcome* outcome,
+                        std::string* error) {
+  *outcome = Outcome{};
+  if (!write_frame(fd_, FrameType::kRepairRequest,
+                   encode_repair_request(request), error)) {
+    return false;
+  }
+  return consume_reply_stream(outcome, error);
+}
+
+bool MbspClient::consume_reply_stream(Outcome* outcome, std::string* error) {
   while (true) {
     Frame frame;
     if (!read_reply(&frame, error)) return false;

@@ -48,6 +48,14 @@ class MbspClient {
   bool run(const ScheduleRequest& request, Outcome* outcome,
            std::string* error = nullptr);
 
+  /// Sends one REPAIR request (docs/REPAIR.md) and consumes the reply
+  /// stream exactly like run(). outcome->final.cache tells how the plan
+  /// was obtained: kRepaired (incumbent patched + polished), kCold (no
+  /// incumbent; mutated instance solved from scratch) or kExact (repeat
+  /// repair served from the cache).
+  bool repair(const RepairRequest& request, Outcome* outcome,
+              std::string* error = nullptr);
+
   /// Low-level single-frame read (tests drive protocol edges with it).
   bool read_reply(Frame* frame, std::string* error = nullptr);
 
@@ -55,6 +63,10 @@ class MbspClient {
   bool send_raw(const std::string& bytes, std::string* error = nullptr);
 
  private:
+  /// Shared reply-stream pump of run()/repair(): status / progress frames
+  /// accumulate until a final or typed-error frame ends the request.
+  bool consume_reply_stream(Outcome* outcome, std::string* error);
+
   int fd_ = -1;
 };
 

@@ -25,7 +25,8 @@ std::uint64_t load_le(const void* data, std::size_t bytes) {
 
 bool is_request_frame(FrameType type) {
   return type == FrameType::kScheduleRequest ||
-         type == FrameType::kStatsRequest || type == FrameType::kPing;
+         type == FrameType::kStatsRequest || type == FrameType::kPing ||
+         type == FrameType::kRepairRequest;
 }
 
 const char* wire_error_name(WireError code) {
@@ -44,6 +45,7 @@ const char* wire_error_name(WireError code) {
     case WireError::kDeadlineExpired: return "deadline-expired";
     case WireError::kShuttingDown: return "shutting-down";
     case WireError::kInternal: return "internal";
+    case WireError::kBadDelta: return "bad-delta";
   }
   return "unknown";
 }
@@ -53,6 +55,7 @@ const char* cache_status_name(CacheStatus status) {
     case CacheStatus::kCold: return "cold";
     case CacheStatus::kExact: return "exact";
     case CacheStatus::kWarm: return "warm";
+    case CacheStatus::kRepaired: return "repaired";
   }
   return "unknown";
 }
@@ -243,6 +246,93 @@ bool decode_schedule_request(const std::string& payload,
 }
 
 // ---------------------------------------------------------------------------
+// InstanceDelta and RepairRequest
+
+void encode_instance_delta(WireWriter& w, const InstanceDelta& delta) {
+  w.u32(static_cast<std::uint32_t>(delta.ops.size()));
+  for (const InstanceDeltaOp& op : delta.ops) {
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    w.i64(op.u);
+    w.i64(op.v);
+    w.f64(op.omega);
+    w.f64(op.mu);
+    w.i64(op.proc);
+    w.f64(op.capacity);
+  }
+}
+
+bool decode_instance_delta(WireReader& r, InstanceDelta* delta) {
+  std::uint32_t count = 0;
+  if (!r.u32(&count)) return false;
+  delta->ops.clear();
+  delta->ops.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    InstanceDeltaOp op;
+    std::uint8_t kind = 0;
+    std::int64_t u = 0, v = 0, proc = 0;
+    if (!r.u8(&kind) || !r.i64(&u) || !r.i64(&v) || !r.f64(&op.omega) ||
+        !r.f64(&op.mu) || !r.i64(&proc) || !r.f64(&op.capacity)) {
+      return false;
+    }
+    // Semantic check the reader can't express: callers distinguish this
+    // from truncation by r.ok() staying true.
+    if (kind > static_cast<std::uint8_t>(InstanceDeltaOpKind::kShrinkMemory)) {
+      return false;
+    }
+    op.kind = static_cast<InstanceDeltaOpKind>(kind);
+    op.u = static_cast<NodeId>(u);
+    op.v = static_cast<NodeId>(v);
+    op.proc = static_cast<int>(proc);
+    delta->ops.push_back(op);
+  }
+  return true;
+}
+
+std::string encode_repair_request(const RepairRequest& request) {
+  WireWriter w;
+  w.u8(request.version);
+  w.u8(request.no_cache ? 1 : 0);
+  w.u64(request.dag_hash);
+  w.blob(request.dag_bytes);
+  w.str(request.machine_spec);
+  w.str(request.scheduler);
+  w.u8(request.cost_model);
+  w.f64(request.budget_ms);
+  w.i64(request.max_iterations);
+  w.u64(request.seed);
+  w.f64(request.deadline_ms);
+  encode_instance_delta(w, request.delta);
+  return w.take();
+}
+
+bool decode_repair_request(const std::string& payload, RepairRequest* request,
+                           std::string* error) {
+  WireReader r(payload);
+  std::uint8_t no_cache = 0;
+  r.u8(&request->version);
+  r.u8(&no_cache);
+  r.u64(&request->dag_hash);
+  r.blob(&request->dag_bytes, "inline dag payload");
+  r.str(&request->machine_spec, "machine spec");
+  r.str(&request->scheduler, "scheduler name");
+  r.u8(&request->cost_model);
+  r.f64(&request->budget_ms);
+  r.i64(&request->max_iterations);
+  r.u64(&request->seed);
+  r.f64(&request->deadline_ms);
+  const bool delta_ok = decode_instance_delta(r, &request->delta);
+  if (!delta_ok || !r.expect_end()) {
+    if (error != nullptr) {
+      *error = "repair request: " +
+               (r.ok() ? "bad delta op kind" : r.error());
+    }
+    return false;
+  }
+  request->no_cache = no_cache != 0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Plans and FinalResult
 
 void encode_plan(WireWriter& w, const ComputePlan& plan) {
@@ -387,6 +477,8 @@ std::string encode_stats(const DaemonStats& stats) {
   w.u64(stats.cache_entries);
   w.u64(stats.cache_capacity);
   w.u64(stats.active_connections);
+  w.u64(stats.repair_requests);
+  w.u64(stats.repair_hits);
   return w.take();
 }
 
@@ -404,6 +496,8 @@ bool decode_stats(const std::string& payload, DaemonStats* stats,
   r.u64(&stats->cache_entries);
   r.u64(&stats->cache_capacity);
   r.u64(&stats->active_connections);
+  r.u64(&stats->repair_requests);
+  r.u64(&stats->repair_hits);
   if (!r.expect_end()) {
     if (error != nullptr) *error = "stats frame: " + r.error();
     return false;

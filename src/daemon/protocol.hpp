@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/holistic/repair.hpp"  // InstanceDelta (REPAIR frames)
 #include "src/twostage/compute_plan.hpp"
 
 namespace mbsp::daemon {
@@ -42,6 +43,7 @@ enum class FrameType : std::uint8_t {
   kScheduleRequest = 0x01,
   kStatsRequest = 0x02,
   kPing = 0x03,
+  kRepairRequest = 0x04,
   // server -> client
   kStatus = 0x10,
   kProgress = 0x11,
@@ -72,6 +74,7 @@ enum class WireError : std::uint16_t {
   kDeadlineExpired = 11,
   kShuttingDown = 12,
   kInternal = 13,
+  kBadDelta = 14,  ///< REPAIR delta failed to decode or to apply
 };
 
 /// Stable lower-case name of a WireError ("bad-magic", ...), for CLI
@@ -176,11 +179,44 @@ std::string encode_schedule_request(const ScheduleRequest& request);
 bool decode_schedule_request(const std::string& payload,
                              ScheduleRequest* request, std::string* error);
 
+/// InstanceDelta codec: u32 op count, then per op the fixed field tuple
+/// (u8 kind, i64 u, i64 v, f64 omega, f64 mu, i64 proc, f64 capacity).
+/// Unknown op kinds are a decode error naming the op index.
+void encode_instance_delta(WireWriter& w, const InstanceDelta& delta);
+bool decode_instance_delta(WireReader& r, InstanceDelta* delta);
+
+/// A repair request (docs/REPAIR.md): the fields identify the BASE
+/// scenario exactly like a ScheduleRequest — the server resolves the base
+/// DAG (inline bytes or pinned hash) and looks the (base scenario,
+/// scheduler) incumbent up in its schedule cache — and `delta` is the
+/// InstanceDelta to repair along. On a cache miss the server solves the
+/// mutated instance from scratch (CacheStatus::kCold in the final frame);
+/// otherwise it patches + polishes the incumbent (kRepaired).
+struct RepairRequest {
+  std::uint8_t version = kProtocolVersion;
+  bool no_cache = false;       ///< skip the incumbent lookup (cold re-solve)
+  std::uint64_t dag_hash = 0;  ///< BASE dag: pinned hash, or 0 with bytes
+  std::string dag_bytes;       ///< inline BASE dag payload ("" when pinned)
+  std::string machine_spec = "uniform:P=4";
+  std::string scheduler = "lns";
+  std::uint8_t cost_model = 0;  ///< 0 = synchronous, 1 = asynchronous
+  double budget_ms = 0;
+  std::int64_t max_iterations = 2'000'000;
+  std::uint64_t seed = 42;
+  double deadline_ms = 0;
+  InstanceDelta delta;
+};
+
+std::string encode_repair_request(const RepairRequest& request);
+bool decode_repair_request(const std::string& payload, RepairRequest* request,
+                           std::string* error);
+
 /// How the final plan was obtained (FinalResult::cache).
 enum class CacheStatus : std::uint8_t {
   kCold = 0,   ///< solved, no usable cache entry
   kExact = 1,  ///< served from cache, no solver invocation
   kWarm = 2,   ///< solver warm-started from the cached incumbent
+  kRepaired = 3,  ///< cached incumbent repaired along a REPAIR delta
 };
 
 const char* cache_status_name(CacheStatus status);
@@ -252,6 +288,8 @@ struct DaemonStats {
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_capacity = 0;
   std::uint64_t active_connections = 0;
+  std::uint64_t repair_requests = 0;  ///< REPAIR frames received
+  std::uint64_t repair_hits = 0;  ///< repairs served from a cached incumbent
 };
 
 std::string encode_stats(const DaemonStats& stats);

@@ -99,6 +99,8 @@ DaemonStats MbspdServer::stats() const {
     out.requests = requests_;
     out.solver_calls = solver_calls_;
     out.protocol_errors = protocol_errors_;
+    out.repair_requests = repair_requests_;
+    out.repair_hits = repair_hits_;
   }
   out.exact_hits = cache.exact_hits;
   out.warm_hits = cache.warm_hits;
@@ -250,6 +252,9 @@ void MbspdServer::handle_connection(int fd) {
         break;
       case FrameType::kScheduleRequest:
         if (!handle_schedule(fd, frame.payload)) return;
+        break;
+      case FrameType::kRepairRequest:
+        if (!handle_repair(fd, frame.payload)) return;
         break;
       default:
         send_error(fd, WireError::kBadFrameType, "unexpected frame type");
@@ -504,6 +509,294 @@ bool MbspdServer::handle_schedule(int fd, const std::string& payload) {
   return alive.get();
 }
 
+bool MbspdServer::handle_repair(int fd, const std::string& payload) {
+  const Clock::time_point received = Clock::now();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++requests_;
+    ++repair_requests_;
+  }
+  RepairRequest request;
+  std::string decode_err;
+  if (!decode_repair_request(payload, &request, &decode_err)) {
+    // A structurally intact payload with a semantically bad delta (unknown
+    // op kind) is the client's delta at fault, not the framing.
+    const bool bad_delta =
+        decode_err.find("bad delta op kind") != std::string::npos;
+    return send_error(
+        fd, bad_delta ? WireError::kBadDelta : WireError::kBadRequest,
+        decode_err);
+  }
+  if (request.version != kProtocolVersion) {
+    return send_error(fd, WireError::kBadVersion,
+                      "protocol version " + std::to_string(request.version) +
+                          " not supported (this daemon speaks " +
+                          std::to_string(kProtocolVersion) + ")");
+  }
+  if (stopping_.load()) {
+    return send_error(fd, WireError::kShuttingDown, "daemon is draining");
+  }
+  if (!write_frame(fd, FrameType::kStatus, encode_status("queued"), nullptr)) {
+    return false;
+  }
+
+  std::promise<bool> done;
+  std::future<bool> alive = done.get_future();
+  solver_pool_->submit([this, fd, request = std::move(request), received,
+                        &done]() mutable {
+    bool ok = true;
+    const auto fail = [&](WireError code, const std::string& message) {
+      ok = send_error(fd, code, message);
+    };
+    const auto status = [&](const char* message) {
+      ok = write_frame(fd, FrameType::kStatus, encode_status(message),
+                       nullptr);
+    };
+    try {
+      const MbspScheduler* scheduler = registry_.find(request.scheduler);
+      if (scheduler == nullptr) {
+        fail(WireError::kUnknownScheduler,
+             "unknown scheduler '" + request.scheduler + "'");
+        done.set_value(ok);
+        return;
+      }
+      const MbspScheduler* repairer = registry_.find("repair");
+      if (repairer == nullptr) {
+        fail(WireError::kInternal,
+             "this daemon's registry has no 'repair' scheduler");
+        done.set_value(ok);
+        return;
+      }
+      std::string machine_err;
+      const auto probe = MachineRegistry::global().make_machine(
+          request.machine_spec, 1.0, &machine_err);
+      if (!probe) {
+        fail(WireError::kBadMachineSpec, machine_err);
+        done.set_value(ok);
+        return;
+      }
+
+      SchedulerOptions opts;
+      opts.budget_ms = request.budget_ms;
+      opts.max_iterations = request.max_iterations;
+      opts.seed = request.seed;
+      opts.cost = request.cost_model == 0 ? CostModel::kSynchronous
+                                          : CostModel::kAsynchronous;
+
+      // The BASE dag is always required: the mutated scenario's identity
+      // (its canonical hash and machine name) only exists after the delta
+      // has been applied to it.
+      std::shared_ptr<const ComputeDag> dag;
+      std::uint64_t dag_hash = request.dag_hash;
+      if (!request.dag_bytes.empty()) {
+        std::string dag_err;
+        auto parsed = dag_from_bytes(request.dag_bytes, &dag_err);
+        if (!parsed) {
+          fail(WireError::kBadDag, dag_err);
+          done.set_value(ok);
+          return;
+        }
+        auto owned = std::make_shared<ComputeDag>(std::move(*parsed));
+        dag_hash = dag_canonical_hash(*owned);
+        if (request.dag_hash != 0 && request.dag_hash != dag_hash) {
+          fail(WireError::kBadDag,
+               "inline DAG hashes to " + dag_hash_hex(dag_hash) +
+                   " but the request pinned " +
+                   dag_hash_hex(request.dag_hash));
+          done.set_value(ok);
+          return;
+        }
+        store_dag(dag_hash, owned);
+        dag = std::move(owned);
+      } else {
+        dag = find_dag(dag_hash);
+        if (dag == nullptr) {
+          fail(WireError::kUnknownDagHash,
+               "no resident DAG with hash " + dag_hash_hex(dag_hash) +
+                   "; resend the request with the DAG inline");
+          done.set_value(ok);
+          return;
+        }
+      }
+
+      if (request.deadline_ms > 0) {
+        const double elapsed = elapsed_ms_since(received);
+        const double remaining = request.deadline_ms - elapsed;
+        if (remaining <= 0) {
+          fail(WireError::kDeadlineExpired,
+               "deadline of " + std::to_string(request.deadline_ms) +
+                   " ms expired after " + std::to_string(elapsed) +
+                   " ms in the admission queue");
+          done.set_value(ok);
+          return;
+        }
+        opts.budget_ms = opts.budget_ms == 0
+                             ? remaining
+                             : std::min(opts.budget_ms, remaining);
+      }
+
+      // Mutated scenario: the machine is built at the BASE dag's r0 — the
+      // machine the incumbent was solved on — and the delta then mutates
+      // both dag and machine (docs/REPAIR.md: repair never silently
+      // re-scales memory under the incumbent).
+      const double r0 = min_memory_r0(*dag);
+      auto machine = MachineRegistry::global().make_machine(
+          request.machine_spec, r0, &machine_err);
+      if (!machine) {
+        fail(WireError::kBadMachineSpec, machine_err);
+        done.set_value(ok);
+        return;
+      }
+      MbspInstance mutated{*dag, std::move(*machine)};
+      std::string apply_err;
+      if (!apply_instance_delta(mutated, request.delta, nullptr, &apply_err)) {
+        fail(WireError::kBadDelta, apply_err);
+        done.set_value(ok);
+        return;
+      }
+      const std::uint64_t mutated_hash = dag_canonical_hash(mutated.dag);
+
+      // The repaired result is memoized under the MUTATED scenario with a
+      // "repair+" spec prefix: repeat REPAIRs exact-hit it, while plain
+      // SCHEDULE requests for the mutated dag keep their own bitwise
+      // solve-equality contract untouched.
+      ScheduleCacheKey mutated_key{
+          mutated_hash, mutated.arch.name,
+          scheduler_cache_spec("repair+" + request.scheduler, opts)};
+      if (!request.no_cache) {
+        ScheduleCacheEntry repeat;
+        if (cache_.lookup(mutated_key, request.budget_ms,
+                          request.max_iterations,
+                          &repeat) == CacheHit::kExact) {
+          status("cache-hit");
+          if (ok) {
+            ok = write_frame(fd, FrameType::kProgress,
+                             encode_progress({1, repeat.cost, 0}), nullptr);
+          }
+          FinalResult fin;
+          fin.dag_hash = mutated_hash;
+          fin.machine = mutated_key.machine;
+          fin.scheduler = request.scheduler;
+          fin.cost_model = request.cost_model;
+          fin.cache = CacheStatus::kExact;
+          fin.cost = repeat.cost;
+          fin.baseline_cost = repeat.baseline_cost;
+          fin.io_volume = repeat.io_volume;
+          fin.supersteps = repeat.supersteps;
+          fin.plan = std::move(repeat.plan);
+          if (ok) {
+            ok = write_frame(fd, FrameType::kFinal, encode_final_result(fin),
+                             nullptr);
+          }
+          done.set_value(ok);
+          return;
+        }
+      }
+
+      // Incumbent lookup under the BASE scenario's own key: any cached
+      // entry (exact or lower-effort) is a usable pre-delta plan.
+      ScheduleCacheKey base_key{dag_hash, probe->name,
+                                scheduler_cache_spec(request.scheduler, opts)};
+      ScheduleCacheEntry incumbent;
+      bool have_incumbent = false;
+      if (!request.no_cache) {
+        have_incumbent = cache_.lookup(base_key, request.budget_ms,
+                                       request.max_iterations,
+                                       &incumbent) != CacheHit::kMiss;
+        if (!have_incumbent) {
+          // Chained repair: the pinned base may itself be a repaired
+          // scenario, memoized under the repair+ spec prefix. Its plan
+          // is a valid incumbent for the base DAG all the same.
+          const ScheduleCacheKey chained_key{
+              dag_hash, probe->name,
+              scheduler_cache_spec("repair+" + request.scheduler, opts)};
+          have_incumbent = cache_.lookup(chained_key, request.budget_ms,
+                                         request.max_iterations,
+                                         &incumbent) != CacheHit::kMiss;
+        }
+      }
+
+      ScheduleResult result;
+      if (have_incumbent) {
+        status("repairing");
+        opts.warm_start_plan = &incumbent.plan;
+        opts.repair_delta = &request.delta;
+        result = repairer->run(mutated, opts);
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++solver_calls_;
+        ++repair_hits_;
+      } else {
+        if (!scheduler->supports(mutated)) {
+          fail(WireError::kBadRequest,
+               "scheduler '" + request.scheduler +
+                   "' does not support the mutated instance");
+          done.set_value(ok);
+          return;
+        }
+        status("solving");
+        result = scheduler->run(mutated, opts);
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++solver_calls_;
+      }
+      long long iterations = 0;
+      for (long p : result.lns_proposed) iterations += p;
+
+      if (ok) {
+        ok = write_frame(fd, FrameType::kProgress,
+                         encode_progress({0, result.baseline_cost, 0}),
+                         nullptr);
+      }
+      if (ok) {
+        ok = write_frame(fd, FrameType::kProgress,
+                         encode_progress({1, result.cost, iterations}),
+                         nullptr);
+      }
+
+      FinalResult fin;
+      fin.dag_hash = mutated_hash;
+      fin.machine = mutated_key.machine;
+      fin.scheduler = request.scheduler;
+      fin.cost_model = request.cost_model;
+      fin.cache =
+          have_incumbent ? CacheStatus::kRepaired : CacheStatus::kCold;
+      fin.cost = result.cost;
+      fin.baseline_cost = result.baseline_cost;
+      fin.io_volume = result.io_volume;
+      fin.supersteps = static_cast<std::uint32_t>(result.supersteps);
+      fin.plan = result.plan;
+
+      if (!request.no_cache) {
+        // Keep the mutated dag resident so follow-up requests can pin its
+        // hash (e.g. using the repaired scenario as the next repair base).
+        store_dag(mutated_hash,
+                  std::make_shared<ComputeDag>(mutated.dag));
+        ScheduleCacheEntry entry;
+        entry.plan = std::move(result.plan);
+        entry.cost = result.cost;
+        entry.baseline_cost = result.baseline_cost;
+        entry.io_volume = result.io_volume;
+        entry.supersteps = static_cast<std::uint32_t>(result.supersteps);
+        entry.budget_ms = opts.budget_ms;
+        entry.max_iterations = request.max_iterations;
+        cache_.insert(mutated_key, std::move(entry));
+      }
+
+      if (ok) {
+        ok = write_frame(fd, FrameType::kFinal, encode_final_result(fin),
+                         nullptr);
+      }
+      done.set_value(ok);
+    } catch (const std::exception& e) {
+      fail(WireError::kInternal, std::string("internal error: ") + e.what());
+      done.set_value(ok);
+    } catch (...) {
+      fail(WireError::kInternal, "internal error");
+      done.set_value(ok);
+    }
+  });
+  return alive.get();
+}
+
 #else  // !MBSP_DAEMON_POSIX
 
 bool MbspdServer::start(std::string* error) {
@@ -516,6 +809,7 @@ void MbspdServer::accept_loop() {}
 void MbspdServer::reap_finished_connections() {}
 void MbspdServer::handle_connection(int) {}
 bool MbspdServer::handle_schedule(int, const std::string&) { return false; }
+bool MbspdServer::handle_repair(int, const std::string&) { return false; }
 bool MbspdServer::send_error(int, WireError, const std::string&) {
   return false;
 }

@@ -84,6 +84,12 @@ class MbspdServer {
   void handle_connection(int fd);
   /// One schedule request end-to-end; false when the connection died.
   bool handle_schedule(int fd, const std::string& payload);
+  /// One REPAIR request end-to-end (docs/REPAIR.md): resolve the base
+  /// scenario, fetch its cached incumbent, patch + polish it along the
+  /// request's InstanceDelta (falling back to a from-scratch solve of the
+  /// mutated instance on a cache miss), and memoize the result under the
+  /// mutated scenario's own key.
+  bool handle_repair(int fd, const std::string& payload);
   bool send_error(int fd, WireError code, const std::string& message);
   /// Waits for fd readability or server stop; false on stop/hangup.
   bool wait_readable(int fd);
@@ -114,6 +120,8 @@ class MbspdServer {
   std::uint64_t requests_ = 0;
   std::uint64_t solver_calls_ = 0;
   std::uint64_t protocol_errors_ = 0;
+  std::uint64_t repair_requests_ = 0;
+  std::uint64_t repair_hits_ = 0;
   std::atomic<std::uint64_t> active_connections_{0};
 };
 

@@ -158,6 +158,29 @@ void ComputeDag::add_edge(NodeId u, NodeId v) {
   csr_valid_.store(false, std::memory_order_release);
 }
 
+bool ComputeDag::remove_edge(NodeId u, NodeId v) {
+  thaw();
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  const auto it = std::find(succ_[u].begin(), succ_[u].end(), v);
+  if (it == succ_[u].end()) return false;
+  succ_[u].erase(it);
+  pred_[v].erase(std::find(pred_[v].begin(), pred_[v].end(), u));
+  --num_edges_;
+  csr_valid_.store(false, std::memory_order_release);
+  return true;
+}
+
+void ComputeDag::remove_last_node() {
+  thaw();
+  assert(!omega_.empty());
+  assert(succ_.back().empty() && pred_.back().empty());
+  succ_.pop_back();
+  pred_.pop_back();
+  omega_.pop_back();
+  mu_.pop_back();
+  csr_valid_.store(false, std::memory_order_release);
+}
+
 void ComputeDag::build_csr() const {
   std::lock_guard<std::mutex> lock(csr_mutex_);
   if (csr_valid_.load(std::memory_order_relaxed)) return;  // lost the race

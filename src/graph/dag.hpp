@@ -93,6 +93,17 @@ class ComputeDag {
   /// Adds edge u -> v. Duplicate edges are ignored (idempotent).
   void add_edge(NodeId u, NodeId v);
 
+  /// Removes edge u -> v if present; returns whether an edge was removed.
+  /// The exact inverse of a non-duplicate add_edge: the remaining
+  /// neighbour orders are unchanged, so apply/undo of an InstanceDelta
+  /// (src/holistic/repair.hpp) restores the DAG bitwise.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// Removes the highest-id node. The node must be isolated (no incident
+  /// edges); the InstanceDelta undo path removes a new node's edges first,
+  /// in reverse insertion order.
+  void remove_last_node();
+
   NodeId num_nodes() const { return static_cast<NodeId>(omega_.size()); }
   std::size_t num_edges() const { return num_edges_; }
 

@@ -20,6 +20,8 @@
 
 namespace mbsp {
 
+struct InstanceDelta;  // src/holistic/repair.hpp
+
 /// One option struct shared by every scheduler; fields a given scheduler
 /// does not understand are ignored (e.g. move_mask outside the LNS).
 struct SchedulerOptions {
@@ -74,6 +76,20 @@ struct SchedulerOptions {
   int epochs = 4;
   PortfolioProfile portfolio_profile = PortfolioProfile::kDiverse;
   bool free_running = false;
+
+  /// Online repair ("repair" scheduler; docs/REPAIR.md). The instance
+  /// passed to run() is the MUTATED one; `repair_delta` is the
+  /// InstanceDelta that produced it from the instance `warm_start_plan`
+  /// (the pre-delta incumbent, required) was solved for. Without both,
+  /// the repair scheduler degenerates to a plain "lns" run. The pointer
+  /// must outlive the run() call, like warm_start_plan.
+  const InstanceDelta* repair_delta = nullptr;
+  /// Disable the locality-masked polish after patching (bench ablation:
+  /// measures the pure structural patch).
+  bool repair_polish = true;
+  /// DAG hops around the delta's touched nodes that stay movable during
+  /// the repair polish.
+  int repair_mask_radius = 1;
 };
 
 /// One result row: the schedule plus the metrics every harness reports.

@@ -6,6 +6,7 @@
 
 #include "src/graph/topology.hpp"
 #include "src/holistic/divide_conquer.hpp"
+#include "src/holistic/repair.hpp"
 #include "src/holistic/exact_pebbler.hpp"
 #include "src/holistic/shard.hpp"
 #include "src/holistic/formulation.hpp"
@@ -155,6 +156,56 @@ class PortfolioAdapter final : public MbspScheduler {
                                res.proposed_by_class.end());
     result.lns_accepted.assign(res.accepted_by_class.begin(),
                                res.accepted_by_class.end());
+    finalize(inst, options, timer, result);
+    return result;
+  }
+};
+
+/// Online schedule repair (docs/REPAIR.md): patch the pre-delta incumbent
+/// (options.warm_start_plan) onto the mutated instance along
+/// options.repair_delta, then run the locality-masked polish. The serving
+/// path (mbspd REPAIR frames) and suite_runner --repair go through here.
+/// Without an incumbent + delta pair it degenerates to a plain "lns" run,
+/// so the registry contract (any scheduler handles any instance) holds.
+class RepairAdapter final : public MbspScheduler {
+ public:
+  std::string name() const override { return "repair"; }
+
+  ScheduleResult run(const MbspInstance& inst,
+                     const SchedulerOptions& options) const override {
+    const Timer timer;
+    ScheduleResult result;
+    result.scheduler = name();
+    if (options.warm_start_plan != nullptr && options.repair_delta != nullptr) {
+      RepairOptions repair;
+      repair.lns = to_lns(options);
+      repair.polish = options.repair_polish;
+      repair.mask_radius = options.repair_mask_radius;
+      // Single-worker polish: repair is the serving-latency path; callers
+      // that want a portfolio polish call repair_plan directly.
+      repair.workers = 1;
+      std::string error;
+      auto repaired = repair_plan(inst, *options.warm_start_plan,
+                                  *options.repair_delta, repair, &error);
+      if (repaired) {
+        result.schedule = std::move(repaired->schedule);
+        result.plan = std::move(repaired->plan);
+        result.baseline_cost = repaired->patched_cost;
+        finalize(inst, options, timer, result);
+        return result;
+      }
+      // Incumbent unusable for this delta (shape mismatch): fall through
+      // to a from-scratch LNS solve below.
+    }
+    const ComputePlan initial =
+        options.cold_start
+            ? trivial_plan(inst)
+            : run_baseline(inst, options.warm_start, options.stage1_budget_ms)
+                  .plan;
+    LnsResult lns = improve_plan(inst, initial, to_lns(options));
+    result.schedule = std::move(lns.schedule);
+    result.plan = std::move(lns.plan);
+    result.baseline_cost = lns.initial_cost;
     finalize(inst, options, timer, result);
     return result;
   }
@@ -359,6 +410,7 @@ void register_builtin_schedulers(SchedulerRegistry& registry) {
       PolicyKind::kClairvoyant));
   registry.add(std::make_unique<LnsAdapter>());
   registry.add(std::make_unique<PortfolioAdapter>());
+  registry.add(std::make_unique<RepairAdapter>());
   registry.add(std::make_unique<HolisticAdapter>());
   registry.add(std::make_unique<DivideConquerAdapter>());
   registry.add(std::make_unique<ShardedAdapter>());

@@ -14,6 +14,8 @@
 //   divide-conquer       the divide-and-conquer pipeline, always
 //   exact-pebbler        exact P = 1 red-blue pebbling (small DAGs)
 //   ilp                  full ILP + branch-and-bound (tiny DAGs)
+//   repair               online repair: patch a pre-delta incumbent onto
+//                        the mutated instance + locality-masked polish
 //
 // Adding a scheduler is one `add(...)` call (see README.md); everything
 // driving the registry — benches, suite_runner, BatchRunner — picks the

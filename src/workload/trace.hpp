@@ -1,0 +1,85 @@
+#pragma once
+// Timed-arrival trace corpus: the workload side of online schedule repair
+// (docs/REPAIR.md). A trace is a base MbspInstance plus a sequence of
+// timestamped InstanceDeltas — DAG growth, weight drift, processor
+// drop-outs, memory shrinkage — that a serving loop replays against an
+// incumbent schedule, repairing after each event.
+//
+// Traces follow the corpus conventions (docs/FORMATS.md): they are named
+// by a canonical `family:key=value,...` spec, deterministic given
+// (spec, seed, machine spec), hashable (trace_canonical_hash), and
+// streamable — for_each_trace_event generates events one at a time
+// against an internally evolved instance, so a million-event trace never
+// materializes more than the current instance. Families:
+//
+//   trace-grow     batches of new nodes with edges from existing nodes
+//   trace-drift    compute-weight (omega) drift on random nodes
+//   trace-dropout  one processor drops out per event
+//   trace-churn    grow + drift interleaved
+//   trace-mixed    everything, including fast-memory shrinkage
+//
+// Every generated delta is applied to the generator's own evolving copy
+// with apply_instance_delta, so traces are valid by construction; growth
+// clamps new-node memory weights against the machine's smallest capacity
+// and drift never touches mu, keeping `min capacity >= min_memory_r0`
+// invariant across the whole event sequence (no event can strand the
+// instance in an unschedulable state).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/holistic/repair.hpp"
+#include "src/model/instance.hpp"
+
+namespace mbsp {
+
+/// One timed event: at `at_ms` (strictly increasing along the trace) the
+/// instance mutates by `delta`.
+struct TraceEvent {
+  double at_ms = 0;
+  InstanceDelta delta;
+};
+
+struct RepairTrace {
+  std::string name;   ///< canonical trace spec
+  MbspInstance base;  ///< pre-event instance (DAG + machine)
+  std::vector<TraceEvent> events;
+};
+
+/// Sorted names of the built-in trace families.
+std::vector<std::string> trace_family_names();
+
+/// True when `spec` names a trace family ("trace-" head).
+bool is_trace_spec(const std::string& spec);
+
+/// Builds the full trace named by `spec` ("trace-grow:events=8,batch=3").
+/// Common parameters: `base` (a workload family name, built at its
+/// declared defaults), `events`, `batch` (ops per event; drop-out traces
+/// ignore it). The machine comes from `machine_spec` via MachineRegistry,
+/// scaled to the base DAG's min_memory_r0. Unknown families, parameters
+/// or bad values fill *error and return nullopt.
+std::optional<RepairTrace> make_trace(const std::string& spec,
+                                      std::uint64_t seed,
+                                      const std::string& machine_spec,
+                                      std::string* error = nullptr);
+
+/// Streaming twin of make_trace: invokes `fn` per event, in order, without
+/// retaining past events (the callback returns false to stop early). When
+/// `base_out` is non-null it receives the pre-event instance. Emits
+/// exactly make_trace's events for equal (spec, seed, machine_spec).
+bool for_each_trace_event(const std::string& spec, std::uint64_t seed,
+                          const std::string& machine_spec,
+                          const std::function<bool(const TraceEvent&)>& fn,
+                          MbspInstance* base_out = nullptr,
+                          std::string* error = nullptr);
+
+/// Canonical trace digest: chains the base DAG's canonical hash, the
+/// machine's canonical name, and every event's timestamp + delta hash.
+/// Equal traces hash equal regardless of how they were produced
+/// (make_trace vs the streaming path).
+std::uint64_t trace_canonical_hash(const RepairTrace& trace);
+
+}  // namespace mbsp

@@ -360,6 +360,279 @@ TEST_F(DaemonTest, StopDrainsInFlightRequestsThenRefusesConnections) {
       << "the socket must be gone after stop()";
 }
 
+/// A deterministic growth delta for `dag`: two arriving nodes chained off
+/// node 0 (pure DAG delta, machine untouched).
+InstanceDelta growth_delta(const ComputeDag& dag) {
+  InstanceDelta delta;
+  delta.add_node(2.0, 1.0);
+  delta.add_edge(0, dag.num_nodes());
+  delta.add_node(1.0, 1.0);
+  delta.add_edge(dag.num_nodes(), dag.num_nodes() + 1);
+  return delta;
+}
+
+RepairRequest make_repair_request(const std::string& workload,
+                                  long max_iterations) {
+  std::string error;
+  auto dag = WorkloadRegistry::global().make_dag(workload, 7, &error);
+  EXPECT_TRUE(dag) << error;
+  RepairRequest request;
+  request.dag_bytes = dag_to_binary(*dag);
+  request.machine_spec = "uniform:P=4";
+  request.scheduler = "lns";
+  request.budget_ms = 0;
+  request.max_iterations = max_iterations;
+  request.seed = 7;
+  request.delta = growth_delta(*dag);
+  return request;
+}
+
+/// Reference repair, run locally exactly the way the daemon does it: the
+/// incumbent is the request's own scheduler solved on the BASE scenario
+/// (machine at the base DAG's r0), then the "repair" adapter patches it
+/// onto the mutated instance.
+ScheduleResult local_repair(const std::string& workload,
+                            const RepairRequest& request,
+                            bool with_incumbent) {
+  std::string error;
+  auto dag = WorkloadRegistry::global().make_dag(workload, 7, &error);
+  EXPECT_TRUE(dag) << error;
+  auto machine = MachineRegistry::global().make_machine(
+      request.machine_spec, min_memory_r0(*dag), &error);
+  EXPECT_TRUE(machine) << error;
+  MbspInstance base{*dag, std::move(*machine)};
+
+  SchedulerOptions options;
+  options.budget_ms = request.budget_ms;
+  options.max_iterations = request.max_iterations;
+  options.seed = request.seed;
+  const MbspScheduler* scheduler =
+      SchedulerRegistry::global().find(request.scheduler);
+  EXPECT_NE(scheduler, nullptr);
+
+  MbspInstance mutated = base;
+  EXPECT_TRUE(apply_instance_delta(mutated, request.delta, nullptr, &error))
+      << error;
+  if (!with_incumbent) return scheduler->run(mutated, options);
+
+  const ScheduleResult incumbent = scheduler->run(base, options);
+  options.warm_start_plan = &incumbent.plan;
+  options.repair_delta = &request.delta;
+  return SchedulerRegistry::global().at("repair").run(mutated, options);
+}
+
+TEST_F(DaemonTest, RepairPatchesTheCachedIncumbentAndMatchesLocalRepair) {
+  start_server();
+  const std::string workload = "fft:n=16";
+  MbspClient client;
+  connect_ok(client);
+
+  // Seed the base scenario's incumbent through the normal SCHEDULE path.
+  const ScheduleRequest base = make_request(workload, 1500);
+  const MbspClient::Outcome seeded = run_ok(client, base);
+  ASSERT_EQ(seeded.final.cache, CacheStatus::kCold);
+  const std::uint64_t solver_calls_after_seed = server_->stats().solver_calls;
+
+  RepairRequest repair = make_repair_request(workload, 1500);
+  MbspClient::Outcome outcome;
+  std::string error;
+  ASSERT_TRUE(client.repair(repair, &outcome, &error)) << error;
+  ASSERT_TRUE(outcome.ok) << outcome.error.message;
+  EXPECT_EQ(outcome.final.cache, CacheStatus::kRepaired);
+  EXPECT_EQ(outcome.final.machine, "uniform");  // pure DAG delta
+  EXPECT_NE(outcome.final.dag_hash, seeded.final.dag_hash)
+      << "the final frame must be keyed by the MUTATED dag";
+
+  // Differential against the same repair performed locally.
+  const ScheduleResult reference =
+      local_repair(workload, repair, /*with_incumbent=*/true);
+  EXPECT_EQ(outcome.final.cost, reference.cost);
+  EXPECT_EQ(outcome.final.baseline_cost, reference.baseline_cost);
+  EXPECT_EQ(plan_bytes(outcome.final.plan), plan_bytes(reference.plan))
+      << "the daemon repair must equal a local repair_plan bitwise";
+
+  const DaemonStats stats = server_->stats();
+  EXPECT_EQ(stats.repair_requests, 1u);
+  EXPECT_EQ(stats.repair_hits, 1u);
+  EXPECT_EQ(stats.solver_calls, solver_calls_after_seed + 1);
+
+  // The repair counters travel over the wire too.
+  DaemonStats over_wire;
+  ASSERT_TRUE(client.stats(&over_wire, &error)) << error;
+  EXPECT_EQ(over_wire.repair_requests, 1u);
+  EXPECT_EQ(over_wire.repair_hits, 1u);
+}
+
+TEST_F(DaemonTest, RepeatRepairIsAnExactHitWithoutASolverCall) {
+  start_server();
+  const std::string workload = "fft:n=16";
+  MbspClient client;
+  connect_ok(client);
+  run_ok(client, make_request(workload, 1000));
+
+  const RepairRequest repair = make_repair_request(workload, 1000);
+  MbspClient::Outcome first, second;
+  std::string error;
+  ASSERT_TRUE(client.repair(repair, &first, &error)) << error;
+  ASSERT_TRUE(first.ok) << first.error.message;
+  ASSERT_EQ(first.final.cache, CacheStatus::kRepaired);
+  const std::uint64_t solver_calls_after_first = server_->stats().solver_calls;
+
+  ASSERT_TRUE(client.repair(repair, &second, &error)) << error;
+  ASSERT_TRUE(second.ok) << second.error.message;
+  EXPECT_EQ(second.final.cache, CacheStatus::kExact);
+  EXPECT_EQ(plan_bytes(second.final.plan), plan_bytes(first.final.plan));
+  EXPECT_EQ(second.final.cost, first.final.cost);
+
+  const DaemonStats stats = server_->stats();
+  EXPECT_EQ(stats.solver_calls, solver_calls_after_first)
+      << "a repeat repair must be served from the mutated-scenario cache";
+  EXPECT_EQ(stats.repair_requests, 2u);
+  EXPECT_EQ(stats.repair_hits, 1u);  // the exact hit never reached the solver
+}
+
+TEST_F(DaemonTest, ChainedRepairReusesThePreviousRepairedIncumbent) {
+  start_server();
+  const std::string workload = "fft:n=16";
+  MbspClient client;
+  connect_ok(client);
+  run_ok(client, make_request(workload, 1000));
+
+  const RepairRequest first_request = make_repair_request(workload, 1000);
+  MbspClient::Outcome first;
+  std::string error;
+  ASSERT_TRUE(client.repair(first_request, &first, &error)) << error;
+  ASSERT_TRUE(first.ok) << first.error.message;
+  ASSERT_EQ(first.final.cache, CacheStatus::kRepaired);
+  const std::uint64_t solver_calls_after_first = server_->stats().solver_calls;
+
+  // Follow-up repair pinning the stored MUTATED hash as its base. The
+  // repaired incumbent lives under the repair+ spec, and the lookup must
+  // chain onto it instead of cold-solving.
+  auto base_dag = WorkloadRegistry::global().make_dag(workload, 7, &error);
+  ASSERT_TRUE(base_dag) << error;
+  const std::size_t n1 = base_dag->num_nodes() + 2;  // after the first delta
+  RepairRequest second_request = first_request;
+  second_request.dag_bytes.clear();
+  second_request.dag_hash = first.final.dag_hash;
+  second_request.delta = InstanceDelta{};
+  second_request.delta.add_node(3.0, 1.0);
+  second_request.delta.add_edge(n1 - 1, n1);
+
+  MbspClient::Outcome second;
+  ASSERT_TRUE(client.repair(second_request, &second, &error)) << error;
+  ASSERT_TRUE(second.ok) << second.error.message;
+  EXPECT_EQ(second.final.cache, CacheStatus::kRepaired)
+      << "a pinned repaired hash must chain onto the repaired incumbent";
+  EXPECT_NE(second.final.dag_hash, first.final.dag_hash);
+
+  const DaemonStats stats = server_->stats();
+  EXPECT_EQ(stats.solver_calls, solver_calls_after_first + 1);
+  EXPECT_EQ(stats.repair_requests, 2u);
+  EXPECT_EQ(stats.repair_hits, 2u);
+
+  // Differential: chain the same two repairs locally.
+  SchedulerOptions options;
+  options.budget_ms = first_request.budget_ms;
+  options.max_iterations = first_request.max_iterations;
+  options.seed = first_request.seed;
+  auto machine = MachineRegistry::global().make_machine(
+      first_request.machine_spec, min_memory_r0(*base_dag), &error);
+  ASSERT_TRUE(machine) << error;
+  MbspInstance base{*base_dag, std::move(*machine)};
+  const ScheduleResult seed_result =
+      SchedulerRegistry::global().at(first_request.scheduler).run(base,
+                                                                  options);
+
+  MbspInstance mut1 = base;
+  ASSERT_TRUE(
+      apply_instance_delta(mut1, first_request.delta, nullptr, &error))
+      << error;
+  options.warm_start_plan = &seed_result.plan;
+  options.repair_delta = &first_request.delta;
+  const ScheduleResult repaired1 =
+      SchedulerRegistry::global().at("repair").run(mut1, options);
+
+  // The daemon rebuilds the machine at the (new) base dag's r0.
+  auto machine2 = MachineRegistry::global().make_machine(
+      first_request.machine_spec, min_memory_r0(mut1.dag), &error);
+  ASSERT_TRUE(machine2) << error;
+  MbspInstance mut2{mut1.dag, std::move(*machine2)};
+  ASSERT_TRUE(
+      apply_instance_delta(mut2, second_request.delta, nullptr, &error))
+      << error;
+  options.warm_start_plan = &repaired1.plan;
+  options.repair_delta = &second_request.delta;
+  const ScheduleResult repaired2 =
+      SchedulerRegistry::global().at("repair").run(mut2, options);
+
+  EXPECT_EQ(second.final.cost, repaired2.cost);
+  EXPECT_EQ(plan_bytes(second.final.plan), plan_bytes(repaired2.plan))
+      << "the chained daemon repair must equal the local chain bitwise";
+}
+
+TEST_F(DaemonTest, RepairWithoutAnIncumbentColdSolvesTheMutatedInstance) {
+  start_server();
+  const std::string workload = "fft:n=16";
+  MbspClient client;
+  connect_ok(client);
+
+  // No SCHEDULE request seeded the base scenario: nothing to patch.
+  const RepairRequest repair = make_repair_request(workload, 1000);
+  MbspClient::Outcome outcome;
+  std::string error;
+  ASSERT_TRUE(client.repair(repair, &outcome, &error)) << error;
+  ASSERT_TRUE(outcome.ok) << outcome.error.message;
+  EXPECT_EQ(outcome.final.cache, CacheStatus::kCold);
+
+  const ScheduleResult reference =
+      local_repair(workload, repair, /*with_incumbent=*/false);
+  EXPECT_EQ(outcome.final.cost, reference.cost);
+  EXPECT_EQ(plan_bytes(outcome.final.plan), plan_bytes(reference.plan));
+
+  const DaemonStats stats = server_->stats();
+  EXPECT_EQ(stats.repair_requests, 1u);
+  EXPECT_EQ(stats.repair_hits, 0u);
+  EXPECT_EQ(stats.solver_calls, 1u);
+}
+
+TEST_F(DaemonTest, MachineDeltaKeysTheMutatedScenarioDistinctly) {
+  start_server();
+  const std::string workload = "fft:n=16";
+  MbspClient client;
+  connect_ok(client);
+  run_ok(client, make_request(workload, 800));
+
+  RepairRequest repair = make_repair_request(workload, 800);
+  repair.delta = InstanceDelta{};
+  repair.delta.drop_processor(1);
+  MbspClient::Outcome outcome;
+  std::string error;
+  ASSERT_TRUE(client.repair(repair, &outcome, &error)) << error;
+  ASSERT_TRUE(outcome.ok) << outcome.error.message;
+  EXPECT_EQ(outcome.final.cache, CacheStatus::kRepaired);
+  EXPECT_EQ(outcome.final.machine, "uniform#drop(1)");
+  EXPECT_EQ(outcome.final.plan.num_procs, 3);  // the drop was relocated
+}
+
+TEST_F(DaemonTest, UnappliableDeltaIsATypedBadDeltaError) {
+  start_server();
+  MbspClient client;
+  connect_ok(client);
+  RepairRequest repair = make_repair_request("fft:n=16", 500);
+  repair.delta = InstanceDelta{};
+  repair.delta.add_edge(0, 999999);  // far out of range
+
+  MbspClient::Outcome outcome;
+  std::string error;
+  ASSERT_TRUE(client.repair(repair, &outcome, &error)) << error;
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.error.code, WireError::kBadDelta);
+  EXPECT_NE(outcome.error.message.find("add_edge"), std::string::npos)
+      << outcome.error.message;
+  EXPECT_TRUE(client.ping(&error)) << error;  // connection stays usable
+}
+
 TEST_F(DaemonTest, StatsRequestMirrorsServerCounters) {
   start_server();
   MbspClient client;

@@ -211,10 +211,113 @@ TEST(WireCodec, SmallFramesRoundTrip) {
   EXPECT_EQ(stats2.cache_capacity, 256u);
 }
 
+/// One op of every kind, with distinguishable payloads.
+InstanceDelta delta_of_every_kind() {
+  InstanceDelta delta;
+  delta.add_node(2.5, 1.25);
+  delta.add_edge(3, 9);
+  delta.set_node_weight(4, 6.0, 2.0);
+  delta.drop_processor(2);
+  delta.shrink_memory(-1, 17.5);
+  return delta;
+}
+
+TEST(WireCodec, InstanceDeltaRoundTripsAllOpKinds) {
+  const InstanceDelta delta = delta_of_every_kind();
+  WireWriter w;
+  encode_instance_delta(w, delta);
+  WireReader r(w.bytes());
+  InstanceDelta decoded;
+  ASSERT_TRUE(decode_instance_delta(r, &decoded));
+  ASSERT_TRUE(r.expect_end());
+  EXPECT_TRUE(decoded == delta);
+  EXPECT_EQ(instance_delta_hash(decoded), instance_delta_hash(delta));
+}
+
+TEST(WireCodec, RepairRequestRoundTrips) {
+  RepairRequest request;
+  request.no_cache = true;
+  request.dag_hash = 0x1122334455667788ULL;
+  request.dag_bytes = std::string("\x00\x01\x02", 3);
+  request.machine_spec = "hetero:speeds=1x2+2x2";
+  request.scheduler = "lns-portfolio";
+  request.cost_model = 1;
+  request.budget_ms = 125.5;
+  request.max_iterations = 123456789;
+  request.seed = 99;
+  request.deadline_ms = 2000;
+  request.delta = delta_of_every_kind();
+
+  RepairRequest decoded;
+  std::string error;
+  ASSERT_TRUE(decode_repair_request(encode_repair_request(request), &decoded,
+                                    &error))
+      << error;
+  EXPECT_EQ(decoded.version, request.version);
+  EXPECT_EQ(decoded.no_cache, request.no_cache);
+  EXPECT_EQ(decoded.dag_hash, request.dag_hash);
+  EXPECT_EQ(decoded.dag_bytes, request.dag_bytes);
+  EXPECT_EQ(decoded.machine_spec, request.machine_spec);
+  EXPECT_EQ(decoded.scheduler, request.scheduler);
+  EXPECT_EQ(decoded.cost_model, request.cost_model);
+  EXPECT_EQ(decoded.budget_ms, request.budget_ms);
+  EXPECT_EQ(decoded.max_iterations, request.max_iterations);
+  EXPECT_EQ(decoded.seed, request.seed);
+  EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  EXPECT_TRUE(decoded.delta == request.delta);
+}
+
+TEST(WireCodec, TruncatedRepairRequestFailsAtEveryOffset) {
+  RepairRequest request;
+  request.dag_bytes = "some dag payload";
+  request.delta = delta_of_every_kind();
+  const std::string full = encode_repair_request(request);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    RepairRequest decoded;
+    std::string error;
+    ASSERT_FALSE(
+        decode_repair_request(full.substr(0, cut), &decoded, &error))
+        << "prefix of " << cut << " bytes decoded";
+    EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+  }
+}
+
+TEST(WireCodec, UnknownDeltaOpKindIsASemanticError) {
+  RepairRequest request;
+  InstanceDelta delta;
+  delta.add_node();
+  request.delta = delta;
+  std::string bytes = encode_repair_request(request);
+  // The delta is encoded last: u32 op count, then one 49-byte op whose
+  // first byte is the kind. Overwrite it with an undeclared value.
+  constexpr std::size_t kOpBytes = 1 + 6 * 8;
+  bytes[bytes.size() - kOpBytes] = '\x7f';
+  RepairRequest decoded;
+  std::string error;
+  ASSERT_FALSE(decode_repair_request(bytes, &decoded, &error));
+  EXPECT_NE(error.find("bad delta op kind"), std::string::npos) << error;
+}
+
+TEST(WireCodec, StatsRoundTripIncludesRepairCounters) {
+  DaemonStats stats;
+  stats.requests = 10;
+  stats.solver_calls = 6;
+  stats.repair_requests = 4;
+  stats.repair_hits = 3;
+  DaemonStats decoded;
+  std::string error;
+  ASSERT_TRUE(decode_stats(encode_stats(stats), &decoded, &error)) << error;
+  EXPECT_EQ(decoded.requests, 10u);
+  EXPECT_EQ(decoded.solver_calls, 6u);
+  EXPECT_EQ(decoded.repair_requests, 4u);
+  EXPECT_EQ(decoded.repair_hits, 3u);
+}
+
 TEST(WireCodec, FrameTypeSidedness) {
   EXPECT_TRUE(is_request_frame(FrameType::kScheduleRequest));
   EXPECT_TRUE(is_request_frame(FrameType::kPing));
   EXPECT_TRUE(is_request_frame(FrameType::kStatsRequest));
+  EXPECT_TRUE(is_request_frame(FrameType::kRepairRequest));
   EXPECT_FALSE(is_request_frame(FrameType::kFinal));
   EXPECT_FALSE(is_request_frame(FrameType::kError));
   EXPECT_FALSE(is_request_frame(static_cast<FrameType>(0x7f)));
@@ -226,6 +329,8 @@ TEST(WireCodec, ErrorNamesAreStable) {
                "oversized-frame");
   EXPECT_STREQ(wire_error_name(WireError::kDeadlineExpired),
                "deadline-expired");
+  EXPECT_STREQ(wire_error_name(WireError::kBadDelta), "bad-delta");
+  EXPECT_STREQ(cache_status_name(CacheStatus::kRepaired), "repaired");
 }
 
 #if defined(MBSP_DAEMON_TESTS_POSIX)
@@ -465,6 +570,83 @@ TEST_F(ProtocolServerTest, PinnedHashMismatchIsRejected) {
   EXPECT_EQ(outcome.error.code, WireError::kBadDag);
   EXPECT_NE(outcome.error.message.find("pinned"), std::string::npos)
       << outcome.error.message;
+}
+
+TEST_F(ProtocolServerTest, TruncatedRepairFrameAtEveryOffsetNeverCrashes) {
+  RepairRequest request;
+  std::string error;
+  auto dag = WorkloadRegistry::global().make_dag("fft:n=8", 7, &error);
+  ASSERT_TRUE(dag) << error;
+  request.dag_bytes = dag_to_binary(*dag);
+  request.budget_ms = 0;
+  request.max_iterations = 100;
+  request.delta.add_node(2.0, 1.0);
+  request.delta.add_edge(0, dag->num_nodes());
+  const std::string frame =
+      encode_frame(FrameType::kRepairRequest, encode_repair_request(request));
+
+  // Cut the raw frame at every byte offset, send the prefix, vanish. The
+  // server must treat every one as a truncated frame / clean close and
+  // keep serving (sampled liveness probes keep the test fast; the final
+  // probe covers the whole sweep).
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    MbspClient attacker;
+    ASSERT_TRUE(attacker.connect(options_.socket_path, &error)) << error;
+    if (cut > 0) {
+      ASSERT_TRUE(attacker.send_raw(frame.substr(0, cut), &error))
+          << "cut " << cut << ": " << error;
+    }
+    attacker.close();
+    if (cut % 64 == 0) expect_server_alive();
+  }
+  expect_server_alive();
+
+  // Well-framed frames whose *declared* payload is a strict prefix of the
+  // real payload: the decode fails with a typed error and the connection
+  // stays usable.
+  const std::string payload = encode_repair_request(request);
+  for (std::size_t cut = 0; cut < payload.size(); cut += 13) {
+    MbspClient client;
+    ASSERT_TRUE(client.connect(options_.socket_path, &error)) << error;
+    ASSERT_TRUE(client.send_raw(
+        encode_frame(FrameType::kRepairRequest, payload.substr(0, cut)),
+        &error));
+    Frame reply;
+    ASSERT_TRUE(client.read_reply(&reply, &error)) << "cut " << cut << ": "
+                                                   << error;
+    ASSERT_EQ(reply.type, FrameType::kError) << "cut " << cut;
+    ErrorFrame err;
+    ASSERT_TRUE(decode_error(reply.payload, &err, &error)) << error;
+    EXPECT_EQ(err.code, WireError::kBadRequest) << "cut " << cut;
+    EXPECT_TRUE(client.ping(&error)) << "cut " << cut << ": " << error;
+  }
+  expect_server_alive();
+}
+
+TEST_F(ProtocolServerTest, TamperedDeltaOpKindOverTheWireIsBadDelta) {
+  RepairRequest request;
+  std::string error;
+  auto dag = WorkloadRegistry::global().make_dag("fft:n=8", 7, &error);
+  ASSERT_TRUE(dag) << error;
+  request.dag_bytes = dag_to_binary(*dag);
+  request.delta.add_node();
+  std::string payload = encode_repair_request(request);
+  constexpr std::size_t kOpBytes = 1 + 6 * 8;
+  payload[payload.size() - kOpBytes] = '\x7f';  // undeclared op kind
+
+  MbspClient client;
+  ASSERT_TRUE(client.connect(options_.socket_path, &error)) << error;
+  ASSERT_TRUE(client.send_raw(
+      encode_frame(FrameType::kRepairRequest, payload), &error));
+  Frame reply;
+  ASSERT_TRUE(client.read_reply(&reply, &error)) << error;
+  ASSERT_EQ(reply.type, FrameType::kError);
+  ErrorFrame err;
+  ASSERT_TRUE(decode_error(reply.payload, &err, &error)) << error;
+  EXPECT_EQ(err.code, WireError::kBadDelta);
+  EXPECT_NE(err.message.find("bad delta op kind"), std::string::npos)
+      << err.message;
+  EXPECT_TRUE(client.ping(&error)) << error;
 }
 
 #endif  // MBSP_DAEMON_TESTS_POSIX

@@ -34,11 +34,11 @@ TEST(Registry, ListsAllBuiltinSchedulers) {
   for (const char* expected :
        {"bspg+clairvoyant", "bspg+lru", "cilk+lru", "ilp-bsp+clairvoyant",
         "dfs+clairvoyant", "lns", "lns-portfolio", "holistic",
-        "divide-conquer", "sharded", "exact-pebbler", "ilp"}) {
+        "divide-conquer", "sharded", "exact-pebbler", "ilp", "repair"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected << " missing from registry";
   }
-  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.size(), 13u);
 }
 
 TEST(Registry, FindAndAt) {
